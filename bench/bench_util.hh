@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ *
+ * Every bench prints the corresponding paper table/figure as text so
+ * runs can be diffed against EXPERIMENTS.md.  Two environment knobs
+ * control fidelity:
+ *
+ *   KINDLE_SCALE  divides the byte-sized workload dimensions
+ *                 (default 8; set 1 for the paper's full sizes),
+ *   KINDLE_OPS    trace length for the workload-driven studies
+ *                 (default 200000; paper: 10000000).
+ */
+
+#ifndef KINDLE_BENCH_BENCH_UTIL_HH
+#define KINDLE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/str.hh"
+#include "base/types.hh"
+
+namespace kindle::bench
+{
+
+/** Workload scale divisor from the environment. */
+inline std::uint64_t
+scaleFromEnv(std::uint64_t fallback = 8)
+{
+    if (const char *env = std::getenv("KINDLE_SCALE")) {
+        const auto v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+/** Print a rule + centered header naming the reproduced artifact. */
+inline void
+printHeader(const std::string &artifact, const std::string &desc)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("  %s — %s\n", artifact.c_str(), desc.c_str());
+    std::printf("==================================================="
+                "===========\n");
+}
+
+/** Simple fixed-width table printer. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers)
+        : columns(std::move(headers))
+    {}
+
+    void
+    addRow(std::vector<std::string> row)
+    {
+        rows.push_back(std::move(row));
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::size_t> widths(columns.size());
+        for (std::size_t c = 0; c < columns.size(); ++c)
+            widths[c] = columns[c].size();
+        for (const auto &row : rows)
+            for (std::size_t c = 0; c < row.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        auto print_row = [&](const std::vector<std::string> &row) {
+            std::printf("  ");
+            for (std::size_t c = 0; c < row.size(); ++c)
+                std::printf("%-*s  ", static_cast<int>(widths[c]),
+                            row[c].c_str());
+            std::printf("\n");
+        };
+        print_row(columns);
+        std::vector<std::string> rule;
+        for (const auto w : widths)
+            rule.push_back(std::string(w, '-'));
+        print_row(rule);
+        for (const auto &row : rows)
+            print_row(row);
+    }
+
+  private:
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format ticks as milliseconds with 3 decimals. */
+inline std::string
+ms(Tick t)
+{
+    return fixed(ticksToMs(t), 3);
+}
+
+/** Format a ratio like "3.42x". */
+inline std::string
+ratio(double r)
+{
+    return fixed(r, 2) + "x";
+}
+
+} // namespace kindle::bench
+
+#endif // KINDLE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared harness for the HSCC studies (Figure 6, Tables V and VI):
+ * replay a Table II workload with the HSCC engine at a given fetch
+ * threshold, with or without OS-side migration costs.
+ */
+
+#ifndef KINDLE_BENCH_HSCC_COMMON_HH
+#define KINDLE_BENCH_HSCC_COMMON_HH
+
+#include "kindle/kindle.hh"
+#include "prep/replay.hh"
+#include "prep/workloads.hh"
+
+namespace kindle::bench
+{
+
+struct HsccRunResult
+{
+    Tick elapsed = 0;
+    std::uint64_t pagesMigrated = 0;
+    Tick selectionTicks = 0;
+    Tick copyTicks = 0;
+    Tick migrationTicks = 0;
+};
+
+/** Run @p bench under HSCC. */
+inline HsccRunResult
+runHsccWorkload(prep::Benchmark bench, std::uint64_t ops,
+                unsigned fetch_threshold, bool charge_os_time)
+{
+    KindleConfig cfg;
+    cfg.memory.dramBytes = 3 * oneGiB;
+    cfg.memory.nvmBytes = 2 * oneGiB;
+    hscc::HsccParams params;
+    params.fetchThreshold = fetch_threshold;
+    params.chargeOsTime = charge_os_time;
+    cfg.hscc = params;
+
+    KindleSystem sys(cfg);
+
+    prep::WorkloadParams wp;
+    wp.ops = ops;
+    wp.scaleDown = 8;
+    auto trace = prep::makeWorkload(bench, wp);
+
+    prep::ReplayConfig rc;
+    rc.heapsInNvm = true;   // data lives in NVM, DRAM is the cache
+    rc.stacksInNvm = true;
+    // Pace the replay at ~100 ns per record (the captured period
+    // granularity) so the run spans many 31.25 ms migration intervals
+    // like the original minutes-long executions.
+    rc.computePerRecord = 300;
+    auto program = std::make_unique<prep::ReplayStream>(*trace, rc);
+
+    HsccRunResult result;
+    result.elapsed =
+        sys.run(std::move(program), prep::benchmarkName(bench));
+    result.pagesMigrated = sys.hsccEngine()->pagesMigrated();
+    result.selectionTicks = sys.hsccEngine()->selectionTicks();
+    result.copyTicks = sys.hsccEngine()->copyTicks();
+    result.migrationTicks = sys.hsccEngine()->migrationTicks();
+    return result;
+}
+
+} // namespace kindle::bench
+
+#endif // KINDLE_BENCH_HSCC_COMMON_HH

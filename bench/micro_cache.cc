@@ -1,0 +1,142 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the cache hierarchy: simulated
+ * hit/miss latencies per level and host-side simulation throughput
+ * (how many simulated accesses per host second the framework
+ * sustains — the "lightweight" claim of the paper).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.hh"
+
+namespace
+{
+
+using namespace kindle;
+
+struct Rig
+{
+    Rig()
+        : memory([] {
+              mem::HybridMemoryParams p;
+              p.dramBytes = 256 * oneMiB;
+              p.nvmBytes = 256 * oneMiB;
+              return p;
+          }()),
+          hier(cache::HierarchyParams{}, memory)
+    {}
+
+    mem::HybridMemory memory;
+    cache::Hierarchy hier;
+};
+
+void
+BM_L1HitPath(benchmark::State &state)
+{
+    Rig rig;
+    Tick now = 0;
+    rig.hier.access(mem::MemCmd::read, 0x1000, 8, now);
+    Tick total = 0;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        const auto res =
+            rig.hier.access(mem::MemCmd::read, 0x1000, 8, now);
+        now += res.latency;
+        total += res.latency;
+        ++n;
+    }
+    state.counters["simNsPerHit"] =
+        ticksToNs(total) / static_cast<double>(n);
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_L1HitPath);
+
+void
+BM_LlcMissToDram(benchmark::State &state)
+{
+    Rig rig;
+    Tick now = 0;
+    Addr addr = 0;
+    Tick total = 0;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        const auto res =
+            rig.hier.access(mem::MemCmd::read, addr, 8, now);
+        now += res.latency;
+        total += res.latency;
+        addr += 4 * pageSize;  // defeat all cache levels
+        if (addr >= 128 * oneMiB)
+            addr = 0;
+        ++n;
+    }
+    state.counters["simNsPerMiss"] =
+        ticksToNs(total) / static_cast<double>(n);
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LlcMissToDram);
+
+void
+BM_LlcMissToNvm(benchmark::State &state)
+{
+    Rig rig;
+    const Addr base = rig.memory.nvmRange().start();
+    Tick now = 0;
+    Addr addr = 0;
+    Tick total = 0;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        const auto res = rig.hier.access(mem::MemCmd::read,
+                                         base + addr, 8, now);
+        now += res.latency;
+        total += res.latency;
+        addr += 4 * pageSize;
+        if (addr >= 128 * oneMiB)
+            addr = 0;
+        ++n;
+    }
+    state.counters["simNsPerMiss"] =
+        ticksToNs(total) / static_cast<double>(n);
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LlcMissToNvm);
+
+void
+BM_ClwbDirtyLine(benchmark::State &state)
+{
+    Rig rig;
+    const Addr base = rig.memory.nvmRange().start();
+    Tick now = 0;
+    for (auto _ : state) {
+        rig.hier.access(mem::MemCmd::write, base, 8, now);
+        now += rig.hier.clwb(base, now);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClwbDirtyLine);
+
+void
+BM_SimulationThroughputMixed(benchmark::State &state)
+{
+    // Host-side throughput over a mixed working set: the headline
+    // "how fast does Kindle simulate" number.
+    Rig rig;
+    Tick now = 0;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const Addr addr = (i * 2891) % (32 * oneMiB);
+        const auto res = rig.hier.access(
+            (i & 3) ? mem::MemCmd::read : mem::MemCmd::write,
+            addr & ~std::uint64_t(7), 8, now);
+        now += res.latency;
+        ++i;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulationThroughputMixed);
+
+} // namespace
+
+BENCHMARK_MAIN();

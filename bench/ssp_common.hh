@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared harness for the SSP studies (Figure 5 and the consolidation
+ * ablation): replay one of the Table II workloads inside a failure
+ * atomic section with a given SSP configuration and report end-to-end
+ * execution time.
+ */
+
+#ifndef KINDLE_BENCH_SSP_COMMON_HH
+#define KINDLE_BENCH_SSP_COMMON_HH
+
+#include <optional>
+
+#include "kindle/kindle.hh"
+#include "prep/replay.hh"
+#include "prep/workloads.hh"
+
+namespace kindle::bench
+{
+
+struct SspRunResult
+{
+    Tick elapsed = 0;
+    std::uint64_t intervalCommits = 0;
+    std::uint64_t linesFlushed = 0;
+    std::uint64_t consolidations = 0;
+};
+
+/**
+ * Run @p bench with @p ops trace records inside a FASE.
+ * @param ssp_params nullopt = no-consistency baseline.
+ */
+inline SspRunResult
+runSspWorkload(prep::Benchmark bench, std::uint64_t ops,
+               std::optional<ssp::SspParams> ssp_params)
+{
+    KindleConfig cfg;
+    cfg.memory.dramBytes = 3 * oneGiB;
+    cfg.memory.nvmBytes = 2 * oneGiB;
+    cfg.ssp = ssp_params;
+
+    KindleSystem sys(cfg);
+
+    prep::WorkloadParams wp;
+    wp.ops = ops;
+    wp.scaleDown = 8;  // keep trace footprints inside the NVM pool
+    auto trace = prep::makeWorkload(bench, wp);
+
+    prep::ReplayConfig rc;
+    rc.heapsInNvm = true;
+    rc.stacksInNvm = true;
+    rc.wrapInFase = true;
+    auto program = std::make_unique<prep::ReplayStream>(*trace, rc);
+
+    SspRunResult result;
+    result.elapsed =
+        sys.run(std::move(program), prep::benchmarkName(bench));
+    if (sys.sspEngine()) {
+        const auto &st = sys.sspEngine()->stats();
+        result.intervalCommits =
+            static_cast<std::uint64_t>(
+                st.scalarValue("intervalCommits"));
+        result.linesFlushed = static_cast<std::uint64_t>(
+            st.scalarValue("linesFlushed"));
+        result.consolidations = static_cast<std::uint64_t>(
+            st.scalarValue("consolidations"));
+    }
+    return result;
+}
+
+} // namespace kindle::bench
+
+#endif // KINDLE_BENCH_SSP_COMMON_HH

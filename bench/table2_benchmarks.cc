@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Table II: benchmark details (total ops, read %, write %)
+ * for the three generated workload traces.
+ */
+
+#include "bench_util.hh"
+#include "prep/workloads.hh"
+
+int
+main()
+{
+    using namespace kindle;
+    using namespace kindle::bench;
+
+    const std::uint64_t ops = prep::opsFromEnv(200000);
+    printHeader("Table II", "Benchmark details (KINDLE_OPS=" +
+                                std::to_string(ops) + ")");
+
+    TablePrinter table({"Benchmark", "Total Ops", "read %",
+                        "write %"});
+    for (const auto bench :
+         {prep::Benchmark::gapbsPr, prep::Benchmark::g500Sssp,
+          prep::Benchmark::ycsbMem}) {
+        prep::WorkloadParams params;
+        params.ops = ops;
+        auto src = prep::makeWorkload(bench, params);
+        const prep::TraceStats stats = prep::computeStats(*src);
+        table.addRow({prep::benchmarkName(bench),
+                      std::to_string(stats.totalOps),
+                      fixed(stats.readPct(), 0),
+                      fixed(stats.writePct(), 0)});
+    }
+    table.print();
+
+    std::printf("\nPaper reference: Gapbs_pr 77/23, G500_sssp 68/32, "
+                "Ycsb_mem 71/29 (10,000,000 ops each)\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces Table IV: influence of the checkpoint interval
+ * (10 ms / 100 ms / 1 s) on end-to-end time for the churn benchmark
+ * with repeated TLB-missing accesses over the reallocated regions.
+ *
+ * Paper shape: the persistent scheme is flat across intervals; the
+ * rebuild scheme improves ~5x from 10→100 ms, and with a 1 s interval
+ * (beyond the runtime) rebuild beats persistent, exposing the benefit
+ * of a DRAM-hosted page table.
+ */
+
+#include "bench_util.hh"
+#include "kindle/kindle.hh"
+#include "kindle/microbench.hh"
+
+namespace
+{
+
+using namespace kindle;
+
+Tick
+runOne(persist::PtScheme scheme, std::uint64_t arena,
+       std::uint64_t churn, Tick interval)
+{
+    KindleConfig cfg;
+    cfg.memory.dramBytes = 3 * oneGiB;
+    cfg.memory.nvmBytes = 2 * oneGiB;
+    cfg.persistence = persist::PersistParams{scheme, interval};
+    KindleSystem sys(cfg);
+    // access_rounds > 1: multiple sweeps causing TLB misses.
+    return sys.run(micro::churnBench(arena, churn, 2, 3, true),
+                   "churn");
+}
+
+std::string
+intervalName(kindle::Tick t)
+{
+    if (t >= kindle::oneSec)
+        return std::to_string(t / kindle::oneSec) + " sec";
+    return std::to_string(t / kindle::oneMs) + " msec";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace kindle;
+    using namespace kindle::bench;
+
+    const std::uint64_t scale = scaleFromEnv();
+    const std::uint64_t arena = 512 * oneMiB / scale;
+    printHeader("Table IV",
+                "Checkpoint-interval sweep, arena " +
+                    sizeToString(arena));
+
+    TablePrinter table({"Alloc/Free size", "Interval",
+                        "Persistent (ms)", "Rebuild (ms)"});
+    for (const std::uint64_t mib : {64, 128, 256}) {
+        const std::uint64_t churn = mib * oneMiB / scale;
+        for (const Tick interval :
+             {10 * oneMs, 100 * oneMs, oneSec}) {
+            const Tick persistent = runOne(
+                persist::PtScheme::persistent, arena, churn,
+                interval);
+            const Tick rebuild = runOne(persist::PtScheme::rebuild,
+                                        arena, churn, interval);
+            table.addRow({sizeToString(churn),
+                          intervalName(interval), ms(persistent),
+                          ms(rebuild)});
+        }
+    }
+    table.print();
+    std::printf("\nPaper shape: persistent flat across intervals; "
+                "rebuild ~5x cheaper at 100ms than 10ms and cheaper "
+                "than persistent once the interval exceeds the "
+                "runtime.\n");
+    return 0;
+}

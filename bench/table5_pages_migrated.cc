@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Table V: number of pages migrated per benchmark under
+ * DRAM fetch thresholds 5, 25 and 50.
+ *
+ * Paper shape: migrations fall steeply with the threshold (Ycsb_mem:
+ * ~13x fewer at Th-25 and ~101x fewer at Th-50 than at Th-5).
+ */
+
+#include "bench_util.hh"
+#include "hscc_common.hh"
+
+int
+main()
+{
+    using namespace kindle;
+    using namespace kindle::bench;
+
+    const std::uint64_t ops = prep::opsFromEnv(1000000);
+    printHeader("Table V", "Pages migrated (KINDLE_OPS=" +
+                               std::to_string(ops) + ")");
+
+    TablePrinter table({"Benchmark", "Th-5", "Th-25", "Th-50",
+                        "Th-5/Th-25", "Th-5/Th-50"});
+    for (const auto bench :
+         {prep::Benchmark::gapbsPr, prep::Benchmark::g500Sssp,
+          prep::Benchmark::ycsbMem}) {
+        std::uint64_t migrated[3] = {};
+        const unsigned ths[3] = {5, 25, 50};
+        for (int i = 0; i < 3; ++i) {
+            migrated[i] =
+                runHsccWorkload(bench, ops, ths[i], true)
+                    .pagesMigrated;
+        }
+        auto reduction = [&](int i) {
+            return migrated[i] == 0
+                       ? std::string("inf")
+                       : ratio(static_cast<double>(migrated[0]) /
+                               static_cast<double>(migrated[i]));
+        };
+        table.addRow({prep::benchmarkName(bench),
+                      std::to_string(migrated[0]),
+                      std::to_string(migrated[1]),
+                      std::to_string(migrated[2]), reduction(1),
+                      reduction(2)});
+    }
+    table.print();
+    std::printf("\nPaper shape: steep reduction with threshold "
+                "(Ycsb_mem: ~13x at Th-25, ~101x at Th-50).\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Table VI: percentage of OS migration time spent in page
+ * selection (destination DRAM page, incl. dirty copy-back) vs page
+ * copy (flush + NVM→DRAM transfer).
+ *
+ * Paper shape: page copy dominates (62.65%–98.63%); selection grows
+ * when migrations outrun the free/clean supply of the 512-page pool
+ * (G500_sssp and Ycsb_mem at low thresholds).
+ */
+
+#include "bench_util.hh"
+#include "hscc_common.hh"
+
+int
+main()
+{
+    using namespace kindle;
+    using namespace kindle::bench;
+
+    const std::uint64_t ops = prep::opsFromEnv(1000000);
+    printHeader("Table VI",
+                "OS migration time split (KINDLE_OPS=" +
+                    std::to_string(ops) + ")");
+
+    TablePrinter table({"Benchmark", "Fetch Threshold",
+                        "Page Selection (%)", "Page Copy (%)",
+                        "Pages"});
+    for (const auto bench :
+         {prep::Benchmark::gapbsPr, prep::Benchmark::g500Sssp,
+          prep::Benchmark::ycsbMem}) {
+        for (const unsigned th : {5u, 25u, 50u}) {
+            const auto run = runHsccWorkload(bench, ops, th, true);
+            const double total = static_cast<double>(
+                run.selectionTicks + run.copyTicks);
+            const double sel =
+                total > 0 ? 100.0 * run.selectionTicks / total : 0;
+            const double copy =
+                total > 0 ? 100.0 * run.copyTicks / total : 0;
+            table.addRow({prep::benchmarkName(bench),
+                          "Th-" + std::to_string(th), fixed(sel, 2),
+                          fixed(copy, 2),
+                          std::to_string(run.pagesMigrated)});
+        }
+    }
+    table.print();
+    std::printf("\nPaper shape: page copy dominates everywhere "
+                "(62.65%%-98.63%%); selection spikes when the pool "
+                "runs out of free/clean pages.\n");
+    return 0;
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Build the framework and run the complete test suite (paper appendix
+# D workflow).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Artifact-style driver (paper appendix E): builds the framework and
+# regenerates every table and figure into outputs/.
+#
+#   KINDLE_SCALE=1 KINDLE_OPS=10000000 scripts/run_experiments.sh
+#
+# runs at paper scale; the defaults finish in a few minutes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p outputs
+
+run() {
+    local name=$1
+    echo "== ${name} =="
+    "./build/bench/${name}" | tee "outputs/${name}.txt"
+}
+
+# Paper artifacts.
+run table2_benchmarks
+run fig4a_seq_alloc
+run fig4b_stride
+run table3_vma_churn
+run table4_ckpt_interval
+run fig5_ssp_interval
+run fig6_hscc_migration
+run table5_pages_migrated
+run table6_selection_copy
+
+# Ablations and substrate micros.
+run ablation_pt_placement
+run ablation_ssp_consolidation
+run ablation_nvm_tech
+run ablation_multiprocess
+run ablation_incremental_ckpt
+run ablation_hscc_dynamic
+./build/bench/micro_mem | tee outputs/micro_mem.txt
+./build/bench/micro_cache | tee outputs/micro_cache.txt
+
+echo "All outputs in ./outputs/"

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Half-open physical/virtual address ranges.
+ */
+
+#ifndef KINDLE_BASE_ADDR_RANGE_HH
+#define KINDLE_BASE_ADDR_RANGE_HH
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace kindle
+{
+
+/**
+ * A half-open address interval [start, end).  Used for BIOS e820
+ * entries, memory-controller routing, VMAs and MSR-communicated NVM
+ * ranges.
+ */
+class AddrRange
+{
+  public:
+    /** An empty range. */
+    AddrRange() : _start(0), _end(0) {}
+
+    /** Construct [start, end); end must not precede start. */
+    AddrRange(Addr start, Addr end) : _start(start), _end(end)
+    {
+        kindle_assert(end >= start,
+                      "invalid range [{}, {})", start, end);
+    }
+
+    /** Build a range from a base address and a size in bytes. */
+    static AddrRange
+    withSize(Addr start, std::uint64_t size)
+    {
+        return AddrRange(start, start + size);
+    }
+
+    Addr start() const { return _start; }
+    Addr end() const { return _end; }
+    std::uint64_t size() const { return _end - _start; }
+    bool empty() const { return _start == _end; }
+
+    /** True iff @p a lies inside the range. */
+    bool
+    contains(Addr a) const
+    {
+        return a >= _start && a < _end;
+    }
+
+    /** True iff @p other is fully contained in this range. */
+    bool
+    containsRange(const AddrRange &other) const
+    {
+        return other._start >= _start && other._end <= _end;
+    }
+
+    /** True iff the two ranges share at least one address. */
+    bool
+    intersects(const AddrRange &other) const
+    {
+        return _start < other._end && other._start < _end;
+    }
+
+    /** Offset of @p a from the start of the range. */
+    std::uint64_t
+    offsetOf(Addr a) const
+    {
+        kindle_assert(contains(a), "address {} outside range", a);
+        return a - _start;
+    }
+
+    bool
+    operator==(const AddrRange &o) const
+    {
+        return _start == o._start && _end == o._end;
+    }
+    bool operator!=(const AddrRange &o) const { return !(*this == o); }
+
+    /** Order by start address (for sorted VMA containers). */
+    bool operator<(const AddrRange &o) const { return _start < o._start; }
+
+  private:
+    Addr _start;
+    Addr _end;
+};
+
+} // namespace kindle
+
+#endif // KINDLE_BASE_ADDR_RANGE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Integer math helpers used by the memory system and allocators.
+ */
+
+#ifndef KINDLE_BASE_INTMATH_HH
+#define KINDLE_BASE_INTMATH_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace kindle
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return floorLog2(v) + (isPowerOf2(v) ? 0 : 1);
+}
+
+/** ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p v down to a multiple of @p align (align must be pow2). */
+constexpr std::uint64_t
+roundDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (align must be pow2). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** True iff @p v is aligned to @p align (align must be pow2). */
+constexpr bool
+isAligned(std::uint64_t v, std::uint64_t align)
+{
+    return (v & (align - 1)) == 0;
+}
+
+static_assert(isPowerOf2(4096));
+static_assert(floorLog2(4096) == 12);
+static_assert(ceilLog2(4097) == 13);
+static_assert(divCeil(10, 4) == 3);
+static_assert(roundUp(4097, 4096) == 8192);
+static_assert(roundDown(4097, 4096) == 4096);
+
+} // namespace kindle
+
+#endif // KINDLE_BASE_INTMATH_HH

@@ -1,0 +1,63 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kindle
+{
+
+namespace
+{
+
+bool throwErrors = false;
+
+} // namespace
+
+void
+setErrorsThrow(bool throw_instead)
+{
+    throwErrors = throw_instead;
+}
+
+bool
+errorsThrow()
+{
+    return throwErrors;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    if (throwErrors)
+        throw SimError(SimError::Kind::panic, msg);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    if (throwErrors)
+        throw SimError(SimError::Kind::fatal, msg);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace kindle

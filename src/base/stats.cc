@@ -1,0 +1,97 @@
+#include "base/stats.hh"
+
+namespace kindle::statistics
+{
+
+Scalar &
+StatGroup::addScalar(const std::string &stat_name, const std::string &desc)
+{
+    auto [it, inserted] = scalars.try_emplace(stat_name);
+    kindle_assert(inserted, "duplicate scalar stat {}.{}", _name,
+                  stat_name);
+    it->second.desc = desc;
+    return it->second.stat;
+}
+
+Distribution &
+StatGroup::addDistribution(const std::string &stat_name,
+                           const std::string &desc)
+{
+    auto [it, inserted] = dists.try_emplace(stat_name);
+    kindle_assert(inserted, "duplicate distribution stat {}.{}", _name,
+                  stat_name);
+    it->second.desc = desc;
+    return it->second.stat;
+}
+
+void
+StatGroup::addChild(StatGroup &child)
+{
+    children.push_back(&child);
+}
+
+double
+StatGroup::scalarValue(const std::string &stat_name) const
+{
+    // Dotted names descend into child groups: "child.stat".
+    const auto dot = stat_name.find('.');
+    if (dot != std::string::npos) {
+        const std::string head = stat_name.substr(0, dot);
+        for (const auto *c : children) {
+            if (c->_name == head)
+                return c->scalarValue(stat_name.substr(dot + 1));
+        }
+        kindle_fatal("no child stat group named {}.{}", _name, head);
+    }
+    const auto it = scalars.find(stat_name);
+    if (it == scalars.end())
+        kindle_fatal("no scalar stat named {}.{}", _name, stat_name);
+    return it->second.stat.value();
+}
+
+const Distribution &
+StatGroup::distribution(const std::string &stat_name) const
+{
+    const auto it = dists.find(stat_name);
+    if (it == dists.end())
+        kindle_fatal("no distribution stat named {}.{}", _name, stat_name);
+    return it->second.stat;
+}
+
+bool
+StatGroup::hasScalar(const std::string &stat_name) const
+{
+    return scalars.count(stat_name) != 0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[k, e] : scalars)
+        e.stat.reset();
+    for (auto &[k, e] : dists)
+        e.stat.reset();
+    for (auto *c : children)
+        c->resetAll();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full =
+        prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &[k, e] : scalars) {
+        os << full << '.' << k << ' ' << e.stat.value() << " # "
+           << e.desc << '\n';
+    }
+    for (const auto &[k, e] : dists) {
+        os << full << '.' << k << "::mean " << e.stat.mean() << " # "
+           << e.desc << '\n';
+        os << full << '.' << k << "::count " << e.stat.count() << " # "
+           << e.desc << '\n';
+    }
+    for (const auto *c : children)
+        c->dump(os, full);
+}
+
+} // namespace kindle::statistics

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats.
+ *
+ * Components own Scalar / Formula / Distribution stats and register
+ * them with a StatGroup.  Benches and tests read values by name; the
+ * whole tree can be dumped as text.  Stats are plain doubles/counters —
+ * no atomic machinery since the simulator is single threaded.
+ */
+
+#ifndef KINDLE_BASE_STATS_HH
+#define KINDLE_BASE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace kindle::statistics
+{
+
+/** A named monotonically updatable counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/** Min/max/mean/count tracker for per-event samples. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (_count == 0 || v < _min)
+            _min = v;
+        if (_count == 0 || v > _max)
+            _max = v;
+        _sum += v;
+        ++_count;
+    }
+
+    std::uint64_t count() const { return _count; }
+    double min() const { return _count ? _min : 0; }
+    double max() const { return _count ? _max : 0; }
+    double sum() const { return _sum; }
+    double
+    mean() const
+    {
+        return _count ? _sum / static_cast<double>(_count) : 0;
+    }
+
+    void
+    reset()
+    {
+        _count = 0;
+        _sum = _min = _max = 0;
+    }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0;
+    double _min = 0;
+    double _max = 0;
+};
+
+/**
+ * A group of named stats belonging to one component.  Groups nest via
+ * dotted names when registered with a parent.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a scalar under @p stat_name with a description. */
+    Scalar &addScalar(const std::string &stat_name,
+                      const std::string &desc);
+
+    /** Register a distribution under @p stat_name. */
+    Distribution &addDistribution(const std::string &stat_name,
+                                  const std::string &desc);
+
+    /** Attach a child group (not owned). */
+    void addChild(StatGroup &child);
+
+    /** Look up a scalar's current value; fatal if missing. */
+    double scalarValue(const std::string &stat_name) const;
+
+    /** Look up a distribution; fatal if missing. */
+    const Distribution &
+    distribution(const std::string &stat_name) const;
+
+    /** True if a scalar with this name exists. */
+    bool hasScalar(const std::string &stat_name) const;
+
+    /** Reset every stat in this group and all children. */
+    void resetAll();
+
+    /** Dump "name value # desc" lines, recursively. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    const std::string &name() const { return _name; }
+
+  private:
+    struct ScalarEntry
+    {
+        Scalar stat;
+        std::string desc;
+    };
+    struct DistEntry
+    {
+        Distribution stat;
+        std::string desc;
+    };
+
+    std::string _name;
+    std::map<std::string, ScalarEntry> scalars;
+    std::map<std::string, DistEntry> dists;
+    std::vector<StatGroup *> children;
+};
+
+} // namespace kindle::statistics
+
+#endif // KINDLE_BASE_STATS_HH

@@ -1,0 +1,85 @@
+#include "base/trace_flags.hh"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace kindle::trace
+{
+
+namespace
+{
+
+constexpr unsigned numFlags = static_cast<unsigned>(Flag::numFlags);
+
+std::array<bool, numFlags> flagState{};
+
+constexpr std::array<const char *, numFlags> flagNames = {
+    "event", "mem", "cache", "tlb", "pwalk", "vma",
+    "syscall", "checkpoint", "recovery", "ssp", "hscc", "replay",
+};
+
+} // namespace
+
+void
+enable(Flag f)
+{
+    flagState[static_cast<unsigned>(f)] = true;
+}
+
+void
+disable(Flag f)
+{
+    flagState[static_cast<unsigned>(f)] = false;
+}
+
+void
+clearAll()
+{
+    flagState.fill(false);
+}
+
+void
+enableByNames(std::string_view names)
+{
+    for (const auto &name : split(names, ',')) {
+        const std::string wanted = trim(name);
+        if (wanted.empty())
+            continue;
+        bool found = false;
+        for (unsigned i = 0; i < numFlags; ++i) {
+            if (wanted == flagNames[i]) {
+                flagState[i] = true;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            warn("unknown debug flag '{}'", wanted);
+    }
+}
+
+void
+initFromEnv()
+{
+    if (const char *env = std::getenv("KINDLE_DEBUG"))
+        enableByNames(env);
+}
+
+bool
+enabled(Flag f)
+{
+    return flagState[static_cast<unsigned>(f)];
+}
+
+void
+emit(Flag f, Tick when, const std::string &msg)
+{
+    std::fprintf(stderr, "%12llu: [%s] %s\n",
+                 static_cast<unsigned long long>(when),
+                 flagNames[static_cast<unsigned>(f)], msg.c_str());
+}
+
+} // namespace kindle::trace

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lightweight debug tracing, modelled on gem5's DPRINTF flags.
+ *
+ * Flags are enabled by name at runtime (e.g. from the KINDLE_DEBUG
+ * environment variable, comma separated).  Tracing is off by default
+ * and costs one branch per site when disabled.
+ */
+
+#ifndef KINDLE_BASE_TRACE_FLAGS_HH
+#define KINDLE_BASE_TRACE_FLAGS_HH
+
+#include <string>
+#include <string_view>
+
+#include "base/str.hh"
+#include "base/types.hh"
+
+namespace kindle::trace
+{
+
+/** Debug categories; one bit each. */
+enum class Flag : unsigned
+{
+    event = 0,
+    mem,
+    cache,
+    tlb,
+    pwalk,
+    vma,
+    syscall,
+    checkpoint,
+    recovery,
+    ssp,
+    hscc,
+    replay,
+    numFlags
+};
+
+/** Enable a single flag. */
+void enable(Flag f);
+
+/** Disable a single flag. */
+void disable(Flag f);
+
+/** Disable everything. */
+void clearAll();
+
+/** Parse a comma separated flag-name list ("tlb,checkpoint"). */
+void enableByNames(std::string_view names);
+
+/** Initialize from the KINDLE_DEBUG environment variable. */
+void initFromEnv();
+
+/** Is this flag on? */
+bool enabled(Flag f);
+
+/** Emit one trace line (already formatted). */
+void emit(Flag f, Tick when, const std::string &msg);
+
+/** Formatting front end; evaluates arguments only when enabled. */
+template <typename... Args>
+void
+dprintf(Flag f, Tick when, std::string_view fmt, Args &&...args)
+{
+    if (enabled(f))
+        emit(f, when, csprintf(fmt, std::forward<Args>(args)...));
+}
+
+} // namespace kindle::trace
+
+#endif // KINDLE_BASE_TRACE_FLAGS_HH

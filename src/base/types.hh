@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fundamental scalar types used across the Kindle simulator.
+ *
+ * Kindle follows the gem5 convention of a single global time unit, the
+ * Tick.  One tick equals one picosecond, which lets us express a 3 GHz
+ * CPU clock (333 ps period) and DDR4/PCM device timings without
+ * fractional arithmetic.
+ */
+
+#ifndef KINDLE_BASE_TYPES_HH
+#define KINDLE_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace kindle
+{
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A simulated physical or virtual address. */
+using Addr = std::uint64_t;
+
+/** A count of CPU cycles (converted to Ticks via a clock period). */
+using Cycles = std::uint64_t;
+
+/** Process identifier inside the simulated OS. */
+using Pid = std::uint32_t;
+
+/** The largest representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** An invalid / null address marker. */
+constexpr Addr invalidAddr = ~Addr(0);
+
+/** @name Time literals (ticks are picoseconds). */
+/// @{
+constexpr Tick onePs = 1;
+constexpr Tick oneNs = 1000 * onePs;
+constexpr Tick oneUs = 1000 * oneNs;
+constexpr Tick oneMs = 1000 * oneUs;
+constexpr Tick oneSec = 1000 * oneMs;
+/// @}
+
+/** @name Size literals. */
+/// @{
+constexpr std::uint64_t oneKiB = 1024;
+constexpr std::uint64_t oneMiB = 1024 * oneKiB;
+constexpr std::uint64_t oneGiB = 1024 * oneMiB;
+/// @}
+
+/** Base page size used by the simulated x86-64 MMU. */
+constexpr std::uint64_t pageSize = 4096;
+constexpr unsigned pageShift = 12;
+
+/** Cache line size used throughout the memory hierarchy. */
+constexpr std::uint64_t lineSize = 64;
+constexpr unsigned lineShift = 6;
+
+/** Cache lines per base page. */
+constexpr unsigned linesPerPage = pageSize / lineSize;
+
+/** Convert ticks to floating-point milliseconds (for reporting only). */
+inline double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneMs);
+}
+
+/** Convert ticks to floating-point microseconds (for reporting only). */
+inline double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneUs);
+}
+
+/** Convert ticks to floating-point nanoseconds (for reporting only). */
+inline double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneNs);
+}
+
+} // namespace kindle
+
+#endif // KINDLE_BASE_TYPES_HH

@@ -1,0 +1,207 @@
+#include "cache/cache.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace kindle::cache
+{
+
+Cache::Cache(const CacheParams &params, MemSink &downstream)
+    : _params(params),
+      below(downstream),
+      numSets(params.sizeBytes / (lineSize * params.associativity)),
+      lines(numSets * params.associativity),
+      statGroup(params.name),
+      hits(statGroup.addScalar("hits", "demand hits")),
+      misses(statGroup.addScalar("misses", "demand misses")),
+      evictions(statGroup.addScalar("evictions", "lines evicted")),
+      writebacks(statGroup.addScalar("writebacks",
+                                     "dirty lines pushed down")),
+      flushes(statGroup.addScalar("flushes", "clwb/invalidate flushes"))
+{
+    kindle_assert(params.associativity > 0, "cache needs ways");
+    kindle_assert(numSets > 0 && isPowerOf2(numSets),
+                  "{}: set count must be a power of two", params.name);
+}
+
+std::uint64_t
+Cache::setIndex(Addr line_addr) const
+{
+    return (line_addr >> lineShift) & (numSets - 1);
+}
+
+std::uint64_t
+Cache::tagOf(Addr line_addr) const
+{
+    return line_addr >> (lineShift + floorLog2(numSets));
+}
+
+Addr
+Cache::rebuildAddr(std::uint64_t tag, std::uint64_t set) const
+{
+    return (tag << (lineShift + floorLog2(numSets))) |
+           (set << lineShift);
+}
+
+Cache::Line *
+Cache::lookup(Addr line_addr)
+{
+    const std::uint64_t set = setIndex(line_addr);
+    const std::uint64_t tag = tagOf(line_addr);
+    Line *base = &lines[set * _params.associativity];
+    for (unsigned w = 0; w < _params.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::lookup(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->lookup(line_addr);
+}
+
+Cache::Line &
+Cache::victimIn(std::uint64_t set)
+{
+    Line *base = &lines[set * _params.associativity];
+    Line *victim = base;
+    for (unsigned w = 0; w < _params.associativity; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+Tick
+Cache::request(mem::MemCmd cmd, Addr line_addr, Tick now)
+{
+    kindle_assert(isAligned(line_addr, lineSize),
+                  "{}: unaligned line request", _params.name);
+    const bool is_write = mem::isWriteCmd(cmd);
+
+    if (Line *line = lookup(line_addr)) {
+        ++hits;
+        line->lru = ++useStamp;
+        if (is_write)
+            line->dirty = true;
+        return _params.hitLatency;
+    }
+
+    ++misses;
+    Tick latency = _params.lookupLatency;
+
+    // Write-allocate: fetch the line from below on read and write
+    // misses.  An incoming writeback carries a full line, so it
+    // allocates without a fetch.
+    if (cmd != mem::MemCmd::writeback) {
+        latency += below.request(mem::MemCmd::read, line_addr,
+                                 now + latency);
+    }
+
+    const std::uint64_t set = setIndex(line_addr);
+    Line &victim = victimIn(set);
+    if (victim.valid) {
+        ++evictions;
+        if (victim.dirty) {
+            ++writebacks;
+            const Addr victim_addr = rebuildAddr(victim.tag, set);
+            latency += below.request(mem::MemCmd::writeback,
+                                     victim_addr, now + latency);
+        }
+    }
+
+    victim.valid = true;
+    victim.tag = tagOf(line_addr);
+    victim.dirty = is_write;
+    victim.lru = ++useStamp;
+
+    return latency + _params.hitLatency;
+}
+
+Tick
+Cache::flushLine(Addr line_addr, Tick now, bool &was_dirty)
+{
+    Tick latency = _params.lookupLatency;
+    Line *line = lookup(line_addr);
+    if (line && line->dirty) {
+        was_dirty = true;
+        ++flushes;
+        ++writebacks;
+        line->dirty = false;
+        latency += below.request(mem::MemCmd::writeback, line_addr,
+                                 now + latency);
+    }
+    return latency;
+}
+
+Tick
+Cache::invalidateLine(Addr line_addr, Tick now)
+{
+    Tick latency = _params.lookupLatency;
+    if (Line *line = lookup(line_addr)) {
+        if (line->dirty) {
+            ++writebacks;
+            latency += below.request(mem::MemCmd::writeback, line_addr,
+                                     now + latency);
+        }
+        line->valid = false;
+        line->dirty = false;
+    }
+    return latency;
+}
+
+Tick
+Cache::flushAll(Tick now)
+{
+    Tick latency = 0;
+    for (std::uint64_t set = 0; set < numSets; ++set) {
+        Line *base = &lines[set * _params.associativity];
+        for (unsigned w = 0; w < _params.associativity; ++w) {
+            Line &line = base[w];
+            if (line.valid && line.dirty) {
+                ++writebacks;
+                latency += below.request(mem::MemCmd::writeback,
+                                         rebuildAddr(line.tag, set),
+                                         now + latency);
+            }
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+    return latency;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &line : lines) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    return lookup(line_addr) != nullptr;
+}
+
+bool
+Cache::isDirty(Addr line_addr) const
+{
+    const Line *line = lookup(line_addr);
+    return line != nullptr && line->dirty;
+}
+
+double
+Cache::hitRate() const
+{
+    const double total = hits.value() + misses.value();
+    return total > 0 ? hits.value() / total : 0.0;
+}
+
+} // namespace kindle::cache

@@ -1,0 +1,146 @@
+#include "cache/hierarchy.hh"
+
+#include <algorithm>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace kindle::cache
+{
+
+Hierarchy::Hierarchy(const HierarchyParams &params,
+                     mem::HybridMemory &memory_arg)
+    : memory(memory_arg),
+      adapter(memory_arg),
+      llcCache(std::make_unique<Cache>(params.llc, adapter)),
+      l2Cache(std::make_unique<Cache>(params.l2, *llcCache)),
+      l1Cache(std::make_unique<Cache>(params.l1, *l2Cache)),
+      statGroup("cacheHierarchy"),
+      accesses(statGroup.addScalar("accesses", "demand accesses")),
+      llcMisses(statGroup.addScalar("llcMisses",
+                                    "accesses missing in the LLC")),
+      clwbs(statGroup.addScalar("clwbs", "clwb line flushes")),
+      fences(statGroup.addScalar("fences", "store fences"))
+{
+    statGroup.addChild(l1Cache->stats());
+    statGroup.addChild(l2Cache->stats());
+    statGroup.addChild(llcCache->stats());
+}
+
+AccessResult
+Hierarchy::access(mem::MemCmd cmd, Addr paddr, std::uint64_t size,
+                  Tick now)
+{
+    kindle_assert(size > 0, "zero-size access");
+    ++accesses;
+
+    AccessResult result;
+    const double llc_misses_before = llcCache->stats()
+                                         .scalarValue("misses");
+
+    Addr line = roundDown(paddr, lineSize);
+    const Addr last = roundDown(paddr + size - 1, lineSize);
+    while (true) {
+        result.latency += l1Cache->request(cmd, line,
+                                           now + result.latency);
+        if (line == last)
+            break;
+        line += lineSize;
+    }
+
+    if (llcCache->stats().scalarValue("misses") > llc_misses_before) {
+        result.llcMiss = true;
+        ++llcMisses;
+    }
+    return result;
+}
+
+Tick
+Hierarchy::clwb(Addr line_addr, Tick now)
+{
+    ++clwbs;
+    line_addr = roundDown(line_addr, lineSize);
+    // Push the newest copy down one level at a time: L1 → L2 → LLC →
+    // memory.  Each flushLine writes back into the level below it, so
+    // chaining the three levels lands the freshest data in the device.
+    bool dirty = false;
+    Tick latency = l1Cache->flushLine(line_addr, now, dirty);
+    latency += l2Cache->flushLine(line_addr, now + latency, dirty);
+    latency += llcCache->flushLine(line_addr, now + latency, dirty);
+    if (!dirty) {
+        // Clean everywhere (or absent): still charge the pipeline cost
+        // of the instruction, but confirm durability of the line if it
+        // maps to NVM — a clean cached copy means the device already
+        // has the data.
+        memory.commitNvmLine(line_addr);
+    }
+    return latency;
+}
+
+Tick
+Hierarchy::clflush(Addr line_addr, Tick now)
+{
+    line_addr = roundDown(line_addr, lineSize);
+    Tick latency = clwb(line_addr, now);
+    // Invalidate clean copies (no further writebacks possible since
+    // clwb left everything clean).
+    latency += l1Cache->invalidateLine(line_addr, now + latency);
+    latency += l2Cache->invalidateLine(line_addr, now + latency);
+    latency += llcCache->invalidateLine(line_addr, now + latency);
+    return latency;
+}
+
+Tick
+Hierarchy::clwbPage(Addr page_addr, Tick now)
+{
+    page_addr = roundDown(page_addr, pageSize);
+    Tick latency = 0;
+    for (unsigned i = 0; i < linesPerPage; ++i)
+        latency += clwb(page_addr + i * lineSize, now + latency);
+    return latency;
+}
+
+Tick
+Hierarchy::clflushPage(Addr page_addr, Tick now)
+{
+    page_addr = roundDown(page_addr, pageSize);
+    Tick latency = 0;
+    for (unsigned i = 0; i < linesPerPage; ++i)
+        latency += clflush(page_addr + i * lineSize, now + latency);
+    return latency;
+}
+
+Tick
+Hierarchy::sfence(Tick now)
+{
+    ++fences;
+    // A fence ordering durable stores must wait until every posted
+    // write accepted by the controllers has actually reached the
+    // device — that drain, not the store-buffer flush, is what makes
+    // fences after NVM writes expensive.
+    constexpr Tick storeBufferDrain = 30 * oneNs;
+    const Tick drained =
+        std::max(memory.dramCtrl().writesDrainedAt(),
+                 memory.nvmCtrl().writesDrainedAt());
+    const Tick done = std::max(now + storeBufferDrain, drained);
+    return done - now;
+}
+
+Tick
+Hierarchy::flushAll(Tick now)
+{
+    Tick latency = l1Cache->flushAll(now);
+    latency += l2Cache->flushAll(now + latency);
+    latency += llcCache->flushAll(now + latency);
+    return latency;
+}
+
+void
+Hierarchy::invalidateAll()
+{
+    l1Cache->invalidateAll();
+    l2Cache->invalidateAll();
+    llcCache->invalidateAll();
+}
+
+} // namespace kindle::cache

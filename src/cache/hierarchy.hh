@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The three-level cache hierarchy (32 KiB L1 / 512 KiB L2 / 2 MiB LLC,
+ * matching the paper's gem5 configuration) in front of the hybrid
+ * memory system.
+ */
+
+#ifndef KINDLE_CACHE_HIERARCHY_HH
+#define KINDLE_CACHE_HIERARCHY_HH
+
+#include <memory>
+
+#include "base/stats.hh"
+#include "cache/cache.hh"
+#include "mem/hybrid_memory.hh"
+
+namespace kindle::cache
+{
+
+/** Result of a demand access through the hierarchy. */
+struct AccessResult
+{
+    Tick latency = 0;    ///< requester-visible latency
+    bool llcMiss = false; ///< at least one line missed in the LLC
+};
+
+/** Hierarchy geometry; defaults follow the paper (§III). */
+struct HierarchyParams
+{
+    CacheParams l1{"l1", 32 * oneKiB, 8, oneNs, oneNs};
+    CacheParams l2{"l2", 512 * oneKiB, 8, 4 * oneNs, 2 * oneNs};
+    CacheParams llc{"llc", 2 * oneMiB, 16, 10 * oneNs, 4 * oneNs};
+};
+
+/**
+ * L1 → L2 → LLC → memory, with clwb/flush/invalidate operations that
+ * propagate the newest copy of a line down to the device (which is
+ * what makes data durable when the line lives in NVM).
+ */
+class Hierarchy
+{
+  public:
+    Hierarchy(const HierarchyParams &params, mem::HybridMemory &memory);
+
+    /** Demand access of @p size bytes at physical @p paddr. */
+    AccessResult access(mem::MemCmd cmd, Addr paddr, std::uint64_t size,
+                        Tick now);
+
+    /**
+     * clwb: write the newest copy of the line back to memory, leaving
+     * cached copies resident but clean.  Returns latency.
+     */
+    Tick clwb(Addr line_addr, Tick now);
+
+    /** Flush + invalidate one line everywhere (clflush). */
+    Tick clflush(Addr line_addr, Tick now);
+
+    /** clwb over a whole 4 KiB page. */
+    Tick clwbPage(Addr page_addr, Tick now);
+
+    /** clflush over a whole 4 KiB page. */
+    Tick clflushPage(Addr page_addr, Tick now);
+
+    /**
+     * Store fence cost: orders prior flushes; constant small latency
+     * (drain of the store buffer).
+     */
+    Tick sfence(Tick now);
+
+    /** Write back everything, then invalidate (orderly shutdown). */
+    Tick flushAll(Tick now);
+
+    /** Power loss: every cached line vanishes un-written-back. */
+    void invalidateAll();
+
+    Cache &l1() { return *l1Cache; }
+    Cache &l2() { return *l2Cache; }
+    Cache &llc() { return *llcCache; }
+    const Cache &llc() const { return *llcCache; }
+
+    statistics::StatGroup &stats() { return statGroup; }
+
+  private:
+    /** Adapts HybridMemory to the MemSink interface. */
+    class MemAdapter : public MemSink
+    {
+      public:
+        explicit MemAdapter(mem::HybridMemory &m) : memory(m) {}
+
+        Tick
+        request(mem::MemCmd cmd, Addr line_addr, Tick now) override
+        {
+            return memory.submit({cmd, line_addr, lineSize}, now);
+        }
+
+      private:
+        mem::HybridMemory &memory;
+    };
+
+    mem::HybridMemory &memory;
+    MemAdapter adapter;
+    std::unique_ptr<Cache> llcCache;
+    std::unique_ptr<Cache> l2Cache;
+    std::unique_ptr<Cache> l1Cache;
+
+    statistics::StatGroup statGroup;
+    statistics::Scalar &accesses;
+    statistics::Scalar &llcMisses;
+    statistics::Scalar &clwbs;
+    statistics::Scalar &fences;
+};
+
+} // namespace kindle::cache
+
+#endif // KINDLE_CACHE_HIERARCHY_HH

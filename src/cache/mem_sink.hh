@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Downstream interface of a cache level.
+ */
+
+#ifndef KINDLE_CACHE_MEM_SINK_HH
+#define KINDLE_CACHE_MEM_SINK_HH
+
+#include "base/types.hh"
+#include "mem/packet.hh"
+
+namespace kindle::cache
+{
+
+/**
+ * Anything a cache can forward line requests to: the next cache level
+ * or the memory system itself.
+ */
+class MemSink
+{
+  public:
+    virtual ~MemSink() = default;
+
+    /**
+     * Service a line-granular request starting at @p now.
+     * @return the requester-visible latency in ticks.
+     */
+    virtual Tick request(mem::MemCmd cmd, Addr line_addr, Tick now) = 0;
+};
+
+} // namespace kindle::cache
+
+#endif // KINDLE_CACHE_MEM_SINK_HH

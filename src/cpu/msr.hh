@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Model-specific registers.
+ *
+ * The SSP prototype uses MSRs to tell the translation hardware which
+ * virtual address range holds NVM allocations and where the SSP cache
+ * metadata region lives, exactly as described in §III-B of the paper.
+ */
+
+#ifndef KINDLE_CPU_MSR_HH
+#define KINDLE_CPU_MSR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/types.hh"
+
+namespace kindle::cpu
+{
+
+/** Well-known Kindle MSR numbers (vendor-specific range). */
+enum class MsrId : std::uint32_t
+{
+    sspNvmRangeStart = 0xc0000100,
+    sspNvmRangeEnd = 0xc0000101,
+    sspCacheBase = 0xc0000102,
+    sspEnable = 0xc0000103,
+    hsccEnable = 0xc0000110,
+};
+
+/** A small MSR file; unwritten MSRs read as zero. */
+class MsrFile
+{
+  public:
+    std::uint64_t
+    read(MsrId id) const
+    {
+        const auto it = regs.find(static_cast<std::uint32_t>(id));
+        return it == regs.end() ? 0 : it->second;
+    }
+
+    void
+    write(MsrId id, std::uint64_t value)
+    {
+        regs[static_cast<std::uint32_t>(id)] = value;
+    }
+
+    /** Volatile: cleared by crash/reboot. */
+    void reset() { regs.clear(); }
+
+  private:
+    std::unordered_map<std::uint32_t, std::uint64_t> regs;
+};
+
+} // namespace kindle::cpu
+
+#endif // KINDLE_CPU_MSR_HH

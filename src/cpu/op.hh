@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The operation vocabulary executed by simulated programs.
+ *
+ * A user program — a hand-written micro-benchmark or the replay of a
+ * captured trace — is a stream of Ops.  Memory ops run on the core;
+ * syscall-class ops are interpreted by the gemOS kernel.
+ */
+
+#ifndef KINDLE_CPU_OP_HH
+#define KINDLE_CPU_OP_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace kindle::cpu
+{
+
+/** One program operation. */
+struct Op
+{
+    enum class Kind : std::uint8_t
+    {
+        read,      ///< load @p size bytes at @p addr
+        write,     ///< store @p size bytes at @p addr
+        compute,   ///< @p size CPU cycles of non-memory work
+        mmap,      ///< allocate @p size bytes; addr=hint, flags used
+        munmap,    ///< unmap [addr, addr+size)
+        mremap,    ///< grow/shrink mapping at addr to @p size
+        mprotect,  ///< change protection of [addr, addr+size)
+        faseStart, ///< checkpoint_start: open a failure-atomic section
+        faseEnd,   ///< checkpoint_end: close it
+        exit,      ///< process termination
+    };
+
+    Kind kind = Kind::compute;
+    Addr addr = 0;
+    std::uint64_t size = 0;
+    std::uint32_t flags = 0;
+};
+
+/** mmap() flag bits understood by the Kindle gemOS. */
+enum MmapFlags : std::uint32_t
+{
+    mapNvm = 1u << 0,    ///< MAP_NVM: allocate backing frames in NVM
+    mapFixed = 1u << 1,  ///< addr is a hard placement request
+};
+
+/** mprotect() protection bits. */
+enum ProtFlags : std::uint32_t
+{
+    protRead = 1u << 0,
+    protWrite = 1u << 1,
+};
+
+/**
+ * A pull-based producer of Ops.  Programs implement next(); the kernel
+ * drains the stream onto the core.
+ */
+class OpStream
+{
+  public:
+    virtual ~OpStream() = default;
+
+    /**
+     * Produce the next operation.
+     * @return false when the program has no further operations (the
+     *         process implicitly exits).
+     */
+    virtual bool next(Op &op) = 0;
+
+    /**
+     * Result of the most recent syscall-class op (e.g. the address
+     * returned by mmap), delivered before the next next() call.
+     */
+    virtual void onSyscallResult(std::uint64_t value) { (void)value; }
+};
+
+} // namespace kindle::cpu
+
+#endif // KINDLE_CPU_OP_HH

@@ -1,0 +1,199 @@
+#include "cpu/tlb.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace kindle::cpu
+{
+
+namespace
+{
+
+/** L2 associativity; sets are derived from the entry count. */
+constexpr unsigned l2Ways = 12;
+
+} // namespace
+
+Tlb::Tlb(const TlbParams &params)
+    : _params(params),
+      l1(params.l1Entries),
+      l2(params.l2Entries),
+      statGroup("tlb"),
+      l1Hits(statGroup.addScalar("l1Hits", "L1 TLB hits")),
+      l2Hits(statGroup.addScalar("l2Hits", "L2 TLB hits")),
+      missCount(statGroup.addScalar("misses", "full TLB misses")),
+      evictCount(statGroup.addScalar("evictions",
+                                     "valid entries evicted"))
+{
+    kindle_assert(params.l1Entries > 0, "L1 TLB needs entries");
+    kindle_assert(params.l2Entries % l2Ways == 0,
+                  "L2 TLB entry count must be a multiple of {}", l2Ways);
+    kindle_assert(isPowerOf2(params.l2Entries / l2Ways),
+                  "L2 TLB set count must be a power of two");
+}
+
+TlbEntry *
+Tlb::find(std::vector<TlbEntry> &arr, Pid pid, std::uint64_t vpn)
+{
+    for (auto &e : arr) {
+        if (e.valid && e.pid == pid && e.vpn == vpn)
+            return &e;
+    }
+    return nullptr;
+}
+
+TlbEntry &
+Tlb::victim(std::vector<TlbEntry> &arr)
+{
+    TlbEntry *v = &arr[0];
+    for (auto &e : arr) {
+        if (!e.valid)
+            return e;
+        if (e.lru < v->lru)
+            v = &e;
+    }
+    return *v;
+}
+
+TlbEntry &
+Tlb::l2VictimIn(std::uint64_t set)
+{
+    TlbEntry *base = &l2[set * l2Ways];
+    TlbEntry *v = base;
+    for (unsigned w = 0; w < l2Ways; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lru < v->lru)
+            v = &base[w];
+    }
+    return *v;
+}
+
+void
+Tlb::demoteToL2(const TlbEntry &entry)
+{
+    const unsigned sets = _params.l2Entries / l2Ways;
+    const std::uint64_t set = entry.vpn & (sets - 1);
+    TlbEntry &slot = l2VictimIn(set);
+    if (slot.valid) {
+        ++evictCount;
+        fireEvict(slot);
+    }
+    slot = entry;
+}
+
+TlbEntry *
+Tlb::lookup(Pid pid, std::uint64_t vpn, Tick &extra_latency)
+{
+    extra_latency = 0;
+    if (TlbEntry *e = find(l1, pid, vpn)) {
+        ++l1Hits;
+        e->lru = ++useStamp;
+        return e;
+    }
+
+    // L2 is set-associative on the VPN; the two levels are exclusive,
+    // so an L2 hit swaps the entry up into L1.
+    const unsigned sets = _params.l2Entries / l2Ways;
+    const std::uint64_t set = vpn & (sets - 1);
+    TlbEntry *base = &l2[set * l2Ways];
+    for (unsigned w = 0; w < l2Ways; ++w) {
+        TlbEntry &e = base[w];
+        if (e.valid && e.pid == pid && e.vpn == vpn) {
+            ++l2Hits;
+            extra_latency = _params.l2HitLatency;
+            TlbEntry promoted = e;
+            e.valid = false;
+            TlbEntry &l1_slot = victim(l1);
+            if (l1_slot.valid)
+                demoteToL2(l1_slot);
+            l1_slot = promoted;
+            l1_slot.lru = ++useStamp;
+            return &l1_slot;
+        }
+    }
+
+    ++missCount;
+    return nullptr;
+}
+
+TlbEntry &
+Tlb::fill(const TlbEntry &entry)
+{
+    TlbEntry &slot = victim(l1);
+    if (slot.valid)
+        demoteToL2(slot);
+    slot = entry;
+    slot.valid = true;
+    slot.lru = ++useStamp;
+    return slot;
+}
+
+void
+Tlb::invalidate(Pid pid, std::uint64_t vpn)
+{
+    if (TlbEntry *e = find(l1, pid, vpn))
+        e->valid = false;
+    const unsigned sets = _params.l2Entries / l2Ways;
+    const std::uint64_t set = vpn & (sets - 1);
+    TlbEntry *base = &l2[set * l2Ways];
+    for (unsigned w = 0; w < l2Ways; ++w) {
+        if (base[w].valid && base[w].pid == pid && base[w].vpn == vpn)
+            base[w].valid = false;
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &e : l1) {
+        if (e.valid) {
+            ++evictCount;
+            fireEvict(e);
+            e.valid = false;
+        }
+    }
+    for (auto &e : l2) {
+        if (e.valid) {
+            ++evictCount;
+            fireEvict(e);
+            e.valid = false;
+        }
+    }
+}
+
+std::size_t
+Tlb::addEvictHook(EvictHook hook)
+{
+    evictHooks.push_back(std::move(hook));
+    return evictHooks.size() - 1;
+}
+
+void
+Tlb::removeEvictHook(std::size_t handle)
+{
+    kindle_assert(handle < evictHooks.size(), "bad evict-hook handle");
+    evictHooks[handle] = nullptr;
+}
+
+void
+Tlb::reset()
+{
+    for (auto &e : l1)
+        e.valid = false;
+    for (auto &e : l2)
+        e.valid = false;
+}
+
+void
+Tlb::forEachValid(const std::function<void(TlbEntry &)> &fn)
+{
+    for (auto &e : l1)
+        if (e.valid)
+            fn(e);
+    for (auto &e : l2)
+        if (e.valid)
+            fn(e);
+}
+
+} // namespace kindle::cpu

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Two-level data TLB with the per-entry extensions used by the SSP and
+ * HSCC prototypes.
+ *
+ * SSP extends each entry with the supplementary (shadow) physical page
+ * and two cache-line bitmaps — `current` selecting which of the two
+ * pages holds the latest committed copy of each line, and `updated`
+ * tracking lines written during the open consistency interval.
+ *
+ * HSCC extends each entry with the page access count, incremented when
+ * a data access misses in the LLC, and written out to the PTE on TLB
+ * eviction or once per migration interval.
+ */
+
+#ifndef KINDLE_CPU_TLB_HH
+#define KINDLE_CPU_TLB_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "cpu/pagetable_defs.hh"
+
+namespace kindle::cpu
+{
+
+/** A cached translation plus prototype-extension metadata. */
+struct TlbEntry
+{
+    bool valid = false;
+    Pid pid = 0;
+    std::uint64_t vpn = 0;
+    std::uint64_t pfn = 0;
+    bool writable = false;
+    bool nvmBacked = false;
+    std::uint64_t lru = 0;
+
+    /** Physical address of the backing leaf PTE (for hardware
+     *  write-back of HSCC access counts). */
+    Addr pteAddr = 0;
+
+    /** @name SSP extension fields. */
+    /// @{
+    bool sspTracked = false;      ///< page is in the MSR NVM range
+    std::uint64_t shadowPfn = 0;  ///< supplementary physical page
+    std::uint64_t currentBits = 0; ///< per-line: which copy is current
+    std::uint64_t updatedBits = 0; ///< per-line: written this interval
+    /// @}
+
+    /** @name HSCC extension fields. */
+    /// @{
+    unsigned accessCount = 0;
+    bool countSyncedThisInterval = false;
+    bool hsccRemapped = false;  ///< translation points at a DRAM copy
+    /// @}
+};
+
+/** Geometry of the two TLB levels. */
+struct TlbParams
+{
+    unsigned l1Entries = 64;
+    unsigned l2Entries = 1536;
+    Tick l2HitLatency = 3 * oneNs;  ///< extra cost of an L2 TLB hit
+};
+
+/**
+ * The TLB pair.  Lookup tries L1 then L2; fills install into both.
+ * Evictions of valid entries invoke the eviction hook so prototype
+ * engines can spill per-entry metadata (SSP bitmaps, HSCC counts).
+ */
+class Tlb
+{
+  public:
+    /** Called with the entry being replaced (still fully populated). */
+    using EvictHook = std::function<void(const TlbEntry &)>;
+
+    explicit Tlb(const TlbParams &params);
+
+    /**
+     * Look up (pid, vpn).
+     * @param[out] extra_latency L2-hit penalty if served from L2.
+     * @return pointer to the (promoted) L1 entry, or nullptr on miss.
+     */
+    TlbEntry *lookup(Pid pid, std::uint64_t vpn, Tick &extra_latency);
+
+    /**
+     * Install a translation after a walk; returns the L1 entry.
+     * Evicted valid entries are passed to the eviction hook.
+     */
+    TlbEntry &fill(const TlbEntry &entry);
+
+    /** Invalidate one page's translation (both levels). */
+    void invalidate(Pid pid, std::uint64_t vpn);
+
+    /** Invalidate everything, firing the evict hook per valid entry. */
+    void flushAll();
+
+    /** Invalidate everything silently (power loss). */
+    void reset();
+
+    /** Visit every valid L1+L2 entry (SSP interval spills). */
+    void forEachValid(const std::function<void(TlbEntry &)> &fn);
+
+    /** Attach an eviction observer; returns its handle for removal. */
+    std::size_t addEvictHook(EvictHook hook);
+
+    /** Remove an observer by handle. */
+    void removeEvictHook(std::size_t handle);
+
+    statistics::StatGroup &stats() { return statGroup; }
+    const statistics::StatGroup &stats() const { return statGroup; }
+
+  private:
+    TlbEntry *find(std::vector<TlbEntry> &arr, Pid pid,
+                   std::uint64_t vpn);
+    TlbEntry &victim(std::vector<TlbEntry> &arr);
+    TlbEntry &l2VictimIn(std::uint64_t set);
+    void demoteToL2(const TlbEntry &entry);
+
+    TlbParams _params;
+    std::vector<TlbEntry> l1;
+    std::vector<TlbEntry> l2;
+    std::uint64_t useStamp = 0;
+    std::vector<EvictHook> evictHooks;
+
+    /** Fire every attached hook for a displaced entry. */
+    void
+    fireEvict(const TlbEntry &entry)
+    {
+        for (auto &h : evictHooks)
+            if (h)
+                h(entry);
+    }
+
+    statistics::StatGroup statGroup;
+    statistics::Scalar &l1Hits;
+    statistics::Scalar &l2Hits;
+    statistics::Scalar &missCount;
+    statistics::Scalar &evictCount;
+};
+
+} // namespace kindle::cpu
+
+#endif // KINDLE_CPU_TLB_HH

@@ -1,0 +1,82 @@
+#include "hscc/mapping_table.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace kindle::hscc
+{
+
+MappingTable::MappingTable(unsigned slots_arg, os::KernelMem &kmem_arg,
+                           os::FrameAllocator &dram_alloc)
+    : kmem(kmem_arg),
+      slots(slots_arg),
+      statGroup("hsccMapTable"),
+      lookups(statGroup.addScalar("lookups", "table lookups")),
+      updates(statGroup.addScalar("updates", "table updates"))
+{
+    kindle_assert(slots > 0, "empty mapping table");
+    // Contiguous frames for the table itself.
+    const std::uint64_t bytes =
+        roundUp(std::uint64_t(slots) * sizeof(MapEntry), pageSize);
+    tableBase = dram_alloc.alloc();
+    for (std::uint64_t i = pageSize; i < bytes; i += pageSize) {
+        const Addr f = dram_alloc.alloc();
+        kindle_assert(f == tableBase + i,
+                      "mapping table frames not contiguous");
+    }
+}
+
+Addr
+MappingTable::slotAddr(unsigned index) const
+{
+    kindle_assert(index < slots, "mapping-table slot out of range");
+    return tableBase + index * sizeof(MapEntry);
+}
+
+void
+MappingTable::set(unsigned index, Addr nvm_frame, Addr dram_frame)
+{
+    ++updates;
+    const MapEntry e{nvm_frame, dram_frame};
+    kmem.writeBuf(slotAddr(index), &e, sizeof(e));
+    byNvm[nvm_frame] = index;
+    byDram[dram_frame] = index;
+}
+
+void
+MappingTable::clear(unsigned index)
+{
+    ++updates;
+    MapEntry e{};
+    kmem.readBuf(slotAddr(index), &e, sizeof(e));
+    byNvm.erase(e.nvmFrame);
+    byDram.erase(e.dramFrame);
+    const MapEntry zero{};
+    kmem.writeBuf(slotAddr(index), &zero, sizeof(zero));
+}
+
+Addr
+MappingTable::dramFor(Addr nvm_frame)
+{
+    ++lookups;
+    const auto it = byNvm.find(nvm_frame);
+    if (it == byNvm.end())
+        return invalidAddr;
+    MapEntry e{};
+    kmem.readBuf(slotAddr(it->second), &e, sizeof(e));
+    return e.dramFrame;
+}
+
+Addr
+MappingTable::nvmFor(Addr dram_frame)
+{
+    ++lookups;
+    const auto it = byDram.find(dram_frame);
+    if (it == byDram.end())
+        return invalidAddr;
+    MapEntry e{};
+    kmem.readBuf(slotAddr(it->second), &e, sizeof(e));
+    return e.nvmFrame;
+}
+
+} // namespace kindle::hscc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The HSCC NVM↔DRAM mapping lookup table.
+ *
+ * The original HSCC widens PTEs to 96 bits to hold both page numbers,
+ * which truncates last-level-table fanout (341 entries per 4 KiB page,
+ * leaving 171 pages of every 2 MiB region unmappable).  Kindle instead
+ * keeps 64-bit PTEs and maintains the NVM↔DRAM association in this
+ * separate table, looked up by either page number (paper §III-C).
+ * Entries live in kernel DRAM; each consult/update is charged one
+ * memory access.
+ */
+
+#ifndef KINDLE_HSCC_MAPPING_TABLE_HH
+#define KINDLE_HSCC_MAPPING_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/stats.hh"
+#include "os/frame_alloc.hh"
+#include "os/kernel_mem.hh"
+
+namespace kindle::hscc
+{
+
+/** One 16-byte table entry. */
+struct MapEntry
+{
+    std::uint64_t nvmFrame = 0;
+    std::uint64_t dramFrame = 0;
+};
+
+static_assert(sizeof(MapEntry) == 16);
+
+/** The table. */
+class MappingTable
+{
+  public:
+    /**
+     * @param slots       Capacity (= DRAM pool size).
+     * @param kmem        Kernel memory gateway.
+     * @param dram_alloc  Supplies the frames holding the table.
+     */
+    MappingTable(unsigned slots, os::KernelMem &kmem,
+                 os::FrameAllocator &dram_alloc);
+
+    /** Record nvm→dram at pool slot @p index (timed write). */
+    void set(unsigned index, Addr nvm_frame, Addr dram_frame);
+
+    /** Clear slot @p index (timed write). */
+    void clear(unsigned index);
+
+    /**
+     * Look up the DRAM frame caching @p nvm_frame (timed read).
+     * @return invalidAddr when not cached.
+     */
+    Addr dramFor(Addr nvm_frame);
+
+    /**
+     * Reverse lookup: the NVM home of pool page @p dram_frame
+     * (timed read).
+     */
+    Addr nvmFor(Addr dram_frame);
+
+    statistics::StatGroup &stats() { return statGroup; }
+
+  private:
+    Addr slotAddr(unsigned index) const;
+
+    os::KernelMem &kmem;
+    unsigned slots;
+    Addr tableBase;
+
+    /** Host index mirroring the table for O(1) slot location. */
+    std::unordered_map<Addr, unsigned> byNvm;
+    std::unordered_map<Addr, unsigned> byDram;
+
+    statistics::StatGroup statGroup;
+    statistics::Scalar &lookups;
+    statistics::Scalar &updates;
+};
+
+} // namespace kindle::hscc
+
+#endif // KINDLE_HSCC_MAPPING_TABLE_HH

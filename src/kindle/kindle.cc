@@ -1,0 +1,140 @@
+#include "kindle/kindle.hh"
+
+#include "base/logging.hh"
+#include "base/trace_flags.hh"
+
+namespace kindle
+{
+
+KindleSystem::KindleSystem(const KindleConfig &config_arg)
+    : config(config_arg)
+{
+    trace::initFromEnv();
+
+    // The page-table home follows the persistence scheme.
+    if (config.persistence) {
+        config.kernel.ptInNvm =
+            config.persistence->scheme == persist::PtScheme::persistent;
+    }
+
+    mem_ = std::make_unique<mem::HybridMemory>(config.memory);
+    caches_ = std::make_unique<cache::Hierarchy>(config.caches, *mem_);
+    core_ = std::make_unique<cpu::Core>(config.core, sim, *mem_,
+                                        *caches_);
+    buildOsLayer();
+}
+
+KindleSystem::~KindleSystem()
+{
+    // Engines detach before the kernel they reference disappears.
+    ssp_.reset();
+    hscc_.reset();
+    persist_.reset();
+    kernel_.reset();
+}
+
+void
+KindleSystem::buildOsLayer()
+{
+    kernel_ = std::make_unique<os::Kernel>(config.kernel, sim, *mem_,
+                                           *caches_, *core_);
+    if (config.persistence) {
+        persist_ = std::make_unique<persist::PersistDomain>(
+            *config.persistence, *kernel_);
+        persist_->start();
+    }
+    if (config.ssp) {
+        ssp_ = std::make_unique<ssp::SspEngine>(*config.ssp, *kernel_);
+        ssp_->start();
+    }
+    if (config.hscc) {
+        hscc_ = std::make_unique<hscc::HsccEngine>(*config.hscc,
+                                                   *kernel_);
+        hscc_->start();
+    }
+}
+
+Tick
+KindleSystem::run(std::unique_ptr<cpu::OpStream> program,
+                  const std::string &name)
+{
+    kindle_assert(!isCrashed, "run() on a crashed machine");
+    const Tick t0 = sim.now();
+    kernel_->spawn(std::move(program), name);
+    kernel_->run();
+    return sim.now() - t0;
+}
+
+void
+KindleSystem::crash()
+{
+    kindle_assert(!isCrashed, "double crash");
+    isCrashed = true;
+
+    // Stop the engines first so their events and hooks detach from
+    // the dying kernel; their host-side indexes are volatile state.
+    if (ssp_)
+        ssp_->stop();
+    if (hscc_)
+        hscc_->stop();
+    if (persist_)
+        persist_->stop();
+    ssp_.reset();
+    hscc_.reset();
+    persist_.reset();
+    kernel_.reset();
+
+    // Volatile hardware state disappears; durable NVM survives.
+    caches_->invalidateAll();
+    core_->reset();
+    mem_->crash();
+    sim.hardReset();
+}
+
+persist::RecoveryReport
+KindleSystem::reboot()
+{
+    kindle_assert(isCrashed, "reboot without a crash");
+    isCrashed = false;
+
+    // Fresh kernel over the surviving NVM image.
+    kernel_ = std::make_unique<os::Kernel>(config.kernel, sim, *mem_,
+                                           *caches_, *core_);
+
+    persist::RecoveryReport report;
+    if (config.persistence) {
+        report = persist::recover(*kernel_,
+                                  config.persistence->scheme);
+        persist_ = std::make_unique<persist::PersistDomain>(
+            *config.persistence, *kernel_);
+        persist_->start();
+    }
+    if (config.ssp) {
+        ssp_ = std::make_unique<ssp::SspEngine>(*config.ssp, *kernel_);
+        ssp_->start();
+    }
+    if (config.hscc) {
+        hscc_ = std::make_unique<hscc::HsccEngine>(*config.hscc,
+                                                   *kernel_);
+        hscc_->start();
+    }
+    return report;
+}
+
+void
+KindleSystem::dumpStats(std::ostream &os) const
+{
+    mem_->stats().dump(os);
+    caches_->stats().dump(os);
+    core_->stats().dump(os);
+    if (kernel_)
+        kernel_->stats().dump(os);
+    if (persist_)
+        persist_->stats().dump(os);
+    if (ssp_)
+        ssp_->stats().dump(os);
+    if (hscc_)
+        hscc_->stats().dump(os);
+}
+
+} // namespace kindle

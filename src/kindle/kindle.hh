@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The Kindle public API: one object assembling the full system.
+ *
+ * KindleSystem wires together the simulation kernel, the hybrid
+ * DRAM+NVM memory, the cache hierarchy, the in-order core, the gemOS
+ * kernel, and — when configured — the process-persistence domain and
+ * the SSP/HSCC prototype engines.  It also owns the crash/reboot
+ * protocol: crash() drops every volatile structure while the NVM
+ * durable image survives, and reboot() boots a fresh OS that runs the
+ * recovery procedure over that image.
+ *
+ * Typical use (see examples/quickstart.cc):
+ *
+ *   kindle::KindleConfig cfg;
+ *   cfg.persistence = kindle::persist::PersistParams{};
+ *   kindle::KindleSystem sys(cfg);
+ *   sys.kernel().spawn(std::move(program), "init");
+ *   sys.runAll();
+ */
+
+#ifndef KINDLE_KINDLE_KINDLE_HH
+#define KINDLE_KINDLE_KINDLE_HH
+
+#include <memory>
+#include <optional>
+#include <ostream>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "hscc/hscc_engine.hh"
+#include "mem/hybrid_memory.hh"
+#include "os/kernel.hh"
+#include "persist/checkpoint.hh"
+#include "persist/recovery.hh"
+#include "sim/simulation.hh"
+#include "ssp/ssp_engine.hh"
+
+namespace kindle
+{
+
+/** Whole-system configuration. */
+struct KindleConfig
+{
+    mem::HybridMemoryParams memory{};
+    cache::HierarchyParams caches{};
+    cpu::CoreParams core{};
+    os::KernelParams kernel{};
+
+    /** Enable process persistence with these parameters. */
+    std::optional<persist::PersistParams> persistence;
+
+    /** Enable the SSP prototype. */
+    std::optional<ssp::SspParams> ssp;
+
+    /** Enable the HSCC prototype. */
+    std::optional<hscc::HsccParams> hscc;
+};
+
+/** The assembled machine. */
+class KindleSystem
+{
+  public:
+    explicit KindleSystem(const KindleConfig &config);
+    ~KindleSystem();
+
+    KindleSystem(const KindleSystem &) = delete;
+    KindleSystem &operator=(const KindleSystem &) = delete;
+
+    /** @name Component access. */
+    /// @{
+    sim::Simulation &simulation() { return sim; }
+    mem::HybridMemory &memory() { return *mem_; }
+    cache::Hierarchy &caches() { return *caches_; }
+    cpu::Core &core() { return *core_; }
+    os::Kernel &kernel() { return *kernel_; }
+
+    /** Null when the feature is not configured. */
+    persist::PersistDomain *persistence() { return persist_.get(); }
+    ssp::SspEngine *sspEngine() { return ssp_.get(); }
+    hscc::HsccEngine *hsccEngine() { return hscc_.get(); }
+    /// @}
+
+    /** Current simulated time. */
+    Tick now() const { return sim.now(); }
+
+    /** Spawn a program and run the machine until everything exits. */
+    Tick run(std::unique_ptr<cpu::OpStream> program,
+             const std::string &name);
+
+    /** Run until all processes exit. */
+    void runAll() { kernel_->run(); }
+
+    /**
+     * Power failure at the current instant: caches, TLBs, DRAM, MSRs,
+     * the OS and pending events all vanish; only durable NVM content
+     * survives.  The system is unusable until reboot().
+     */
+    void crash();
+
+    /**
+     * Boot a fresh OS over the surviving NVM image and, if
+     * persistence is configured, run the recovery procedure and
+     * restart the persistence domain.
+     */
+    persist::RecoveryReport reboot();
+
+    /** True between crash() and reboot(). */
+    bool crashed() const { return isCrashed; }
+
+    /** Dump the complete statistics tree. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    void buildOsLayer();
+
+    KindleConfig config;
+
+    sim::Simulation sim;
+    std::unique_ptr<mem::HybridMemory> mem_;
+    std::unique_ptr<cache::Hierarchy> caches_;
+    std::unique_ptr<cpu::Core> core_;
+    std::unique_ptr<os::Kernel> kernel_;
+    std::unique_ptr<persist::PersistDomain> persist_;
+    std::unique_ptr<ssp::SspEngine> ssp_;
+    std::unique_ptr<hscc::HsccEngine> hscc_;
+
+    bool isCrashed = false;
+};
+
+} // namespace kindle
+
+#endif // KINDLE_KINDLE_KINDLE_HH

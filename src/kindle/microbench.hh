@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Micro-benchmark programs used by the paper's process-persistence
+ * evaluation (§III-A): sequential allocate-and-touch, strided sparse
+ * allocation, and the munmap/mmap churn benchmark of Tables III/IV.
+ *
+ * Programs are pre-scripted Op vectors; ScriptBuilder provides the
+ * small DSL used both here and in tests/examples.
+ */
+
+#ifndef KINDLE_KINDLE_MICROBENCH_HH
+#define KINDLE_KINDLE_MICROBENCH_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/op.hh"
+
+namespace kindle::micro
+{
+
+/** An OpStream over a pre-built script. */
+class ScriptStream : public cpu::OpStream
+{
+  public:
+    explicit ScriptStream(std::vector<cpu::Op> ops)
+        : ops(std::move(ops))
+    {}
+
+    bool
+    next(cpu::Op &op) override
+    {
+        if (cursor >= ops.size())
+            return false;
+        op = ops[cursor++];
+        return true;
+    }
+
+    std::size_t size() const { return ops.size(); }
+
+  private:
+    std::vector<cpu::Op> ops;
+    std::size_t cursor = 0;
+};
+
+/** Fluent builder for scripted programs. */
+class ScriptBuilder
+{
+  public:
+    /** mmap at a fixed address. */
+    ScriptBuilder &mmapFixed(Addr addr, std::uint64_t size, bool nvm);
+
+    ScriptBuilder &munmap(Addr addr, std::uint64_t size);
+    ScriptBuilder &mremap(Addr addr, std::uint64_t old_size,
+                          std::uint64_t new_size);
+    ScriptBuilder &mprotect(Addr addr, std::uint64_t size,
+                            std::uint32_t prot);
+
+    /** One 8-byte store to the first word of every page in range. */
+    ScriptBuilder &touchPages(Addr addr, std::uint64_t size);
+
+    /** One 8-byte load from the first word of every page in range. */
+    ScriptBuilder &readPages(Addr addr, std::uint64_t size);
+
+    ScriptBuilder &read(Addr addr, std::uint64_t size = 8);
+    ScriptBuilder &write(Addr addr, std::uint64_t size = 8);
+    ScriptBuilder &compute(Cycles cycles);
+    ScriptBuilder &faseStart();
+    ScriptBuilder &faseEnd();
+    ScriptBuilder &exit();
+
+    std::unique_ptr<ScriptStream> build();
+
+  private:
+    std::vector<cpu::Op> ops;
+};
+
+/**
+ * Figure 4a workload: mmap(MAP_NVM) an @p alloc_bytes region and
+ * sequentially touch every page, then unmap.
+ */
+std::unique_ptr<ScriptStream> seqAllocTouch(std::uint64_t alloc_bytes,
+                                            bool nvm = true);
+
+/**
+ * Figure 4b workload: @p count 4 KiB MAP_NVM allocations placed
+ * @p stride_bytes apart (1 GiB / 2 MiB / 4 KiB in the paper), each
+ * touched once, then unmapped.  Optional @p access_rounds of
+ * read+compute extend the run across checkpoint intervals without
+ * further page-table modifications.
+ */
+std::unique_ptr<ScriptStream> strideAlloc(std::uint64_t stride_bytes,
+                                          unsigned count = 10,
+                                          bool nvm = true,
+                                          unsigned access_rounds = 0,
+                                          Cycles round_compute = 30000);
+
+/**
+ * Tables III/IV workload: allocate a 512 MiB arena and touch it, then
+ * @p rounds times munmap+mmap the first @p churn_bytes and access the
+ * reallocated region @p access_rounds times, finally unmap everything.
+ */
+std::unique_ptr<ScriptStream> churnBench(std::uint64_t arena_bytes,
+                                         std::uint64_t churn_bytes,
+                                         unsigned rounds = 2,
+                                         unsigned access_rounds = 1,
+                                         bool nvm = true);
+
+/** Base virtual address used by the scripted benchmarks. */
+constexpr Addr scriptBase = Addr(0x400000000);
+
+} // namespace kindle::micro
+
+#endif // KINDLE_KINDLE_MICROBENCH_HH

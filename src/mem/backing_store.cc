@@ -1,0 +1,128 @@
+#include "mem/backing_store.hh"
+
+namespace kindle::mem
+{
+
+BackingStore::Frame *
+BackingStore::frameFor(Addr addr, bool allocate)
+{
+    kindle_assert(_range.contains(addr),
+                  "backing-store access at {} outside range", addr);
+    const std::uint64_t fn = (addr - _range.start()) >> pageShift;
+    auto it = frames.find(fn);
+    if (it != frames.end())
+        return it->second.get();
+    if (!allocate)
+        return nullptr;
+    auto frame = std::make_unique<Frame>();
+    frame->fill(0);
+    Frame *raw = frame.get();
+    frames.emplace(fn, std::move(frame));
+    return raw;
+}
+
+const BackingStore::Frame *
+BackingStore::frameFor(Addr addr) const
+{
+    kindle_assert(_range.contains(addr),
+                  "backing-store access at {} outside range", addr);
+    const std::uint64_t fn = (addr - _range.start()) >> pageShift;
+    const auto it = frames.find(fn);
+    return it == frames.end() ? nullptr : it->second.get();
+}
+
+void
+BackingStore::read(Addr addr, void *dst, std::uint64_t size) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (size > 0) {
+        const std::uint64_t in_page = addr & (pageSize - 1);
+        const std::uint64_t chunk = std::min(size, pageSize - in_page);
+        if (const Frame *f = frameFor(addr))
+            std::memcpy(out, f->data() + in_page, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        size -= chunk;
+    }
+}
+
+void
+BackingStore::write(Addr addr, const void *src, std::uint64_t size)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (size > 0) {
+        const std::uint64_t in_page = addr & (pageSize - 1);
+        const std::uint64_t chunk = std::min(size, pageSize - in_page);
+        Frame *f = frameFor(addr, true);
+        std::memcpy(f->data() + in_page, in, chunk);
+        addr += chunk;
+        in += chunk;
+        size -= chunk;
+    }
+}
+
+void
+DurableStore::writeVolatile(Addr addr, const void *src, std::uint64_t size)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (size > 0) {
+        const Addr line_addr = roundDown(addr, lineSize);
+        const std::uint64_t in_line = addr - line_addr;
+        const std::uint64_t chunk = std::min(size, lineSize - in_line);
+        auto it = pending.find(line_addr);
+        if (it == pending.end()) {
+            // First volatile touch of this line: seed the overlay with
+            // the current durable contents so partial-line stores keep
+            // neighbouring bytes.
+            Line seed{};
+            durable.read(line_addr, seed.data(), lineSize);
+            it = pending.emplace(line_addr, seed).first;
+        }
+        std::memcpy(it->second.data() + in_line, in, chunk);
+        addr += chunk;
+        in += chunk;
+        size -= chunk;
+    }
+}
+
+void
+DurableStore::read(Addr addr, void *dst, std::uint64_t size) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (size > 0) {
+        const Addr line_addr = roundDown(addr, lineSize);
+        const std::uint64_t in_line = addr - line_addr;
+        const std::uint64_t chunk = std::min(size, lineSize - in_line);
+        const auto it = pending.find(line_addr);
+        if (it != pending.end())
+            std::memcpy(out, it->second.data() + in_line, chunk);
+        else
+            durable.read(addr, out, chunk);
+        addr += chunk;
+        out += chunk;
+        size -= chunk;
+    }
+}
+
+void
+DurableStore::commitLine(Addr line_addr)
+{
+    line_addr = roundDown(line_addr, lineSize);
+    const auto it = pending.find(line_addr);
+    if (it == pending.end())
+        return;
+    durable.write(line_addr, it->second.data(), lineSize);
+    pending.erase(it);
+}
+
+void
+DurableStore::commitAll()
+{
+    for (const auto &[line_addr, data] : pending)
+        durable.write(line_addr, data.data(), lineSize);
+    pending.clear();
+}
+
+} // namespace kindle::mem

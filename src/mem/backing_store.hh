@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Sparse byte-addressable backing stores for simulated physical memory.
+ *
+ * Two flavours exist:
+ *
+ *  - BackingStore: a plain sparse frame map.  DRAM uses one directly;
+ *    its contents vanish on crash.
+ *  - DurableStore: an NVM store with a *pending-line overlay*.  Writes
+ *    land in the overlay first (they are architecturally in volatile
+ *    CPU caches); only when the cache hierarchy writes a line back — or
+ *    software issues clwb — does the line become durable.  A crash
+ *    discards the overlay, exactly like powering off a machine whose
+ *    caches held unflushed NVM lines.  This is what gives the
+ *    persistence experiments (and their tests) real teeth.
+ */
+
+#ifndef KINDLE_MEM_BACKING_STORE_HH
+#define KINDLE_MEM_BACKING_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "base/addr_range.hh"
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace kindle::mem
+{
+
+/** A sparse, frame-granular byte store over an address range. */
+class BackingStore
+{
+  public:
+    explicit BackingStore(AddrRange range) : _range(range) {}
+
+    const AddrRange &range() const { return _range; }
+
+    /** Read @p size bytes at @p addr into @p dst (zero-fill holes). */
+    void read(Addr addr, void *dst, std::uint64_t size) const;
+
+    /** Write @p size bytes from @p src at @p addr. */
+    void write(Addr addr, const void *src, std::uint64_t size);
+
+    /** Typed convenience read. */
+    template <typename T>
+    T
+    readT(Addr addr) const
+    {
+        T v{};
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    /** Typed convenience write. */
+    template <typename T>
+    void
+    writeT(Addr addr, const T &v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    /** Drop every frame (volatile contents lost). */
+    void clear() { frames.clear(); }
+
+    /** Number of frames currently materialized. */
+    std::size_t framesAllocated() const { return frames.size(); }
+
+  private:
+    using Frame = std::array<std::uint8_t, pageSize>;
+
+    Frame *frameFor(Addr addr, bool allocate);
+    const Frame *frameFor(Addr addr) const;
+
+    AddrRange _range;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames;
+};
+
+/**
+ * NVM backing store with cache-residency-aware durability.
+ *
+ * writeVolatile() models a CPU store that is still sitting in some
+ * cache; commitLine() models the line reaching the NVM device (via
+ * writeback or clwb).  writeDurable() bypasses the overlay for
+ * transfers that are architecturally uncached (e.g. a flushed page
+ * copy performed by the OS).
+ */
+class DurableStore
+{
+  public:
+    explicit DurableStore(AddrRange range)
+        : durable(range), _range(range)
+    {}
+
+    const AddrRange &range() const { return _range; }
+
+    /** Store into the volatile overlay (cacheline-tracked). */
+    void writeVolatile(Addr addr, const void *src, std::uint64_t size);
+
+    /** Store straight to durable media. */
+    void
+    writeDurable(Addr addr, const void *src, std::uint64_t size)
+    {
+        durable.write(addr, src, size);
+    }
+
+    /** Read the latest value (overlay wins over durable). */
+    void read(Addr addr, void *dst, std::uint64_t size) const;
+
+    /** Read only what would survive a crash right now. */
+    void
+    readDurable(Addr addr, void *dst, std::uint64_t size) const
+    {
+        durable.read(addr, dst, size);
+    }
+
+    /** Make one cache line durable (writeback / clwb reached device). */
+    void commitLine(Addr line_addr);
+
+    /** Make every pending line durable (e.g. ordered full flush). */
+    void commitAll();
+
+    /** Power loss: pending overlay lines are gone. */
+    void crash() { pending.clear(); }
+
+    /** Typed helpers. */
+    template <typename T>
+    T
+    readT(Addr addr) const
+    {
+        T v{};
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeVolatileT(Addr addr, const T &v)
+    {
+        writeVolatile(addr, &v, sizeof(T));
+    }
+
+    template <typename T>
+    void
+    writeDurableT(Addr addr, const T &v)
+    {
+        writeDurable(addr, &v, sizeof(T));
+    }
+
+    /** Lines currently volatile (not yet crash-safe). */
+    std::size_t pendingLines() const { return pending.size(); }
+
+  private:
+    using Line = std::array<std::uint8_t, lineSize>;
+
+    BackingStore durable;
+    AddrRange _range;
+    std::unordered_map<Addr, Line> pending;
+};
+
+} // namespace kindle::mem
+
+#endif // KINDLE_MEM_BACKING_STORE_HH

@@ -1,0 +1,68 @@
+#include "mem/bios_e820.hh"
+
+#include "base/logging.hh"
+
+namespace kindle::mem
+{
+
+void
+E820Map::add(AddrRange range, E820Type type)
+{
+    if (!_entries.empty()) {
+        const auto &prev = _entries.back().range;
+        kindle_assert(range.start() >= prev.end(),
+                      "e820 entries must be sorted and disjoint");
+    }
+    _entries.push_back({range, type});
+}
+
+std::uint64_t
+E820Map::totalBytes(E820Type type) const
+{
+    std::uint64_t total = 0;
+    for (const auto &e : _entries)
+        if (e.type == type)
+            total += e.range.size();
+    return total;
+}
+
+AddrRange
+E820Map::regionOf(E820Type type) const
+{
+    for (const auto &e : _entries)
+        if (e.type == type)
+            return e.range;
+    kindle_fatal("e820 map has no region of type {}",
+                 static_cast<unsigned>(type));
+}
+
+MemType
+E820Map::typeOf(Addr addr) const
+{
+    for (const auto &e : _entries) {
+        if (e.range.contains(addr)) {
+            return e.type == E820Type::pmem ? MemType::nvm
+                                            : MemType::dram;
+        }
+    }
+    kindle_fatal("physical address {} not covered by the e820 map", addr);
+}
+
+E820Map
+E820Map::standard(std::uint64_t dram_bytes, std::uint64_t nvm_bytes)
+{
+    kindle_assert(dram_bytes >= oneMiB, "need at least 1 MiB of DRAM");
+    E820Map map;
+    // Low memory with the traditional EBDA hole reserved.
+    constexpr Addr lowTop = 640 * oneKiB;
+    map.add(AddrRange(0, lowTop), E820Type::usable);
+    map.add(AddrRange(lowTop, oneMiB), E820Type::reserved);
+    map.add(AddrRange(oneMiB, dram_bytes), E820Type::usable);
+    if (nvm_bytes > 0) {
+        map.add(AddrRange::withSize(dram_bytes, nvm_bytes),
+                E820Type::pmem);
+    }
+    return map;
+}
+
+} // namespace kindle::mem

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * BIOS memory map (e820 analogue).
+ *
+ * Kindle partitions the flat physical address space between DRAM and
+ * NVM and publishes the partition to the OS through an e820-style map,
+ * mirroring how the paper's gem5 BIOS advertises both technologies to
+ * gemOS.
+ */
+
+#ifndef KINDLE_MEM_BIOS_E820_HH
+#define KINDLE_MEM_BIOS_E820_HH
+
+#include <vector>
+
+#include "base/addr_range.hh"
+#include "mem/packet.hh"
+
+namespace kindle::mem
+{
+
+/** e820 entry types (subset; numbering follows the ACPI convention). */
+enum class E820Type : std::uint32_t
+{
+    usable = 1,    ///< conventional (DRAM) memory
+    reserved = 2,  ///< firmware reserved
+    pmem = 7,      ///< persistent memory (NVM)
+};
+
+/** One advertised region. */
+struct E820Entry
+{
+    AddrRange range;
+    E820Type type;
+};
+
+/** The machine memory map handed from "BIOS" to the OS at boot. */
+class E820Map
+{
+  public:
+    /** Append an entry; entries must be sorted and non-overlapping. */
+    void add(AddrRange range, E820Type type);
+
+    const std::vector<E820Entry> &entries() const { return _entries; }
+
+    /** Total bytes of a given type. */
+    std::uint64_t totalBytes(E820Type type) const;
+
+    /** First region of a given type; fatal if absent. */
+    AddrRange regionOf(E820Type type) const;
+
+    /** Which technology backs @p addr; fatal for unmapped addresses. */
+    MemType typeOf(Addr addr) const;
+
+    /**
+     * Build the standard Kindle map: DRAM at physical zero, NVM
+     * immediately above it, with a small reserved BIOS hole at the top
+     * of the low 640 KiB for flavour-faithfulness.
+     */
+    static E820Map standard(std::uint64_t dram_bytes,
+                            std::uint64_t nvm_bytes);
+
+  private:
+    std::vector<E820Entry> _entries;
+};
+
+} // namespace kindle::mem
+
+#endif // KINDLE_MEM_BIOS_E820_HH

@@ -1,0 +1,106 @@
+#include "mem/hybrid_memory.hh"
+
+#include "base/logging.hh"
+
+namespace kindle::mem
+{
+
+HybridMemory::HybridMemory(const HybridMemoryParams &params)
+    : _params(params),
+      biosMap(E820Map::standard(params.dramBytes, params.nvmBytes)),
+      _dramRange(0, params.dramBytes),
+      _nvmRange(AddrRange::withSize(params.dramBytes, params.nvmBytes)),
+      dramStore(_dramRange),
+      nvmStore(_nvmRange),
+      _dramCtrl(std::make_unique<MemCtrl>(
+          params.dramCtrl, params.dramTiming, _dramRange)),
+      _nvmCtrl(std::make_unique<MemCtrl>(params.nvmCtrl,
+                                         params.nvmTiming, _nvmRange)),
+      statGroup("hybridMem"),
+      crashes(statGroup.addScalar("crashes", "simulated power failures"))
+{
+    kindle_assert(params.dramBytes >= 16 * oneMiB,
+                  "DRAM capacity too small to boot the simulated OS");
+    statGroup.addChild(_dramCtrl->stats());
+    statGroup.addChild(_nvmCtrl->stats());
+}
+
+MemCtrl &
+HybridMemory::ctrlFor(Addr addr)
+{
+    if (_nvmRange.contains(addr))
+        return *_nvmCtrl;
+    kindle_assert(_dramRange.contains(addr),
+                  "physical address {} outside installed memory", addr);
+    return *_dramCtrl;
+}
+
+Tick
+HybridMemory::submit(const MemRequest &req, Tick now)
+{
+    const Tick latency = ctrlFor(req.paddr).submit(req, now);
+    // A line-granular write command reaching the NVM device makes the
+    // line durable.
+    if (_nvmRange.contains(req.paddr) &&
+        (req.cmd == MemCmd::write || req.cmd == MemCmd::writeback)) {
+        nvmStore.commitLine(req.paddr);
+    }
+    return latency;
+}
+
+void
+HybridMemory::readData(Addr addr, void *dst, std::uint64_t size) const
+{
+    if (_nvmRange.contains(addr)) {
+        nvmStore.read(addr, dst, size);
+    } else {
+        dramStore.read(addr, dst, size);
+    }
+}
+
+void
+HybridMemory::writeData(Addr addr, const void *src, std::uint64_t size)
+{
+    if (_nvmRange.contains(addr)) {
+        nvmStore.writeVolatile(addr, src, size);
+    } else {
+        dramStore.write(addr, src, size);
+    }
+}
+
+void
+HybridMemory::writeDataDurable(Addr addr, const void *src,
+                               std::uint64_t size)
+{
+    kindle_assert(_nvmRange.contains(addr),
+                  "durable write outside the NVM range");
+    nvmStore.writeDurable(addr, src, size);
+}
+
+void
+HybridMemory::readNvmDurable(Addr addr, void *dst,
+                             std::uint64_t size) const
+{
+    kindle_assert(_nvmRange.contains(addr),
+                  "durable read outside the NVM range");
+    nvmStore.readDurable(addr, dst, size);
+}
+
+void
+HybridMemory::commitNvmLine(Addr line_addr)
+{
+    if (_nvmRange.contains(line_addr))
+        nvmStore.commitLine(line_addr);
+}
+
+void
+HybridMemory::crash()
+{
+    ++crashes;
+    dramStore.clear();
+    nvmStore.crash();
+    _dramCtrl->reset();
+    _nvmCtrl->reset();
+}
+
+} // namespace kindle::mem

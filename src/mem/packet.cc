@@ -1,0 +1,12 @@
+#include "mem/packet.hh"
+
+namespace kindle::mem
+{
+
+const char *
+memTypeName(MemType t)
+{
+    return t == MemType::dram ? "DRAM" : "NVM";
+}
+
+} // namespace kindle::mem

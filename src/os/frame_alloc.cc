@@ -1,0 +1,119 @@
+#include "os/frame_alloc.hh"
+
+#include <algorithm>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace kindle::os
+{
+
+FrameAllocator::FrameAllocator(std::string name, AddrRange zone,
+                               KernelMem &kmem_arg, Addr bitmap_addr)
+    : _name(std::move(name)),
+      _zone(zone),
+      kmem(kmem_arg),
+      bitmapAddr(bitmap_addr),
+      frameCount(zone.size() / pageSize),
+      used(frameCount, false),
+      statGroup(_name),
+      allocs(statGroup.addScalar("allocs", "frames allocated")),
+      frees(statGroup.addScalar("frees", "frames freed")),
+      persistWrites(statGroup.addScalar(
+          "persistWrites", "durable bitmap updates"))
+{
+    kindle_assert(isAligned(zone.start(), pageSize) &&
+                      isAligned(zone.size(), pageSize),
+                  "{}: zone must be page aligned", _name);
+    kindle_assert(frameCount > 0, "{}: empty zone", _name);
+}
+
+std::uint64_t
+FrameAllocator::frameIndex(Addr frame) const
+{
+    kindle_assert(_zone.contains(frame) && isAligned(frame, pageSize),
+                  "{}: bad frame address {}", _name, frame);
+    return (frame - _zone.start()) >> pageShift;
+}
+
+void
+FrameAllocator::persistBit(std::uint64_t index)
+{
+    if (bitmapAddr == invalidAddr)
+        return;
+    ++persistWrites;
+    // Read-modify-write the containing bitmap word, durably.
+    const Addr word_addr = bitmapAddr + (index / 64) * 8;
+    std::uint64_t word = kmem.mem().readT<std::uint64_t>(word_addr);
+    if (used[index])
+        word |= (std::uint64_t(1) << (index % 64));
+    else
+        word &= ~(std::uint64_t(1) << (index % 64));
+    kmem.writeBufDurable(word_addr, &word, 8);
+}
+
+Addr
+FrameAllocator::alloc()
+{
+    std::uint64_t index;
+    if (!freeStack.empty()) {
+        index = freeStack.back();
+        freeStack.pop_back();
+    } else if (bumpNext < frameCount) {
+        index = bumpNext++;
+    } else {
+        kindle_fatal("{}: out of physical frames ({} in zone)", _name,
+                     frameCount);
+    }
+    kindle_assert(!used[index], "{}: double allocation", _name);
+    used[index] = true;
+    ++usedCount;
+    ++allocs;
+    persistBit(index);
+    return _zone.start() + (index << pageShift);
+}
+
+void
+FrameAllocator::free(Addr frame)
+{
+    const std::uint64_t index = frameIndex(frame);
+    kindle_assert(used[index], "{}: freeing unallocated frame {}", _name,
+                  frame);
+    used[index] = false;
+    --usedCount;
+    ++frees;
+    freeStack.push_back(index);
+    persistBit(index);
+}
+
+bool
+FrameAllocator::isAllocated(Addr frame) const
+{
+    return used[frameIndex(frame)];
+}
+
+void
+FrameAllocator::recoverFromBitmap()
+{
+    kindle_assert(persistent(),
+                  "{}: recovery on a volatile allocator", _name);
+    usedCount = 0;
+    freeStack.clear();
+    bumpNext = frameCount;  // everything below is governed by the bitmap
+    const std::uint64_t words = divCeil(frameCount, 64);
+    std::vector<std::uint64_t> image(words, 0);
+    kmem.readDurableBuf(bitmapAddr, image.data(), words * 8);
+    for (std::uint64_t i = 0; i < frameCount; ++i) {
+        const bool bit_set =
+            (image[i / 64] >> (i % 64)) & 1;
+        used[i] = bit_set;
+        if (bit_set)
+            ++usedCount;
+        else
+            freeStack.push_back(i);
+    }
+    // Allocate low frames first after recovery, matching boot order.
+    std::reverse(freeStack.begin(), freeStack.end());
+}
+
+} // namespace kindle::os

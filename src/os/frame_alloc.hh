@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Physical frame allocators for the DRAM and NVM zones.
+ *
+ * The NVM allocator persists its allocation bitmap into a reserved NVM
+ * region on every alloc/free (the paper: "we also modify the physical
+ * page allocation mechanism in gemOS to persist the page allocation
+ * meta-data to ensure correctness after crash and reboot").  Recovery
+ * reconstructs the allocator from the durable bitmap.
+ */
+
+#ifndef KINDLE_OS_FRAME_ALLOC_HH
+#define KINDLE_OS_FRAME_ALLOC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/addr_range.hh"
+#include "base/stats.hh"
+#include "os/kernel_mem.hh"
+
+namespace kindle::os
+{
+
+/** A frame-granular allocator over one physical zone. */
+class FrameAllocator
+{
+  public:
+    /**
+     * @param name         Stats name ("dramAlloc"/"nvmAlloc").
+     * @param zone         The allocatable range (page aligned).
+     * @param kmem         Kernel memory gateway (timing + data).
+     * @param bitmap_addr  NVM address of the durable bitmap, or
+     *                     invalidAddr for a volatile allocator.
+     */
+    FrameAllocator(std::string name, AddrRange zone, KernelMem &kmem,
+                   Addr bitmap_addr = invalidAddr);
+
+    /** Allocate one frame; fatal on exhaustion. */
+    Addr alloc();
+
+    /** Return a frame to the pool. */
+    void free(Addr frame);
+
+    /** Is this exact frame currently allocated? */
+    bool isAllocated(Addr frame) const;
+
+    std::uint64_t allocatedFrames() const { return usedCount; }
+    std::uint64_t totalFrames() const { return frameCount; }
+    const AddrRange &zone() const { return _zone; }
+    bool persistent() const { return bitmapAddr != invalidAddr; }
+
+    /**
+     * Recovery: read the durable bitmap and adopt its allocation
+     * state.  Only valid for persistent allocators.
+     */
+    void recoverFromBitmap();
+
+    /** Visit the frame address of every allocated frame. */
+    template <typename Fn>
+    void
+    forEachAllocated(Fn &&fn) const
+    {
+        for (std::uint64_t i = 0; i < frameCount; ++i) {
+            if (used[i])
+                fn(_zone.start() + (i << pageShift));
+        }
+    }
+
+    statistics::StatGroup &stats() { return statGroup; }
+
+  private:
+    std::uint64_t frameIndex(Addr frame) const;
+    void persistBit(std::uint64_t index);
+
+    std::string _name;
+    AddrRange _zone;
+    KernelMem &kmem;
+    Addr bitmapAddr;
+
+    std::uint64_t frameCount;
+    std::vector<bool> used;
+    std::vector<std::uint64_t> freeStack;  ///< recycled frames
+    std::uint64_t bumpNext = 0;            ///< next never-used frame
+    std::uint64_t usedCount = 0;
+
+    statistics::StatGroup statGroup;
+    statistics::Scalar &allocs;
+    statistics::Scalar &frees;
+    statistics::Scalar &persistWrites;
+};
+
+} // namespace kindle::os
+
+#endif // KINDLE_OS_FRAME_ALLOC_HH

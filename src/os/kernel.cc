@@ -1,0 +1,548 @@
+#include "os/kernel.hh"
+
+#include <algorithm>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "base/trace_flags.hh"
+
+namespace kindle::os
+{
+
+Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
+               mem::HybridMemory &memory_arg,
+               cache::Hierarchy &caches_arg, cpu::Core &core_arg)
+    : _params(params),
+      sim(sim_arg),
+      memory(memory_arg),
+      cpuCore(core_arg),
+      kernelMem(sim_arg, memory_arg, caches_arg),
+      layout(NvmLayout::standard(memory_arg.nvmRange())),
+      plainPtWrite(kernelMem),
+      policyProxy(&plainPtWrite),
+      statGroup("kernel"),
+      syscalls(statGroup.addScalar("syscalls", "system calls serviced")),
+      contextSwitches(statGroup.addScalar("contextSwitches",
+                                          "scheduler switches")),
+      faultsServiced(statGroup.addScalar("pageFaults",
+                                         "demand-paging faults")),
+      opsExecuted(statGroup.addScalar("opsExecuted",
+                                      "program ops dispatched"))
+{
+    // DRAM frames: everything above the kernel-image reserve.
+    const AddrRange dram_zone(
+        roundUp(params.kernelReserveBytes, pageSize),
+        memory.dramRange().end());
+    dramAlloc = std::make_unique<FrameAllocator>("dramAlloc", dram_zone,
+                                                 kernelMem);
+
+    // NVM frames: the user pool carved by the layout, with the
+    // allocation bitmap persisted in NVM.
+    const AddrRange nvm_zone = AddrRange::withSize(
+        layout.userPool, roundDown(layout.userPoolBytes, pageSize));
+    nvmAlloc = std::make_unique<FrameAllocator>(
+        "nvmAlloc", nvm_zone, kernelMem, layout.allocBitmap);
+
+    FrameAllocator &table_zone =
+        params.ptInNvm ? *nvmAlloc : *dramAlloc;
+    ptMgr = std::make_unique<PageTableManager>(kernelMem, table_zone,
+                                               policyProxy);
+
+    cpuCore.setFaultHandler(this);
+
+    statGroup.addChild(dramAlloc->stats());
+    statGroup.addChild(nvmAlloc->stats());
+    statGroup.addChild(ptMgr->stats());
+}
+
+Kernel::~Kernel()
+{
+    cpuCore.setFaultHandler(nullptr);
+}
+
+void
+Kernel::addListener(OsEventListener *listener)
+{
+    listeners.push_back(listener);
+}
+
+void
+Kernel::removeListener(OsEventListener *listener)
+{
+    listeners.erase(
+        std::remove(listeners.begin(), listeners.end(), listener),
+        listeners.end());
+}
+
+void
+Kernel::setPtWritePolicy(PtWritePolicy *policy)
+{
+    policyProxy.active = policy ? policy : &plainPtWrite;
+}
+
+unsigned
+Kernel::allocSlot()
+{
+    for (unsigned i = 0; i < maxProcs; ++i) {
+        if (!(slotsUsed & (1u << i))) {
+            slotsUsed |= (1u << i);
+            return i;
+        }
+    }
+    kindle_fatal("out of saved-state slots ({} processes)", maxProcs);
+}
+
+Pid
+Kernel::spawn(std::unique_ptr<cpu::OpStream> program, std::string name)
+{
+    Process &proc = spawnShell(std::move(name), allocSlot());
+    proc.program = std::move(program);
+    return proc.pid;
+}
+
+Process &
+Kernel::spawnShell(std::string name, unsigned slot, bool create_pt)
+{
+    auto proc =
+        std::make_unique<Process>(nextPid++, std::move(name), slot);
+    slotsUsed |= (1u << slot);
+    if (create_pt)
+        proc->ptRoot = ptMgr->newRoot();
+    proc->state = ProcState::ready;
+    Process &ref = *proc;
+    procs.push_back(std::move(proc));
+    for (auto *l : listeners)
+        l->onProcessCreated(ref);
+    return ref;
+}
+
+Process *
+Kernel::findProcess(Pid pid)
+{
+    for (auto &p : procs)
+        if (p->pid == pid)
+            return p.get();
+    return nullptr;
+}
+
+void
+Kernel::makeReady(Process &proc)
+{
+    kindle_assert(proc.state != ProcState::running,
+                  "makeReady on the running process");
+    proc.state = ProcState::ready;
+}
+
+Process *
+Kernel::pickReady()
+{
+    // Round-robin: rotate starting after the current process.
+    if (procs.empty())
+        return nullptr;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+        if (procs[i].get() == current) {
+            start = i + 1;
+            break;
+        }
+    }
+    for (std::size_t k = 0; k < procs.size(); ++k) {
+        Process *p = procs[(start + k) % procs.size()].get();
+        if (p->state == ProcState::ready && p->program)
+            return p;
+    }
+    return nullptr;
+}
+
+void
+Kernel::switchTo(Process *proc)
+{
+    if (current == proc) {
+        // Same process re-picked at timeslice end: no context switch,
+        // just keep running.
+        if (proc && proc->state == ProcState::ready)
+            proc->state = ProcState::running;
+        return;
+    }
+    ++contextSwitches;
+    Process *old = current;
+    if (old && old->state == ProcState::running) {
+        old->context = cpuCore.state();
+        old->state = ProcState::ready;
+    }
+    for (auto *l : listeners)
+        l->onContextSwitch(old, proc);
+    sim.bump(_params.contextSwitchCost);
+    current = proc;
+    if (proc) {
+        proc->state = ProcState::running;
+        cpuCore.setContext(proc->pid, proc->ptRoot);
+        cpuCore.setState(proc->context);
+    }
+}
+
+void
+Kernel::run()
+{
+    runUntil(maxTick);
+}
+
+void
+Kernel::runUntil(Tick deadline)
+{
+    while (sim.now() < deadline) {
+        Process *proc = pickReady();
+        if (!proc)
+            return;
+        switchTo(proc);
+        const Tick slice_end =
+            std::min(deadline, sim.now() + _params.timeslice);
+        runSlice(*proc, slice_end);
+    }
+}
+
+void
+Kernel::runSlice(Process &proc, Tick slice_end)
+{
+    cpu::Op op;
+    while (sim.now() < slice_end &&
+           proc.state == ProcState::running) {
+        sim.service();
+        if (!proc.program || !proc.program->next(op)) {
+            exitProcess(proc);
+            return;
+        }
+        ++opsExecuted;
+        if (!dispatch(proc, op))
+            return;
+    }
+    if (proc.state == ProcState::running) {
+        proc.context = cpuCore.state();
+        proc.state = ProcState::ready;
+    }
+}
+
+bool
+Kernel::dispatch(Process &proc, const cpu::Op &op)
+{
+    using Kind = cpu::Op::Kind;
+    switch (op.kind) {
+      case Kind::read:
+      case Kind::write: {
+        const bool ok = cpuCore.memAccess(op.kind == Kind::write,
+                                          op.addr, op.size);
+        if (!ok) {
+            warn("pid {}: segfault at {}; killing process", proc.pid,
+                 op.addr);
+            exitProcess(proc);
+            return false;
+        }
+        return true;
+      }
+
+      case Kind::compute:
+        cpuCore.compute(op.size);
+        return true;
+
+      case Kind::mmap: {
+        ++syscalls;
+        sim.bump(_params.syscallEntryCost);
+        const Addr result = sysMmap(proc, op.addr, op.size, op.flags);
+        proc.program->onSyscallResult(result);
+        return true;
+      }
+
+      case Kind::munmap:
+        ++syscalls;
+        sim.bump(_params.syscallEntryCost);
+        sysMunmap(proc, op.addr, op.size);
+        return true;
+
+      case Kind::mremap: {
+        ++syscalls;
+        sim.bump(_params.syscallEntryCost);
+        // For mremap ops the flags field carries the new size in
+        // pages (the Op struct has no second 64-bit size field).
+        const Addr result =
+            sysMremap(proc, op.addr, op.size,
+                      std::uint64_t(op.flags) << pageShift);
+        proc.program->onSyscallResult(result);
+        return true;
+      }
+
+      case Kind::mprotect:
+        ++syscalls;
+        sim.bump(_params.syscallEntryCost);
+        sysMprotect(proc, op.addr, op.size, op.flags);
+        return true;
+
+      case Kind::faseStart:
+        proc.faseActive = true;
+        for (auto *l : listeners)
+            l->onFaseStart(proc);
+        return true;
+
+      case Kind::faseEnd:
+        proc.faseActive = false;
+        for (auto *l : listeners)
+            l->onFaseEnd(proc);
+        return true;
+
+      case Kind::exit:
+        exitProcess(proc);
+        return false;
+    }
+    kindle_panic("unhandled op kind");
+}
+
+Addr
+Kernel::sysMmap(Process &proc, Addr hint, std::uint64_t length,
+                std::uint32_t flags)
+{
+    length = roundUp(length, pageSize);
+    kindle_assert(length > 0, "mmap of zero bytes");
+
+    Addr start;
+    if (flags & cpu::mapFixed) {
+        start = roundDown(hint, pageSize);
+        // A fixed mapping replaces whatever was there.
+        if (proc.aspace.find(start) ||
+            proc.aspace.find(start + length - 1)) {
+            sysMunmap(proc, start, length);
+        }
+    } else {
+        start = proc.aspace.findFreeRegion(hint, length);
+    }
+
+    Vma vma;
+    vma.range = AddrRange::withSize(start, length);
+    vma.prot = cpu::protRead | cpu::protWrite;
+    vma.nvm = (flags & cpu::mapNvm) != 0;
+    proc.aspace.insert(vma);
+    trace::dprintf(trace::Flag::vma, sim.now(),
+                   "pid {} mmap [{}, {}) nvm={}", proc.pid, start,
+                   start + length, vma.nvm);
+    for (auto *l : listeners)
+        l->onVmaAdded(proc, vma);
+    return start;
+}
+
+void
+Kernel::unmapPages(Process &proc, const Vma &piece)
+{
+    // Release every mapped frame in the removed subrange and clear its
+    // PTE.  Walk page by page; the per-page software walk through the
+    // cache hierarchy is exactly the cost the paper attributes to VMA
+    // modifications.
+    for (Addr va = piece.range.start(); va < piece.range.end();
+         va += pageSize) {
+        const auto old = ptMgr->unmap(proc.ptRoot, va);
+        if (!old)
+            continue;
+        Addr frame = old->frameAddr();
+        const bool nvm = old->nvmBacked();
+        if (old->hsccRemapped()) {
+            // The PTE points at a DRAM cache page; the backing NVM
+            // frame is owned by whoever manages the remapping.
+            Addr home = invalidAddr;
+            for (auto *l : listeners) {
+                if (l->resolveRemappedFrame(proc, va, frame, &home))
+                    break;
+            }
+            kindle_assert(home != invalidAddr,
+                          "remapped PTE with no resolver attached");
+            frame = home;
+        }
+        (nvm ? *nvmAlloc : *dramAlloc).free(frame);
+        for (auto *l : listeners)
+            l->onFrameUnmapped(proc, va, frame, nvm);
+    }
+    invalidateTlbRange(proc.pid, piece.range);
+}
+
+void
+Kernel::sysMunmap(Process &proc, Addr addr, std::uint64_t length)
+{
+    length = roundUp(length, pageSize);
+    const AddrRange range(roundDown(addr, pageSize),
+                          roundDown(addr, pageSize) + length);
+    auto removed = proc.aspace.removeRange(range);
+    for (const Vma &piece : removed) {
+        unmapPages(proc, piece);
+        for (auto *l : listeners)
+            l->onVmaRemoved(proc, piece);
+    }
+}
+
+Addr
+Kernel::sysMremap(Process &proc, Addr old_addr,
+                  std::uint64_t old_length, std::uint64_t new_length)
+{
+    old_length = roundUp(old_length, pageSize);
+    new_length = roundUp(new_length, pageSize);
+    Vma *vma = proc.aspace.find(old_addr);
+    kindle_assert(vma && vma->range.start() == old_addr,
+                  "mremap of a non-VMA address");
+
+    if (new_length == old_length)
+        return old_addr;
+
+    if (new_length < old_length) {
+        // Shrink: unmap the tail.
+        sysMunmap(proc, old_addr + new_length,
+                  old_length - new_length);
+        return old_addr;
+    }
+
+    // Grow: in place if the next bytes are free, otherwise move.
+    const AddrRange grown =
+        AddrRange::withSize(old_addr, new_length);
+    const Addr after = old_addr + old_length;
+    const bool can_extend =
+        proc.aspace.find(after) == nullptr &&
+        proc.aspace.find(grown.end() - 1) == nullptr;
+    if (can_extend) {
+        const Vma old_vma = *vma;
+        proc.aspace.removeRange(old_vma.range);
+        Vma extended = old_vma;
+        extended.range = grown;
+        proc.aspace.insert(extended);
+        for (auto *l : listeners) {
+            l->onVmaRemoved(proc, old_vma);
+            l->onVmaAdded(proc, extended);
+        }
+        return old_addr;
+    }
+
+    // Move: remap mapped frames to the new region, then drop the old
+    // VMA (frames travel, so no free/realloc of backing pages).
+    const Vma old_vma = *vma;
+    const Addr new_start =
+        proc.aspace.findFreeRegion(0, new_length);
+    Vma moved = old_vma;
+    moved.range = AddrRange::withSize(new_start, new_length);
+    for (Addr va = old_vma.range.start(); va < old_vma.range.end();
+         va += pageSize) {
+        const auto old = ptMgr->unmap(proc.ptRoot, va);
+        if (!old)
+            continue;
+        const Addr nva = new_start + (va - old_vma.range.start());
+        for (auto *l : listeners) {
+            l->onFrameUnmapped(proc, va, old->frameAddr(),
+                               old->nvmBacked());
+        }
+        ptMgr->map(proc.ptRoot, nva, old->frameAddr(),
+                   old->writable(), old->nvmBacked());
+        for (auto *l : listeners) {
+            l->onFrameMapped(proc, nva, old->frameAddr(),
+                             old->nvmBacked());
+        }
+    }
+    invalidateTlbRange(proc.pid, old_vma.range);
+    proc.aspace.removeRange(old_vma.range);
+    proc.aspace.insert(moved);
+    for (auto *l : listeners) {
+        l->onVmaRemoved(proc, old_vma);
+        l->onVmaAdded(proc, moved);
+    }
+    return new_start;
+}
+
+void
+Kernel::sysMprotect(Process &proc, Addr addr, std::uint64_t length,
+                    std::uint32_t prot)
+{
+    length = roundUp(length, pageSize);
+    const AddrRange range(roundDown(addr, pageSize),
+                          roundDown(addr, pageSize) + length);
+    auto affected = proc.aspace.protectRange(range, prot);
+    for (const Vma &piece : affected) {
+        // Update the writable bit of every mapped page.
+        for (Addr va = piece.range.start(); va < piece.range.end();
+             va += pageSize) {
+            cpu::Pte leaf = ptMgr->readLeaf(proc.ptRoot, va);
+            if (!leaf.present())
+                continue;
+            leaf.setWritable((prot & cpu::protWrite) != 0);
+            ptMgr->writeLeaf(proc.ptRoot, va, leaf);
+        }
+        invalidateTlbRange(proc.pid, piece.range);
+    }
+}
+
+void
+Kernel::invalidateTlbRange(Pid pid, AddrRange range)
+{
+    const std::uint64_t pages = range.size() >> pageShift;
+    constexpr std::uint64_t flushAllThreshold = 512;
+    constexpr Tick invlpgCost = 100 * oneNs;
+    if (pages > flushAllThreshold) {
+        cpuCore.tlb().flushAll();
+        sim.bump(2 * oneUs);
+    } else {
+        for (Addr va = range.start(); va < range.end(); va += pageSize)
+            cpuCore.tlb().invalidate(pid, cpu::vpnOf(va));
+        sim.bump(pages * invlpgCost);
+    }
+}
+
+bool
+Kernel::handlePageFault(Addr vaddr, bool is_write)
+{
+    Process *proc = current;
+    kindle_assert(proc != nullptr, "page fault with no process");
+    ++faultsServiced;
+    sim.bump(_params.pageFaultTrapCost);
+
+    const Vma *vma = proc->aspace.find(vaddr);
+    if (!vma)
+        return false;
+    if (is_write && !(vma->prot & cpu::protWrite))
+        return false;
+    if (!is_write && !(vma->prot & cpu::protRead))
+        return false;
+
+    const Addr page = roundDown(vaddr, pageSize);
+    // The fault may race with a prior mapping (e.g. a mid-level hole
+    // above an existing leaf cannot happen, but be defensive).
+    cpu::Pte existing = ptMgr->readLeaf(proc->ptRoot, page);
+    if (existing.present())
+        return true;
+
+    const Addr frame = (vma->nvm ? *nvmAlloc : *dramAlloc).alloc();
+    // Demand-zero the fresh frame (a streaming device write; NVM
+    // frames pay NVM write bandwidth, a large part of the first-touch
+    // cost on persistent-memory systems).
+    sim.bump(memory.submit({mem::MemCmd::bulkWrite, frame, pageSize},
+                           sim.now()));
+    ptMgr->map(proc->ptRoot, page, frame,
+               (vma->prot & cpu::protWrite) != 0, vma->nvm);
+    for (auto *l : listeners)
+        l->onFrameMapped(*proc, page, frame, vma->nvm);
+    trace::dprintf(trace::Flag::syscall, sim.now(),
+                   "pid {} fault at {} -> frame {}", proc->pid, vaddr,
+                   frame);
+    return true;
+}
+
+void
+Kernel::exitProcess(Process &proc)
+{
+    if (proc.state == ProcState::zombie)
+        return;
+    // Release the whole address space.
+    std::vector<Vma> all;
+    proc.aspace.forEach([&](const Vma &v) { all.push_back(v); });
+    for (const Vma &vma : all)
+        sysMunmap(proc, vma.range.start(), vma.range.size());
+    ptMgr->teardown(proc.ptRoot);
+    proc.ptRoot = invalidAddr;
+    proc.state = ProcState::zombie;
+    slotsUsed &= ~(1u << proc.slot);
+    if (current == &proc)
+        current = nullptr;
+    for (auto *l : listeners)
+        l->onProcessExit(proc);
+}
+
+} // namespace kindle::os

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The Kindle gemOS kernel.
+ *
+ * A deliberately small OS in the spirit of gemOS: processes, VMAs with
+ * the MAP_NVM extension, demand paging from per-technology frame
+ * allocators, a round-robin scheduler, and the syscall surface the
+ * paper's experiments exercise (mmap/munmap/mremap/mprotect plus the
+ * SSP FASE markers).  Being small is the point — OS work is visible
+ * in the statistics instead of being buried under background services.
+ */
+
+#ifndef KINDLE_OS_KERNEL_HH
+#define KINDLE_OS_KERNEL_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "cpu/core.hh"
+#include "mem/hybrid_memory.hh"
+#include "os/frame_alloc.hh"
+#include "os/kernel_mem.hh"
+#include "os/nvm_layout.hh"
+#include "os/os_events.hh"
+#include "os/page_table.hh"
+#include "os/process.hh"
+
+namespace kindle::os
+{
+
+/** Kernel configuration. */
+struct KernelParams
+{
+    Tick timeslice = oneMs;           ///< scheduler quantum
+    Tick contextSwitchCost = 2 * oneUs;
+    Tick syscallEntryCost = 150 * oneNs;
+    Tick pageFaultTrapCost = 800 * oneNs;
+    bool ptInNvm = false;  ///< host page tables in NVM (persistent
+                           ///  scheme) instead of DRAM (rebuild)
+    /** DRAM reserved below this for the kernel image. */
+    std::uint64_t kernelReserveBytes = 16 * oneMiB;
+};
+
+/** The kernel. */
+class Kernel : public cpu::FaultHandler
+{
+  public:
+    Kernel(const KernelParams &params, sim::Simulation &sim,
+           mem::HybridMemory &memory, cache::Hierarchy &caches,
+           cpu::Core &core);
+
+    ~Kernel() override;
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** @name Process management. */
+    /// @{
+    /** Create a process running @p program; returns its pid. */
+    Pid spawn(std::unique_ptr<cpu::OpStream> program,
+              std::string name);
+
+    /**
+     * Create an empty process shell (used by crash recovery); the
+     * caller populates the address space and context.  Recovery under
+     * the persistent scheme adopts an NVM-resident page table instead
+     * of building one, hence @p create_pt.
+     */
+    Process &spawnShell(std::string name, unsigned slot,
+                        bool create_pt = true);
+
+    Process *findProcess(Pid pid);
+    const std::vector<std::unique_ptr<Process>> &processes() const
+    {
+        return procs;
+    }
+    Process *currentProcess() { return current; }
+    /// @}
+
+    /** @name Execution. */
+    /// @{
+    /** Run until every process has exited. */
+    void run();
+
+    /** Run until @p deadline or until everything exits. */
+    void runUntil(Tick deadline);
+    /// @}
+
+    /** @name Syscalls (invoked by op dispatch or examples/tests). */
+    /// @{
+    Addr sysMmap(Process &proc, Addr hint, std::uint64_t length,
+                 std::uint32_t flags);
+    void sysMunmap(Process &proc, Addr addr, std::uint64_t length);
+    Addr sysMremap(Process &proc, Addr old_addr,
+                   std::uint64_t old_length, std::uint64_t new_length);
+    void sysMprotect(Process &proc, Addr addr, std::uint64_t length,
+                     std::uint32_t prot);
+    /// @}
+
+    /** cpu::FaultHandler: demand paging. */
+    bool handlePageFault(Addr vaddr, bool is_write) override;
+
+    /** @name Persistence / prototype integration. */
+    /// @{
+    void addListener(OsEventListener *listener);
+    void removeListener(OsEventListener *listener);
+
+    /** Swap the page-table store policy (persistence schemes). */
+    void setPtWritePolicy(PtWritePolicy *policy);
+
+    KernelMem &kmem() { return kernelMem; }
+    const NvmLayout &nvmLayout() const { return layout; }
+    PageTableManager &pageTables() { return *ptMgr; }
+    FrameAllocator &dramAllocator() { return *dramAlloc; }
+    FrameAllocator &nvmAllocator() { return *nvmAlloc; }
+    cpu::Core &core() { return cpuCore; }
+    sim::Simulation &simulation() { return sim; }
+    const KernelParams &params() const { return _params; }
+
+    /** Mark a process runnable again (after recovery re-binding). */
+    void makeReady(Process &proc);
+
+    /** Terminate a process, releasing its memory. */
+    void exitProcess(Process &proc);
+    /// @}
+
+    statistics::StatGroup &stats() { return statGroup; }
+
+  private:
+    /** Forwards to the currently-installed policy. */
+    class PolicyProxy : public PtWritePolicy
+    {
+      public:
+        explicit PolicyProxy(PtWritePolicy *initial) : active(initial) {}
+
+        void
+        writeEntry(Addr entry_addr, std::uint64_t value) override
+        {
+            active->writeEntry(entry_addr, value);
+        }
+
+        PtWritePolicy *active;
+    };
+
+    Process *pickReady();
+    void switchTo(Process *proc);
+    void runSlice(Process &proc, Tick slice_end);
+    bool dispatch(Process &proc, const cpu::Op &op);
+    void invalidateTlbRange(Pid pid, AddrRange range);
+    void unmapPages(Process &proc, const Vma &piece);
+    unsigned allocSlot();
+
+    KernelParams _params;
+    sim::Simulation &sim;
+    mem::HybridMemory &memory;
+    cpu::Core &cpuCore;
+
+    KernelMem kernelMem;
+    NvmLayout layout;
+
+    std::unique_ptr<FrameAllocator> dramAlloc;
+    std::unique_ptr<FrameAllocator> nvmAlloc;
+
+    PlainPtWrite plainPtWrite;
+    PolicyProxy policyProxy;
+    std::unique_ptr<PageTableManager> ptMgr;
+
+    std::vector<std::unique_ptr<Process>> procs;
+    Process *current = nullptr;
+    Pid nextPid = 1;
+    std::uint32_t slotsUsed = 0;
+
+    std::vector<OsEventListener *> listeners;
+
+    statistics::StatGroup statGroup;
+    statistics::Scalar &syscalls;
+    statistics::Scalar &contextSwitches;
+    statistics::Scalar &faultsServiced;
+    statistics::Scalar &opsExecuted;
+};
+
+} // namespace kindle::os
+
+#endif // KINDLE_OS_KERNEL_HH

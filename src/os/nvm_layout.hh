@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Static carving of the NVM physical range into kernel metadata
+ * regions and the user-allocatable frame pool.
+ *
+ * Everything the recovery procedure needs after a crash lives at
+ * well-known offsets from the NVM base: the persistent frame-allocator
+ * bitmap, the saved-state directory, the redo log, the per-process
+ * virtual→NVM-physical mapping lists, and the SSP/HSCC metadata areas.
+ */
+
+#ifndef KINDLE_OS_NVM_LAYOUT_HH
+#define KINDLE_OS_NVM_LAYOUT_HH
+
+#include "base/addr_range.hh"
+#include "base/intmath.hh"
+#include "base/types.hh"
+
+namespace kindle::os
+{
+
+/** Maximum simultaneously-live processes tracked persistently. */
+constexpr unsigned maxProcs = 16;
+
+/** Bytes reserved per process in the saved-state directory. */
+constexpr std::uint64_t savedStateSlotBytes = 16 * oneKiB;
+
+/** The carved regions. */
+struct NvmLayout
+{
+    AddrRange nvm;  ///< the whole device
+
+    Addr allocBitmap = 0;           ///< persistent frame bitmap
+    std::uint64_t allocBitmapBytes = 0;
+
+    Addr savedStateDir = 0;         ///< maxProcs fixed-size slots
+    std::uint64_t savedStateBytes = 0;
+
+    Addr redoLog = 0;               ///< OS metadata redo-log ring
+    std::uint64_t redoLogBytes = 0;
+
+    Addr mappingLists = 0;          ///< per-process vpn→pfn lists
+    std::uint64_t mappingListBytesPerProc = 0;
+
+    Addr sspCache = 0;              ///< SSP metadata area
+    std::uint64_t sspCacheBytes = 0;
+
+    Addr hsccTable = 0;             ///< HSCC NVM↔DRAM lookup table
+    std::uint64_t hsccTableBytes = 0;
+
+    Addr userPool = 0;              ///< first allocatable frame
+    std::uint64_t userPoolBytes = 0;
+
+    /** Saved-state slot base for process slot @p idx. */
+    Addr
+    slotAddr(unsigned idx) const
+    {
+        return savedStateDir + idx * savedStateSlotBytes;
+    }
+
+    /** Mapping-list region base for process slot @p idx. */
+    Addr
+    mappingListAddr(unsigned idx) const
+    {
+        return mappingLists + idx * mappingListBytesPerProc;
+    }
+
+    /** Carve the standard layout from @p nvm_range. */
+    static NvmLayout
+    standard(AddrRange nvm_range)
+    {
+        NvmLayout l;
+        l.nvm = nvm_range;
+        Addr cursor = nvm_range.start();
+
+        const std::uint64_t frames = nvm_range.size() / pageSize;
+        l.allocBitmap = cursor;
+        l.allocBitmapBytes = roundUp(divCeil(frames, 8), pageSize);
+        cursor += l.allocBitmapBytes;
+
+        l.savedStateDir = cursor;
+        l.savedStateBytes = maxProcs * savedStateSlotBytes;
+        cursor += l.savedStateBytes;
+
+        l.redoLog = cursor;
+        l.redoLogBytes = 16 * oneMiB;
+        cursor += l.redoLogBytes;
+
+        l.mappingLists = cursor;
+        l.mappingListBytesPerProc = 4 * oneMiB;
+        cursor += maxProcs * l.mappingListBytesPerProc;
+
+        l.sspCache = cursor;
+        l.sspCacheBytes = 32 * oneMiB;
+        cursor += l.sspCacheBytes;
+
+        l.hsccTable = cursor;
+        l.hsccTableBytes = oneMiB;
+        cursor += l.hsccTableBytes;
+
+        cursor = roundUp(cursor, pageSize);
+        l.userPool = cursor;
+        l.userPoolBytes = nvm_range.end() - cursor;
+        return l;
+    }
+};
+
+} // namespace kindle::os
+
+#endif // KINDLE_OS_NVM_LAYOUT_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The process control block.
+ */
+
+#ifndef KINDLE_OS_PROCESS_HH
+#define KINDLE_OS_PROCESS_HH
+
+#include <memory>
+#include <string>
+
+#include "cpu/core.hh"
+#include "cpu/op.hh"
+#include "os/vma.hh"
+
+namespace kindle::os
+{
+
+/** Scheduler-visible process states. */
+enum class ProcState
+{
+    ready,
+    running,
+    zombie,
+};
+
+/** A gemOS process. */
+class Process
+{
+  public:
+    Process(Pid pid, std::string name, unsigned slot)
+        : pid(pid), name(std::move(name)), slot(slot)
+    {}
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    Pid pid;
+    std::string name;
+
+    /** Saved-state directory slot used by the persistence layer. */
+    unsigned slot;
+
+    ProcState state = ProcState::ready;
+
+    /** Virtual address space layout. */
+    AddressSpace aspace;
+
+    /** Root of the process's radix page table. */
+    Addr ptRoot = invalidAddr;
+
+    /** Architected register state while not running. */
+    cpu::CpuState context;
+
+    /** The program; null for a crash-recovered process awaiting a
+     *  re-bound op stream. */
+    std::unique_ptr<cpu::OpStream> program;
+
+    /** Inside a failure-atomic section (SSP)? */
+    bool faseActive = false;
+
+    /** Set when the process was reconstructed by crash recovery. */
+    bool restored = false;
+};
+
+} // namespace kindle::os
+
+#endif // KINDLE_OS_PROCESS_HH

@@ -1,0 +1,149 @@
+#include "os/vma.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace kindle::os
+{
+
+const Vma *
+AddressSpace::find(Addr vaddr) const
+{
+    return const_cast<AddressSpace *>(this)->find(vaddr);
+}
+
+Vma *
+AddressSpace::find(Addr vaddr)
+{
+    auto it = vmas.upper_bound(vaddr);
+    if (it == vmas.begin())
+        return nullptr;
+    --it;
+    return it->second.range.contains(vaddr) ? &it->second : nullptr;
+}
+
+Addr
+AddressSpace::findFreeRegion(Addr hint, std::uint64_t size) const
+{
+    kindle_assert(size > 0 && isAligned(size, pageSize),
+                  "mmap size must be a positive page multiple");
+    Addr candidate = hint ? roundUp(hint, pageSize) : mmapBase;
+    if (candidate < mmapBase)
+        candidate = mmapBase;
+
+    auto it = vmas.lower_bound(candidate);
+    // Step back to check the predecessor for overlap with candidate.
+    if (it != vmas.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.range.end() > candidate)
+            candidate = prev->second.range.end();
+    }
+    while (it != vmas.end()) {
+        if (candidate + size <= it->second.range.start())
+            break;  // fits in the gap before *it
+        candidate = it->second.range.end();
+        ++it;
+    }
+    kindle_assert(candidate + size <= vaTop,
+                  "virtual address space exhausted");
+    return candidate;
+}
+
+void
+AddressSpace::insert(const Vma &vma)
+{
+    kindle_assert(isAligned(vma.range.start(), pageSize) &&
+                      isAligned(vma.range.size(), pageSize),
+                  "VMA must be page aligned");
+    kindle_assert(!vma.range.empty(), "empty VMA");
+    // Overlap check against neighbours.
+    auto it = vmas.lower_bound(vma.range.start());
+    if (it != vmas.end()) {
+        kindle_assert(!vma.range.intersects(it->second.range),
+                      "VMA overlap on insert");
+    }
+    if (it != vmas.begin()) {
+        auto prev = std::prev(it);
+        kindle_assert(!vma.range.intersects(prev->second.range),
+                      "VMA overlap on insert");
+    }
+    vmas.emplace(vma.range.start(), vma);
+}
+
+std::vector<Vma>
+AddressSpace::removeRange(AddrRange range)
+{
+    std::vector<Vma> removed;
+    if (range.empty())
+        return removed;
+
+    // Find the first VMA that could intersect.
+    auto it = vmas.lower_bound(range.start());
+    if (it != vmas.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.range.end() > range.start())
+            it = prev;
+    }
+
+    while (it != vmas.end() && it->second.range.start() < range.end()) {
+        Vma vma = it->second;
+        if (!vma.range.intersects(range)) {
+            ++it;
+            continue;
+        }
+        it = vmas.erase(it);
+
+        const Addr cut_lo = std::max(vma.range.start(), range.start());
+        const Addr cut_hi = std::min(vma.range.end(), range.end());
+
+        // Left remainder survives.
+        if (vma.range.start() < cut_lo) {
+            Vma left = vma;
+            left.range = AddrRange(vma.range.start(), cut_lo);
+            vmas.emplace(left.range.start(), left);
+        }
+        // Right remainder survives.
+        if (cut_hi < vma.range.end()) {
+            Vma right = vma;
+            right.range = AddrRange(cut_hi, vma.range.end());
+            it = vmas.emplace(right.range.start(), right).first;
+            ++it;
+        }
+
+        Vma cut = vma;
+        cut.range = AddrRange(cut_lo, cut_hi);
+        removed.push_back(cut);
+    }
+    return removed;
+}
+
+std::vector<Vma>
+AddressSpace::protectRange(AddrRange range, std::uint32_t prot)
+{
+    // Carve the affected subranges out, then reinsert them with the
+    // new protection.
+    std::vector<Vma> affected = removeRange(range);
+    for (Vma &vma : affected) {
+        vma.prot = prot;
+        insert(vma);
+    }
+    return affected;
+}
+
+void
+AddressSpace::forEach(const std::function<void(const Vma &)> &fn) const
+{
+    for (const auto &[start, vma] : vmas)
+        fn(vma);
+}
+
+std::uint64_t
+AddressSpace::mappedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[start, vma] : vmas)
+        total += vma.range.size();
+    return total;
+}
+
+} // namespace kindle::os

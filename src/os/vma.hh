@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Virtual memory areas and the per-process address space.
+ *
+ * Kindle tags every VMA as DRAM- or NVM-backed depending on the
+ * MAP_NVM flag passed to mmap(), and the physical allocator for a
+ * page fault is chosen from that tag (paper §II).
+ */
+
+#ifndef KINDLE_OS_VMA_HH
+#define KINDLE_OS_VMA_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "base/addr_range.hh"
+#include "cpu/op.hh"
+
+namespace kindle::os
+{
+
+/** One mapped region of a process's virtual address space. */
+struct Vma
+{
+    AddrRange range;
+    std::uint32_t prot = cpu::protRead | cpu::protWrite;
+    bool nvm = false;      ///< MAP_NVM: back with NVM frames
+    std::uint32_t areaId = 0;  ///< replay "area" label (0 = anonymous)
+
+    bool
+    operator==(const Vma &o) const
+    {
+        return range == o.range && prot == o.prot && nvm == o.nvm &&
+               areaId == o.areaId;
+    }
+};
+
+/**
+ * A process's sorted, non-overlapping VMA set plus the virtual-address
+ * search policy for placing new mappings.
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace() = default;
+
+    /** Lowest address handed out by the allocator search. */
+    static constexpr Addr mmapBase = Addr(0x100000000);  // 4 GiB
+    /** Canonical user-space ceiling (47-bit). */
+    static constexpr Addr vaTop = Addr(1) << 47;
+
+    /** VMA containing @p vaddr, if any. */
+    const Vma *find(Addr vaddr) const;
+    Vma *find(Addr vaddr);
+
+    /**
+     * Pick a free, page-aligned region of @p size bytes at or above
+     * @p hint (or mmapBase when hint is 0).
+     * @return the chosen start address.
+     */
+    Addr findFreeRegion(Addr hint, std::uint64_t size) const;
+
+    /** Insert a VMA; it must not overlap existing mappings. */
+    void insert(const Vma &vma);
+
+    /**
+     * Unmap [start, start+size): remove full overlaps and split
+     * partial ones.
+     * @return the removed (sub)regions with their attributes, for
+     *         page-table teardown.
+     */
+    std::vector<Vma> removeRange(AddrRange range);
+
+    /**
+     * Apply @p prot to every byte of @p range that is mapped,
+     * splitting VMAs as needed.
+     * @return the affected subranges.
+     */
+    std::vector<Vma> protectRange(AddrRange range, std::uint32_t prot);
+
+    /** Visit every VMA in address order. */
+    void forEach(const std::function<void(const Vma &)> &fn) const;
+
+    std::size_t count() const { return vmas.size(); }
+    bool empty() const { return vmas.empty(); }
+
+    /** Total mapped bytes. */
+    std::uint64_t mappedBytes() const;
+
+    bool
+    operator==(const AddressSpace &o) const
+    {
+        return vmas == o.vmas;
+    }
+
+  private:
+    /** Keyed by start address. */
+    std::map<Addr, Vma> vmas;
+};
+
+} // namespace kindle::os
+
+#endif // KINDLE_OS_VMA_HH

@@ -1,0 +1,351 @@
+#include "persist/checkpoint.hh"
+
+#include "base/logging.hh"
+#include "base/trace_flags.hh"
+#include "cpu/pagetable_defs.hh"
+
+namespace kindle::persist
+{
+
+PersistDomain::PersistDomain(const PersistParams &params,
+                             os::Kernel &kernel_arg)
+    : _params(params),
+      kernel(kernel_arg),
+      event(*this),
+      statGroup("persist"),
+      checkpoints(statGroup.addScalar("checkpoints",
+                                      "periodic checkpoints taken")),
+      ckptTicks(statGroup.addDistribution(
+          "ckptTicks", "simulated time per checkpoint")),
+      mappingEntries(statGroup.addScalar(
+          "mappingEntries", "mapping-list entries written")),
+      redoRecords(statGroup.addScalar("redoRecords",
+                                      "metadata redo records"))
+{
+    const os::NvmLayout &layout = kernel.nvmLayout();
+    const std::uint64_t half = layout.redoLogBytes / 2;
+    metaLog = std::make_unique<RedoLog>(kernel.kmem(), layout.redoLog,
+                                        half, "redoLog");
+    if (_params.scheme == PtScheme::persistent) {
+        kindle_assert(kernel.params().ptInNvm,
+                      "persistent scheme requires NVM-hosted page "
+                      "tables (KernelParams::ptInNvm)");
+        ptPolicy = std::make_unique<ConsistentPtWrite>(
+            kernel.kmem(), layout.redoLog + half, half);
+        statGroup.addChild(ptPolicy->stats());
+    } else {
+        kindle_assert(!kernel.params().ptInNvm,
+                      "rebuild scheme hosts page tables in DRAM");
+    }
+    statGroup.addChild(metaLog->stats());
+}
+
+PersistDomain::~PersistDomain()
+{
+    stop();
+}
+
+SavedStateSlot &
+PersistDomain::slotFor(const os::Process &proc)
+{
+    auto &opt = slots[proc.slot];
+    if (!opt) {
+        opt.emplace(kernel.kmem(), kernel.nvmLayout(), proc.slot);
+    }
+    return *opt;
+}
+
+void
+PersistDomain::start()
+{
+    if (started)
+        return;
+    started = true;
+
+    if (ptPolicy)
+        kernel.setPtWritePolicy(ptPolicy.get());
+
+    // Adopt restored processes, initialize slots for fresh ones.
+    for (const auto &proc : kernel.processes()) {
+        if (proc->state == os::ProcState::zombie)
+            continue;
+        SavedStateSlot &slot = slotFor(*proc);
+        if (proc->restored) {
+            slot.readHeader();
+        } else {
+            slot.initialize(proc->pid, proc->name, _params.scheme);
+            if (_params.scheme == PtScheme::persistent)
+                slot.setPtRoot(proc->ptRoot);
+        }
+    }
+
+    kernel.addListener(this);
+    scheduleNext();
+}
+
+void
+PersistDomain::stop()
+{
+    if (!started)
+        return;
+    started = false;
+    kernel.removeListener(this);
+    kernel.setPtWritePolicy(nullptr);
+    kernel.simulation().eventq().deschedule(&event);
+}
+
+void
+PersistDomain::scheduleNext()
+{
+    kernel.simulation().eventq().schedule(
+        &event,
+        kernel.simulation().now() + _params.checkpointInterval);
+}
+
+void
+PersistDomain::onProcessCreated(os::Process &proc)
+{
+    incState[proc.slot].reset();
+    SavedStateSlot &slot = slotFor(proc);
+    slot.initialize(proc.pid, proc.name, _params.scheme);
+    if (_params.scheme == PtScheme::persistent)
+        slot.setPtRoot(proc.ptRoot);
+    RedoRecord rec;
+    rec.type = RedoType::processCreated;
+    rec.pid = proc.pid;
+    metaLog->append(rec);
+    ++redoRecords;
+}
+
+void
+PersistDomain::onProcessExit(os::Process &proc)
+{
+    slotFor(proc).invalidate();
+    incState[proc.slot].reset();
+    RedoRecord rec;
+    rec.type = RedoType::processExit;
+    rec.pid = proc.pid;
+    metaLog->append(rec);
+    ++redoRecords;
+}
+
+void
+PersistDomain::onVmaAdded(os::Process &proc, const os::Vma &vma)
+{
+    RedoRecord rec;
+    rec.type = RedoType::vmaAdded;
+    rec.pid = proc.pid;
+    rec.a = vma.range.start();
+    rec.b = vma.range.end();
+    rec.c = vma.prot;
+    rec.d = vma.nvm ? 1 : 0;
+    metaLog->append(rec);
+    ++redoRecords;
+}
+
+void
+PersistDomain::onVmaRemoved(os::Process &proc, const os::Vma &vma)
+{
+    RedoRecord rec;
+    rec.type = RedoType::vmaRemoved;
+    rec.pid = proc.pid;
+    rec.a = vma.range.start();
+    rec.b = vma.range.end();
+    metaLog->append(rec);
+    ++redoRecords;
+}
+
+void
+PersistDomain::onFaseStart(os::Process &proc)
+{
+    RedoRecord rec;
+    rec.type = RedoType::faseMark;
+    rec.pid = proc.pid;
+    rec.a = 1;
+    metaLog->append(rec);
+    ++redoRecords;
+}
+
+void
+PersistDomain::onFaseEnd(os::Process &proc)
+{
+    RedoRecord rec;
+    rec.type = RedoType::faseMark;
+    rec.pid = proc.pid;
+    rec.a = 0;
+    metaLog->append(rec);
+    ++redoRecords;
+}
+
+void
+PersistDomain::checkpointProcess(os::Process &proc)
+{
+    SavedStateSlot &slot = slotFor(proc);
+
+    // CPU state: live registers for the running process, the saved
+    // context otherwise.
+    const cpu::CpuState regs =
+        (kernel.currentProcess() == &proc &&
+         proc.state == os::ProcState::running)
+            ? kernel.core().state()
+            : proc.context;
+
+    // Serialize and durably write the working copy.
+    const SavedContext ctx = SavedStateSlot::snapshot(proc, regs);
+    slot.writeWorkingContext(ctx);
+
+    if (_params.scheme == PtScheme::rebuild) {
+        if (_params.incrementalMappingList)
+            updateMappingListIncremental(proc, slot);
+        else
+            updateMappingListFull(proc, slot);
+    } else {
+        slot.setPtRoot(proc.ptRoot);
+    }
+
+    // Publish: flip the consistent index.
+    slot.commit();
+}
+
+void
+PersistDomain::updateMappingListFull(os::Process &proc,
+                                     SavedStateSlot &slot)
+{
+    // Traverse the page table and refresh the virtual→NVM-physical
+    // mapping list.  This is the rebuild scheme's recurring cost: it
+    // scales with the mapped address-space size.
+    std::uint64_t count = 0;
+    kernel.pageTables().forEachLeaf(
+        proc.ptRoot, [&](Addr va, cpu::Pte pte, Addr) {
+            if (!pte.nvmBacked())
+                return;
+            slot.writeMappingEntry(count, {cpu::vpnOf(va), pte.pfn()});
+            ++count;
+        });
+    slot.finalizeMappingList(count);
+    mappingEntries += static_cast<double>(count);
+}
+
+void
+PersistDomain::updateMappingListIncremental(os::Process &proc,
+                                            SavedStateSlot &slot)
+{
+    IncState &st = incState[proc.slot];
+    if (!st.built) {
+        // First checkpoint for this process (or after recovery):
+        // seed the list with one full traversal, then stay
+        // event-driven.
+        st.reset();
+        st.built = true;
+        kernel.pageTables().forEachLeaf(
+            proc.ptRoot, [&](Addr va, cpu::Pte pte, Addr) {
+                if (!pte.nvmBacked())
+                    return;
+                const MappingEntry e{cpu::vpnOf(va), pte.pfn()};
+                slot.writeMappingEntry(st.list.size(), e,
+                                       /*charge_scan=*/false);
+                st.posOf[e.vpn] = st.list.size();
+                st.list.push_back(e);
+            });
+        slot.finalizeMappingList(st.list.size());
+        mappingEntries += static_cast<double>(st.list.size());
+        return;
+    }
+
+    // Apply the mutations recorded since the last checkpoint, in
+    // order.  Removals keep the durable array dense by moving the
+    // tail entry into the vacated slot.
+    for (const auto &[is_add, entry] : st.pending) {
+        if (is_add) {
+            const auto it = st.posOf.find(entry.vpn);
+            if (it != st.posOf.end()) {
+                st.list[it->second] = entry;
+                slot.writeMappingEntry(it->second, entry, false);
+            } else {
+                st.posOf[entry.vpn] = st.list.size();
+                slot.writeMappingEntry(st.list.size(), entry, false);
+                st.list.push_back(entry);
+            }
+            ++mappingEntries;
+        } else {
+            const auto it = st.posOf.find(entry.vpn);
+            if (it == st.posOf.end())
+                continue;
+            const std::uint64_t idx = it->second;
+            st.posOf.erase(it);
+            const std::uint64_t last = st.list.size() - 1;
+            if (idx != last) {
+                st.list[idx] = st.list[last];
+                slot.writeMappingEntry(idx, st.list[idx], false);
+                st.posOf[st.list[idx].vpn] = idx;
+                ++mappingEntries;
+            }
+            st.list.pop_back();
+        }
+    }
+    st.pending.clear();
+    slot.finalizeMappingList(st.list.size());
+}
+
+void
+PersistDomain::onFrameMapped(os::Process &proc, Addr vaddr, Addr frame,
+                             bool nvm)
+{
+    if (!nvm || _params.scheme != PtScheme::rebuild ||
+        !_params.incrementalMappingList) {
+        return;
+    }
+    incState[proc.slot].pending.emplace_back(
+        true, MappingEntry{cpu::vpnOf(vaddr), frame >> pageShift});
+}
+
+void
+PersistDomain::onFrameUnmapped(os::Process &proc, Addr vaddr,
+                               Addr frame, bool nvm)
+{
+    (void)frame;
+    if (!nvm || _params.scheme != PtScheme::rebuild ||
+        !_params.incrementalMappingList) {
+        return;
+    }
+    incState[proc.slot].pending.emplace_back(
+        false, MappingEntry{cpu::vpnOf(vaddr), 0});
+}
+
+void
+PersistDomain::checkpointNow()
+{
+    sim::Simulation &sim = kernel.simulation();
+    const Tick t0 = sim.now();
+
+    // Log the CPU state of every live process, then apply the full
+    // redo log once (the working copies absorb all interval changes).
+    for (const auto &proc : kernel.processes()) {
+        if (proc->state == os::ProcState::zombie)
+            continue;
+        RedoRecord rec;
+        rec.type = RedoType::cpuState;
+        rec.pid = proc->pid;
+        rec.a = proc->context.rip;
+        metaLog->append(rec);
+        ++redoRecords;
+    }
+    metaLog->replay([](const RedoRecord &) {});
+
+    for (const auto &proc : kernel.processes()) {
+        if (proc->state == os::ProcState::zombie)
+            continue;
+        checkpointProcess(*proc);
+    }
+
+    metaLog->reset();
+    if (ptPolicy)
+        ptPolicy->retireAll();
+    ++checkpoints;
+    ckptTicks.sample(static_cast<double>(sim.now() - t0));
+    trace::dprintf(trace::Flag::checkpoint, sim.now(),
+                   "checkpoint complete in {} us",
+                   ticksToUs(sim.now() - t0));
+}
+
+} // namespace kindle::persist

@@ -1,0 +1,123 @@
+#include "persist/recovery.hh"
+
+#include <unordered_set>
+
+#include "base/logging.hh"
+#include "base/trace_flags.hh"
+#include "cpu/pagetable_defs.hh"
+#include "persist/pt_policy.hh"
+
+namespace kindle::persist
+{
+
+namespace
+{
+
+/** Collect all NVM frames reachable from a persistent page table. */
+void
+collectPtFrames(os::Kernel &kernel, Addr table, unsigned level,
+                std::unordered_set<Addr> &live)
+{
+    live.insert(table);
+    auto &mem = kernel.kmem().mem();
+    for (unsigned i = 0; i < cpu::ptEntriesPerPage; ++i) {
+        const cpu::Pte pte{mem.readT<std::uint64_t>(
+            table + i * cpu::ptEntrySize)};
+        if (!pte.present())
+            continue;
+        if (level == 0) {
+            if (pte.nvmBacked())
+                live.insert(pte.frameAddr());
+        } else {
+            collectPtFrames(kernel, pte.frameAddr(), level - 1, live);
+        }
+    }
+}
+
+} // namespace
+
+RecoveryReport
+recover(os::Kernel &kernel, PtScheme scheme)
+{
+    RecoveryReport report;
+    sim::Simulation &sim = kernel.simulation();
+    const Tick t0 = sim.now();
+
+    // 1. Frame allocator state survives in the durable bitmap.
+    kernel.nvmAllocator().recoverFromBitmap();
+
+    // 1b. Persistent scheme: repair any wrapped page-table store the
+    //     crash tore mid-writeback, before the tables are trusted.
+    if (scheme == PtScheme::persistent) {
+        const os::NvmLayout &layout = kernel.nvmLayout();
+        const std::uint64_t half = layout.redoLogBytes / 2;
+        const PtUndoReport undo = recoverPtUndoLog(
+            kernel.kmem(), layout.redoLog + half, half);
+        report.tornPtStoresRolledBack = undo.tornStoresRolledBack;
+    }
+
+    std::unordered_set<Addr> live_frames;
+
+    // 2-3. Scan the directory.
+    for (unsigned idx = 0; idx < os::maxProcs; ++idx) {
+        SavedStateSlot slot(kernel.kmem(), kernel.nvmLayout(), idx);
+        const SlotHeader hdr = slot.readHeader();
+        if (!hdr.valid)
+            continue;
+        kindle_assert(hdr.scheme == static_cast<std::uint32_t>(scheme),
+                      "slot {} was checkpointed under the {} scheme",
+                      idx,
+                      ptSchemeName(static_cast<PtScheme>(hdr.scheme)));
+
+        const bool persistent = scheme == PtScheme::persistent;
+        os::Process &proc = kernel.spawnShell(
+            std::string(hdr.name), idx, /*create_pt=*/!persistent);
+        proc.restored = true;
+
+        const SavedContext ctx = slot.readConsistentContext(hdr);
+        proc.context = ctx.regs;
+        SavedStateSlot::restoreAspace(proc, ctx);
+
+        if (persistent) {
+            // Adopt the NVM-resident table: just reload the root
+            // (the "set PTBR" step of the paper).
+            proc.ptRoot = hdr.ptRoot;
+            kernel.pageTables().adopt(proc.ptRoot);
+            collectPtFrames(kernel, proc.ptRoot, cpu::ptLevels - 1,
+                            live_frames);
+        } else {
+            // Rebuild the DRAM page table from the mapping list.
+            const auto mappings = slot.readMappingList(hdr);
+            for (const MappingEntry &m : mappings) {
+                kernel.pageTables().map(
+                    proc.ptRoot, m.vpn << pageShift,
+                    m.pfn << pageShift, /*writable=*/true,
+                    /*nvm_backed=*/true);
+                live_frames.insert(m.pfn << pageShift);
+            }
+            report.mappingsRestored += mappings.size();
+        }
+
+        proc.state = os::ProcState::ready;
+        ++report.processesRecovered;
+        trace::dprintf(trace::Flag::recovery, sim.now(),
+                       "recovered pid {} ({} VMAs)", proc.pid,
+                       ctx.vmaCount);
+    }
+
+    // 4. Reclaim NVM frames that were allocated after the last
+    //    checkpoint (present in the bitmap, reachable from nothing).
+    std::vector<Addr> leaked;
+    kernel.nvmAllocator().forEachAllocated([&](Addr frame) {
+        if (!live_frames.count(frame))
+            leaked.push_back(frame);
+    });
+    for (Addr frame : leaked)
+        kernel.nvmAllocator().free(frame);
+    report.framesReclaimed = leaked.size();
+
+    report.recoveryTicks = sim.now() - t0;
+    return report;
+}
+
+} // namespace kindle::persist

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Crash recovery: reconstruct processes from the NVM saved state.
+ *
+ * After a reboot (fresh kernel over the surviving NVM image) the
+ * recovery procedure:
+ *
+ *   1. restores the NVM frame allocator from its durable bitmap,
+ *   2. scans the saved-state directory, creating a process shell for
+ *      each valid slot and restoring its consistent context (CPU
+ *      registers + VMA layout),
+ *   3. re-establishes the page table — adopting the NVM-resident root
+ *      (persistent scheme) or rebuilding a fresh DRAM table from the
+ *      mapping list (rebuild scheme),
+ *   4. reclaims NVM frames that were allocated after the last
+ *      checkpoint and are no longer reachable,
+ *   5. marks each recovered process ready for execution.
+ */
+
+#ifndef KINDLE_PERSIST_RECOVERY_HH
+#define KINDLE_PERSIST_RECOVERY_HH
+
+#include "os/kernel.hh"
+#include "persist/saved_state.hh"
+
+namespace kindle::persist
+{
+
+/** What recovery accomplished. */
+struct RecoveryReport
+{
+    unsigned processesRecovered = 0;
+    std::uint64_t mappingsRestored = 0;  ///< rebuild-scheme PT entries
+    std::uint64_t framesReclaimed = 0;   ///< post-checkpoint leaks
+    std::uint64_t tornPtStoresRolledBack = 0;  ///< persistent scheme
+    Tick recoveryTicks = 0;              ///< simulated recovery time
+};
+
+/**
+ * Run recovery against a freshly-booted kernel.  Must be invoked
+ * before a new PersistDomain is started (the domain then adopts the
+ * recovered slots).
+ *
+ * @param kernel  The post-reboot kernel.
+ * @param scheme  The page-table scheme the crashed system used.
+ */
+RecoveryReport recover(os::Kernel &kernel, PtScheme scheme);
+
+} // namespace kindle::persist
+
+#endif // KINDLE_PERSIST_RECOVERY_HH

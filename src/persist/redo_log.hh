@@ -1,0 +1,120 @@
+/**
+ * @file
+ * An NVM-resident redo log for OS metadata mutations.
+ *
+ * Every record occupies one cache line and is appended durably
+ * (store + clwb + fence).  Records are stamped with the log's current
+ * epoch and a sequence number, so a crash-time reader can recover the
+ * valid tail without a separately-persisted count: it scans records
+ * while (epoch, seq) match the expected progression.  reset() bumps the
+ * epoch in the durable header, logically truncating the log in a
+ * single line write — this is what the checkpoint does after applying
+ * all records to the working copy.
+ */
+
+#ifndef KINDLE_PERSIST_REDO_LOG_HH
+#define KINDLE_PERSIST_REDO_LOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "os/kernel_mem.hh"
+
+namespace kindle::persist
+{
+
+/** Types of metadata mutations captured in the log. */
+enum class RedoType : std::uint32_t
+{
+    invalid = 0,
+    processCreated,
+    processExit,
+    vmaAdded,
+    vmaRemoved,
+    cpuState,
+    faseMark,
+};
+
+/** One 64-byte log record. */
+struct RedoRecord
+{
+    std::uint32_t magic = 0;      ///< validity marker
+    RedoType type = RedoType::invalid;
+    std::uint32_t pid = 0;
+    std::uint32_t epoch = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t a = 0;          ///< payload (type specific)
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+    std::uint64_t d = 0;
+    std::uint64_t pad = 0;
+
+    static constexpr std::uint32_t magicValue = 0x52444c47;  // "RDLG"
+};
+
+static_assert(sizeof(RedoRecord) == 64, "records must be line sized");
+
+/** The log itself. */
+class RedoLog
+{
+  public:
+    /**
+     * @param kmem     Kernel memory gateway.
+     * @param base     NVM address of the log region.
+     * @param capacity Region size in bytes (header + records).
+     * @param name     Stats name.
+     */
+    RedoLog(os::KernelMem &kmem, Addr base, std::uint64_t capacity,
+            std::string name);
+
+    /** Durably append one record (epoch/seq/magic filled in). */
+    void append(RedoRecord rec);
+
+    /** Records appended since the last reset. */
+    std::uint64_t pending() const { return seq; }
+
+    /**
+     * Read back every record of the current epoch (charged as
+     * uncached NVM reads — the checkpoint's "apply" scan).
+     */
+    void replay(const std::function<void(const RedoRecord &)> &fn);
+
+    /** Truncate: bump the epoch durably. */
+    void reset();
+
+    /**
+     * Crash recovery: re-learn epoch from the durable header and
+     * return the records that were durable at crash time.
+     */
+    std::vector<RedoRecord> recoverRecords();
+
+    /** Capacity in records. */
+    std::uint64_t capacityRecords() const { return maxRecords; }
+
+    statistics::StatGroup &stats() { return statGroup; }
+
+  private:
+    Addr recordAddr(std::uint64_t index) const
+    {
+        return base + lineSize + index * sizeof(RedoRecord);
+    }
+
+    os::KernelMem &kmem;
+    Addr base;
+    std::uint64_t maxRecords;
+    std::uint32_t epoch = 1;
+    std::uint64_t seq = 0;
+
+    statistics::StatGroup statGroup;
+    statistics::Scalar &appends;
+    statistics::Scalar &replays;
+    statistics::Scalar &resets;
+    statistics::Scalar &wraps;
+};
+
+} // namespace kindle::persist
+
+#endif // KINDLE_PERSIST_REDO_LOG_HH

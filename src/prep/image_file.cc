@@ -1,0 +1,147 @@
+#include "prep/image_file.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "base/logging.hh"
+
+namespace kindle::prep
+{
+
+namespace
+{
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void
+putBytes(std::FILE *f, const void *src, std::size_t n)
+{
+    if (std::fwrite(src, 1, n, f) != n)
+        kindle_fatal("short write while writing trace image");
+}
+
+void
+getBytes(std::FILE *f, void *dst, std::size_t n)
+{
+    if (std::fread(dst, 1, n, f) != n)
+        kindle_fatal("short read / truncated trace image");
+}
+
+template <typename T>
+void
+putT(std::FILE *f, const T &v)
+{
+    putBytes(f, &v, sizeof(T));
+}
+
+template <typename T>
+T
+getT(std::FILE *f)
+{
+    T v{};
+    getBytes(f, &v, sizeof(T));
+    return v;
+}
+
+void
+putString(std::FILE *f, const std::string &s)
+{
+    putT<std::uint32_t>(f, static_cast<std::uint32_t>(s.size()));
+    putBytes(f, s.data(), s.size());
+}
+
+std::string
+getString(std::FILE *f)
+{
+    const auto len = getT<std::uint32_t>(f);
+    kindle_assert(len < 4096, "implausible string in trace image");
+    std::string s(len, '\0');
+    getBytes(f, s.data(), len);
+    return s;
+}
+
+} // namespace
+
+void
+ImageFile::write(const std::string &path, TraceSource &src)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        kindle_fatal("cannot create trace image '{}'", path);
+
+    putT(f.get(), magic);
+    putT(f.get(), version);
+    putString(f.get(), src.name());
+
+    const MemoryLayout &layout = src.layout();
+    putT<std::uint32_t>(f.get(),
+                        static_cast<std::uint32_t>(layout.areas.size()));
+    for (const auto &a : layout.areas) {
+        putT(f.get(), a.areaId);
+        putT<std::uint8_t>(f.get(), static_cast<std::uint8_t>(a.kind));
+        putT(f.get(), a.sizeBytes);
+        putString(f.get(), a.name);
+    }
+
+    // Stream the records, counting as we go; the count is patched in
+    // at a fixed position afterwards.
+    const long count_pos = std::ftell(f.get());
+    putT<std::uint64_t>(f.get(), 0);
+    std::uint64_t count = 0;
+    src.reset();
+    TraceRecord rec;
+    while (src.next(rec)) {
+        putT(f.get(), rec);
+        ++count;
+    }
+    src.reset();
+    if (std::fseek(f.get(), count_pos, SEEK_SET) != 0)
+        kindle_fatal("seek failed while finalizing trace image");
+    putT(f.get(), count);
+}
+
+TraceImage
+ImageFile::read(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        kindle_fatal("cannot open trace image '{}'", path);
+
+    if (getT<std::uint64_t>(f.get()) != magic)
+        kindle_fatal("'{}' is not a Kindle trace image", path);
+    if (getT<std::uint32_t>(f.get()) != version)
+        kindle_fatal("'{}': unsupported image version", path);
+    const std::string name = getString(f.get());
+
+    MemoryLayout layout;
+    const auto n_areas = getT<std::uint32_t>(f.get());
+    kindle_assert(n_areas < 1024, "implausible area count");
+    for (std::uint32_t i = 0; i < n_areas; ++i) {
+        AreaInfo a;
+        a.areaId = getT<std::uint32_t>(f.get());
+        a.kind = static_cast<AreaKind>(getT<std::uint8_t>(f.get()));
+        a.sizeBytes = getT<std::uint64_t>(f.get());
+        a.name = getString(f.get());
+        layout.areas.push_back(std::move(a));
+    }
+
+    const auto count = getT<std::uint64_t>(f.get());
+    std::vector<TraceRecord> records(count);
+    if (count > 0) {
+        getBytes(f.get(), records.data(),
+                 count * sizeof(TraceRecord));
+    }
+    return TraceImage(name, std::move(layout), std::move(records));
+}
+
+} // namespace kindle::prep

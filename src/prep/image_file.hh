@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The "disk image" produced by the code/image generator.
+ *
+ * The preparation sub-system packs the captured layout and the tuple
+ * stream into a binary image that the simulation side mounts; this is
+ * Kindle's equivalent of the gem5 disk image carrying the replay data
+ * for the gemOS template program.
+ */
+
+#ifndef KINDLE_PREP_IMAGE_FILE_HH
+#define KINDLE_PREP_IMAGE_FILE_HH
+
+#include <string>
+
+#include "prep/trace.hh"
+
+namespace kindle::prep
+{
+
+/** Reader/writer for trace disk images. */
+class ImageFile
+{
+  public:
+    /**
+     * Serialize @p src into the image at @p path (drains and resets
+     * the source).  Fatal on I/O errors.
+     */
+    static void write(const std::string &path, TraceSource &src);
+
+    /** Load an image back; fatal on format errors. */
+    static TraceImage read(const std::string &path);
+
+    /** Magic bytes identifying an image. */
+    static constexpr std::uint64_t magic = 0x4b494e444c45494dull;
+    static constexpr std::uint32_t version = 1;
+};
+
+} // namespace kindle::prep
+
+#endif // KINDLE_PREP_IMAGE_FILE_HH

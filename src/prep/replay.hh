@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The replay template: turns a captured trace into a gemOS program.
+ *
+ * This is Kindle's analogue of the generated template code the paper
+ * describes: it performs heap/stack allocations matching the captured
+ * layout (mmap with MAP_NVM for areas placed in NVM), then replays
+ * every (period, offset, operation, size, area) tuple as loads and
+ * stores at the areas' virtual addresses, and finally unmaps
+ * everything.  Optionally the whole body is wrapped in a failure
+ * atomic section (checkpoint_start/checkpoint_end) for the SSP study.
+ */
+
+#ifndef KINDLE_PREP_REPLAY_HH
+#define KINDLE_PREP_REPLAY_HH
+
+#include <unordered_map>
+
+#include "cpu/op.hh"
+#include "prep/trace.hh"
+
+namespace kindle::prep
+{
+
+/** Replay configuration. */
+struct ReplayConfig
+{
+    bool heapsInNvm = true;   ///< MAP_NVM for heap/global areas
+    bool stacksInNvm = true;  ///< MAP_NVM for stack areas
+    bool wrapInFase = false;  ///< emit checkpoint_start/_end
+    Addr baseVaddr = Addr(0x200000000);  ///< first area placement
+    /** Compute cycles inserted per replayed record (think time). */
+    Cycles computePerRecord = 2;
+    /** Records per inserted compute burst. */
+    unsigned computeBatch = 8;
+};
+
+/** The replayable program. */
+class ReplayStream : public cpu::OpStream
+{
+  public:
+    ReplayStream(TraceSource &source, const ReplayConfig &config);
+
+    bool next(cpu::Op &op) override;
+
+    /** Planned virtual base address of @p area_id. */
+    Addr areaBase(std::uint32_t area_id) const;
+
+    /** Records replayed so far. */
+    std::uint64_t recordsReplayed() const { return replayed; }
+
+  private:
+    enum class Phase
+    {
+        setup,
+        faseOpen,
+        body,
+        faseClose,
+        teardown,
+        exit,
+        done,
+    };
+
+    TraceSource &source;
+    ReplayConfig config;
+
+    std::unordered_map<std::uint32_t, Addr> bases;
+    std::vector<std::pair<Addr, std::uint64_t>> plan;  ///< addr,size
+    std::vector<std::uint32_t> planIds;
+    std::vector<bool> planNvm;
+
+    Phase phase = Phase::setup;
+    std::size_t setupIdx = 0;
+    std::size_t teardownIdx = 0;
+    std::uint64_t replayed = 0;
+    unsigned sinceCompute = 0;
+};
+
+} // namespace kindle::prep
+
+#endif // KINDLE_PREP_REPLAY_HH

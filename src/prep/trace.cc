@@ -1,0 +1,49 @@
+#include "prep/trace.hh"
+
+namespace kindle::prep
+{
+
+TraceImage
+TraceImage::capture(TraceSource &src)
+{
+    src.reset();
+    std::vector<TraceRecord> records;
+    TraceRecord rec;
+    while (src.next(rec))
+        records.push_back(rec);
+    src.reset();
+    return TraceImage(src.name(), src.layout(), std::move(records));
+}
+
+TraceStats
+TraceImage::stats() const
+{
+    TraceStats s;
+    for (const auto &r : _records) {
+        ++s.totalOps;
+        if (r.op == TraceOp::read)
+            ++s.reads;
+        else
+            ++s.writes;
+    }
+    return s;
+}
+
+TraceStats
+computeStats(TraceSource &src)
+{
+    src.reset();
+    TraceStats s;
+    TraceRecord rec;
+    while (src.next(rec)) {
+        ++s.totalOps;
+        if (rec.op == TraceOp::read)
+            ++s.reads;
+        else
+            ++s.writes;
+    }
+    src.reset();
+    return s;
+}
+
+} // namespace kindle::prep

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Clock domains: convert between cycles and ticks.
+ */
+
+#ifndef KINDLE_SIM_CLOCKED_HH
+#define KINDLE_SIM_CLOCKED_HH
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace kindle::sim
+{
+
+/**
+ * A fixed-frequency clock domain.  Kindle's CPU runs at 3 GHz
+ * (333 ps period, matching the paper's configuration); memory devices
+ * use their own timing expressed directly in ticks.
+ */
+class ClockDomain
+{
+  public:
+    /** @param period_ps Clock period in ticks (picoseconds). */
+    explicit ClockDomain(Tick period_ps) : _period(period_ps)
+    {
+        kindle_assert(period_ps > 0, "zero clock period");
+    }
+
+    /** Construct from a frequency in MHz. */
+    static ClockDomain
+    fromMHz(std::uint64_t mhz)
+    {
+        kindle_assert(mhz > 0, "zero frequency");
+        return ClockDomain(1000000 / mhz);
+    }
+
+    Tick period() const { return _period; }
+
+    /** Ticks consumed by @p n cycles. */
+    Tick cyclesToTicks(Cycles n) const { return n * _period; }
+
+    /** Cycles covered by @p t ticks (rounded up). */
+    Cycles
+    ticksToCycles(Tick t) const
+    {
+        return (t + _period - 1) / _period;
+    }
+
+  private:
+    Tick _period;
+};
+
+} // namespace kindle::sim
+
+#endif // KINDLE_SIM_CLOCKED_HH

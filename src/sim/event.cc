@@ -1,0 +1,73 @@
+#include "sim/event.hh"
+
+#include "base/logging.hh"
+
+namespace kindle::sim
+{
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    kindle_assert(ev != nullptr, "scheduling null event");
+    kindle_assert(!ev->_scheduled, "event '{}' already scheduled",
+                  ev->name());
+    ev->_scheduled = true;
+    ev->_when = when;
+    ev->_seq = nextSeq++;
+    heap.push(Entry{when, static_cast<int>(ev->priority()), ev->_seq, ev});
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    // Lazy removal: mark the event unscheduled; its heap entry becomes
+    // stale and is skipped when it reaches the top.
+    if (ev && ev->_scheduled)
+        ev->_scheduled = false;
+}
+
+void
+EventQueue::skipStale(Tick)
+{
+    while (!heap.empty()) {
+        const Entry &top = heap.top();
+        if (top.ev->_scheduled && top.ev->_seq == top.seq)
+            return;
+        heap.pop();
+    }
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    // const_cast-free variant: scan by copying is too costly; instead
+    // maintain the invariant that callers use popDue() which skips
+    // stale entries.  Here we conservatively look through a copy of
+    // the top only.
+    auto &self = const_cast<EventQueue &>(*this);
+    self.skipStale(0);
+    return heap.empty() ? maxTick : heap.top().when;
+}
+
+Event *
+EventQueue::popDue(Tick now)
+{
+    skipStale(now);
+    if (heap.empty() || heap.top().when > now)
+        return nullptr;
+    Event *ev = heap.top().ev;
+    heap.pop();
+    ev->_scheduled = false;
+    return ev;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap.empty()) {
+        heap.top().ev->_scheduled = false;
+        heap.pop();
+    }
+}
+
+} // namespace kindle::sim

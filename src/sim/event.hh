@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Discrete events and the global event queue.
+ *
+ * Kindle's execution model is CPU-driven: the core advances the global
+ * tick as it executes memory operations, and the event queue interleaves
+ * periodic system activities (checkpoints, HSCC migration intervals, the
+ * SSP consolidation thread, scheduler timeslices) whenever their due
+ * tick has been reached or passed.  Events with equal ticks fire in
+ * (priority, insertion) order, which keeps runs fully deterministic.
+ */
+
+#ifndef KINDLE_SIM_EVENT_HH
+#define KINDLE_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace kindle::sim
+{
+
+/**
+ * An occurrence scheduled on the EventQueue.  Subclass and implement
+ * process(), or use CallbackEvent for one-off lambdas.
+ */
+class Event
+{
+  public:
+    /** Relative ordering of events due at the same tick (lower first). */
+    enum class Priority : int
+    {
+        ckpt = 0,      ///< persistence checkpoints run first
+        migration = 1, ///< HSCC migration interval
+        consolidate = 2, ///< SSP consolidation thread
+        sched = 3,     ///< scheduler timeslice
+        deflt = 10,
+    };
+
+    explicit Event(std::string name,
+                   Priority prio = Priority::deflt)
+        : _name(std::move(name)), _priority(prio)
+    {}
+
+    virtual ~Event() = default;
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Perform the event's work; may reschedule itself. */
+    virtual void process() = 0;
+
+    const std::string &name() const { return _name; }
+    Priority priority() const { return _priority; }
+
+    /** Is the event currently on a queue? */
+    bool scheduled() const { return _scheduled; }
+
+    /** Tick the event is due at (valid only while scheduled). */
+    Tick when() const { return _when; }
+
+  private:
+    friend class EventQueue;
+
+    std::string _name;
+    Priority _priority;
+    bool _scheduled = false;
+    Tick _when = 0;
+    std::uint64_t _seq = 0;
+};
+
+/** A one-shot event wrapping a callable. */
+class CallbackEvent : public Event
+{
+  public:
+    CallbackEvent(std::string name, std::function<void()> fn,
+                  Priority prio = Priority::deflt)
+        : Event(std::move(name), prio), callback(std::move(fn))
+    {}
+
+    void process() override { callback(); }
+
+  private:
+    std::function<void()> callback;
+};
+
+/**
+ * A time-ordered queue of events.  The queue does not own events;
+ * owners must keep them alive while scheduled (the usual pattern is a
+ * member Event inside the scheduling component).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Schedule @p ev at absolute tick @p when. */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a scheduled event (no-op if not scheduled). */
+    void deschedule(Event *ev);
+
+    /** Earliest due tick, or maxTick when empty. */
+    Tick nextTick() const;
+
+    /** True when no events are pending. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap.size(); }
+
+    /**
+     * Pop the earliest event if it is due at or before @p now.
+     * Returns nullptr when nothing is due.
+     */
+    Event *popDue(Tick now);
+
+    /** Drop every pending event (used by crash handling). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Event *ev;
+
+        /** std::priority_queue is a max-heap; invert the order. */
+        bool
+        operator<(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return seq > o.seq;
+        }
+    };
+
+    /** Drop stale heap entries for descheduled/rescheduled events. */
+    void skipStale(Tick now);
+
+    std::priority_queue<Entry> heap;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace kindle::sim
+
+#endif // KINDLE_SIM_EVENT_HH

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "base/addr_range.hh"
+
+namespace kindle
+{
+namespace
+{
+
+TEST(AddrRangeTest, BasicProperties)
+{
+    const AddrRange r(0x1000, 0x3000);
+    EXPECT_EQ(r.start(), 0x1000u);
+    EXPECT_EQ(r.end(), 0x3000u);
+    EXPECT_EQ(r.size(), 0x2000u);
+    EXPECT_FALSE(r.empty());
+}
+
+TEST(AddrRangeTest, WithSize)
+{
+    const auto r = AddrRange::withSize(0x4000, 0x1000);
+    EXPECT_EQ(r.start(), 0x4000u);
+    EXPECT_EQ(r.end(), 0x5000u);
+}
+
+TEST(AddrRangeTest, ContainsIsHalfOpen)
+{
+    const AddrRange r(0x1000, 0x2000);
+    EXPECT_TRUE(r.contains(0x1000));
+    EXPECT_TRUE(r.contains(0x1fff));
+    EXPECT_FALSE(r.contains(0x2000));
+    EXPECT_FALSE(r.contains(0xfff));
+}
+
+TEST(AddrRangeTest, EmptyRangeContainsNothing)
+{
+    const AddrRange r(0x1000, 0x1000);
+    EXPECT_TRUE(r.empty());
+    EXPECT_FALSE(r.contains(0x1000));
+}
+
+TEST(AddrRangeTest, Intersects)
+{
+    const AddrRange a(0x1000, 0x2000);
+    EXPECT_TRUE(a.intersects(AddrRange(0x1800, 0x2800)));
+    EXPECT_TRUE(a.intersects(AddrRange(0x800, 0x1001)));
+    EXPECT_FALSE(a.intersects(AddrRange(0x2000, 0x3000)));
+    EXPECT_FALSE(a.intersects(AddrRange(0x0, 0x1000)));
+}
+
+TEST(AddrRangeTest, ContainsRange)
+{
+    const AddrRange a(0x1000, 0x4000);
+    EXPECT_TRUE(a.containsRange(AddrRange(0x1000, 0x4000)));
+    EXPECT_TRUE(a.containsRange(AddrRange(0x2000, 0x3000)));
+    EXPECT_FALSE(a.containsRange(AddrRange(0x800, 0x2000)));
+}
+
+TEST(AddrRangeTest, OffsetOf)
+{
+    const AddrRange a(0x1000, 0x4000);
+    EXPECT_EQ(a.offsetOf(0x1000), 0u);
+    EXPECT_EQ(a.offsetOf(0x2345), 0x1345u);
+}
+
+TEST(AddrRangeTest, OrderingByStart)
+{
+    EXPECT_LT(AddrRange(0x1000, 0x9000), AddrRange(0x2000, 0x3000));
+}
+
+TEST(AddrRangeTest, InvalidRangePanics)
+{
+    setErrorsThrow(true);
+    EXPECT_THROW(AddrRange(0x2000, 0x1000), SimError);
+    setErrorsThrow(false);
+}
+
+} // namespace
+} // namespace kindle

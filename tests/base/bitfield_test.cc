@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "base/bitfield.hh"
+
+namespace kindle
+{
+namespace
+{
+
+TEST(BitfieldTest, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(12), 0xfffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t(0));
+}
+
+TEST(BitfieldTest, Bits)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xff, 3, 3), 1u);
+}
+
+TEST(BitfieldTest, SingleBit)
+{
+    EXPECT_TRUE(bit(0x8, 3));
+    EXPECT_FALSE(bit(0x8, 2));
+}
+
+TEST(BitfieldTest, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 15, 12, 0xa), 0xa000u);
+    EXPECT_EQ(insertBits(0xffff, 15, 12, 0), 0x0fffu);
+    // Field wider than the slot is truncated.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(BitfieldTest, SetBit)
+{
+    EXPECT_EQ(setBit(0, 5), 32u);
+    EXPECT_EQ(setBit(0xff, 0, false), 0xfeu);
+}
+
+TEST(BitfieldTest, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(~std::uint64_t(0)), 64u);
+    EXPECT_EQ(popCount(0x5555), 8u);
+}
+
+TEST(BitfieldTest, RoundTripThroughInsertAndExtract)
+{
+    for (unsigned first = 0; first < 60; first += 7) {
+        const unsigned last = first + 3;
+        const std::uint64_t v = insertBits(0, last, first, 0xb);
+        EXPECT_EQ(bits(v, last, first), 0xbu) << first;
+    }
+}
+
+} // namespace
+} // namespace kindle

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "base/intmath.hh"
+
+namespace kindle
+{
+namespace
+{
+
+TEST(IntMathTest, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(4097));
+}
+
+TEST(IntMathTest, Logs)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4095), 11u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(IntMathTest, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(8, 4), 2u);
+    EXPECT_EQ(divCeil(9, 4), 3u);
+}
+
+TEST(IntMathTest, Rounding)
+{
+    EXPECT_EQ(roundUp(0, 4096), 0u);
+    EXPECT_EQ(roundUp(1, 4096), 4096u);
+    EXPECT_EQ(roundDown(8191, 4096), 4096u);
+    EXPECT_TRUE(isAligned(8192, 4096));
+    EXPECT_FALSE(isAligned(8193, 4096));
+}
+
+class RoundTripParam : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RoundTripParam, RoundUpDownBracketValue)
+{
+    const std::uint64_t v = GetParam();
+    for (std::uint64_t align : {64ull, 4096ull, 2097152ull}) {
+        EXPECT_LE(roundDown(v, align), v);
+        EXPECT_GE(roundUp(v, align), v);
+        EXPECT_TRUE(isAligned(roundDown(v, align), align));
+        EXPECT_TRUE(isAligned(roundUp(v, align), align));
+        EXPECT_LT(roundUp(v, align) - roundDown(v, align), 2 * align);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, RoundTripParam,
+                         ::testing::Values(0, 1, 63, 64, 65, 4095,
+                                           4096, 4097, 1048575,
+                                           1048577, 999999999));
+
+} // namespace
+} // namespace kindle

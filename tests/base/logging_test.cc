@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+namespace kindle
+{
+namespace
+{
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setErrorsThrow(true); }
+    void TearDown() override { setErrorsThrow(false); }
+};
+
+TEST_F(LoggingTest, PanicThrowsInTestMode)
+{
+    try {
+        kindle_panic("value was {}", 42);
+        FAIL() << "panic did not throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimError::Kind::panic);
+        EXPECT_NE(e.message().find("value was 42"), std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, FatalThrowsInTestMode)
+{
+    try {
+        kindle_fatal("bad config: {}", "nvm=0");
+        FAIL() << "fatal did not throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimError::Kind::fatal);
+        EXPECT_NE(e.message().find("nvm=0"), std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, AssertPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(kindle_assert(1 + 1 == 2, "math broke"));
+}
+
+TEST_F(LoggingTest, AssertThrowsOnFalseCondition)
+{
+    EXPECT_THROW(kindle_assert(false, "expected {}", "failure"),
+                 SimError);
+}
+
+TEST_F(LoggingTest, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(warn("just a warning {}", 1));
+    EXPECT_NO_THROW(inform("status {}", 2));
+}
+
+} // namespace
+} // namespace kindle

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+
+namespace kindle::statistics
+{
+namespace
+{
+
+TEST(StatsTest, ScalarArithmetic)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(StatsTest, DistributionTracksMoments)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    d.sample(2);
+    d.sample(4);
+    d.sample(9);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.min(), 2);
+    EXPECT_DOUBLE_EQ(d.max(), 9);
+    EXPECT_DOUBLE_EQ(d.mean(), 5);
+    EXPECT_DOUBLE_EQ(d.sum(), 15);
+}
+
+TEST(StatsTest, GroupLookup)
+{
+    StatGroup g("test");
+    Scalar &a = g.addScalar("alpha", "first");
+    a += 7;
+    EXPECT_DOUBLE_EQ(g.scalarValue("alpha"), 7);
+    EXPECT_TRUE(g.hasScalar("alpha"));
+    EXPECT_FALSE(g.hasScalar("beta"));
+}
+
+TEST(StatsTest, MissingStatIsFatal)
+{
+    setErrorsThrow(true);
+    StatGroup g("test");
+    EXPECT_THROW(g.scalarValue("nope"), SimError);
+    setErrorsThrow(false);
+}
+
+TEST(StatsTest, DuplicateRegistrationPanics)
+{
+    setErrorsThrow(true);
+    StatGroup g("test");
+    g.addScalar("x", "");
+    EXPECT_THROW(g.addScalar("x", ""), SimError);
+    setErrorsThrow(false);
+}
+
+TEST(StatsTest, DumpIncludesChildren)
+{
+    StatGroup parent("parent");
+    StatGroup child("child");
+    parent.addScalar("p", "parent stat") += 1;
+    child.addScalar("c", "child stat") += 2;
+    parent.addChild(child);
+
+    std::ostringstream os;
+    parent.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("parent.p 1"), std::string::npos);
+    EXPECT_NE(out.find("parent.child.c 2"), std::string::npos);
+}
+
+TEST(StatsTest, ResetAllRecurses)
+{
+    StatGroup parent("parent");
+    StatGroup child("child");
+    Scalar &p = parent.addScalar("p", "");
+    Scalar &c = child.addScalar("c", "");
+    parent.addChild(child);
+    p += 5;
+    c += 5;
+    parent.resetAll();
+    EXPECT_EQ(p.value(), 0.0);
+    EXPECT_EQ(c.value(), 0.0);
+}
+
+} // namespace
+} // namespace kindle::statistics

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "base/str.hh"
+
+namespace kindle
+{
+namespace
+{
+
+TEST(StrTest, CsprintfSubstitutes)
+{
+    EXPECT_EQ(csprintf("a {} c {}", 1, "b"), "a 1 c b");
+    EXPECT_EQ(csprintf("no placeholders"), "no placeholders");
+    EXPECT_EQ(csprintf("{}", 3.5), "3.5");
+}
+
+TEST(StrTest, SurplusArgumentsAppend)
+{
+    EXPECT_EQ(csprintf("x", 1), "x 1");
+}
+
+TEST(StrTest, SurplusPlaceholdersStay)
+{
+    EXPECT_EQ(csprintf("a {} {}", 1), "a 1 {}");
+}
+
+TEST(StrTest, Split)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StrTest, SplitSingleField)
+{
+    const auto parts = split("alone", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(StrTest, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("\ttab\n"), "tab");
+}
+
+TEST(StrTest, SizeToString)
+{
+    EXPECT_EQ(sizeToString(512), "512B");
+    EXPECT_EQ(sizeToString(4096), "4KiB");
+    EXPECT_EQ(sizeToString(64 * 1024 * 1024), "64MiB");
+    EXPECT_EQ(sizeToString(3ull << 30), "3GiB");
+    EXPECT_EQ(sizeToString(4097), "4097B");
+}
+
+TEST(StrTest, Fixed)
+{
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(2.0, 1), "2.0");
+}
+
+} // namespace
+} // namespace kindle

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "base/trace_flags.hh"
+
+namespace kindle::trace
+{
+namespace
+{
+
+class TraceFlagsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { clearAll(); }
+    void TearDown() override { clearAll(); }
+};
+
+TEST_F(TraceFlagsTest, DisabledByDefault)
+{
+    EXPECT_FALSE(enabled(Flag::tlb));
+    EXPECT_FALSE(enabled(Flag::checkpoint));
+}
+
+TEST_F(TraceFlagsTest, EnableDisableSingleFlag)
+{
+    enable(Flag::tlb);
+    EXPECT_TRUE(enabled(Flag::tlb));
+    EXPECT_FALSE(enabled(Flag::mem));
+    disable(Flag::tlb);
+    EXPECT_FALSE(enabled(Flag::tlb));
+}
+
+TEST_F(TraceFlagsTest, EnableByNamesParsesList)
+{
+    enableByNames("tlb, checkpoint ,hscc");
+    EXPECT_TRUE(enabled(Flag::tlb));
+    EXPECT_TRUE(enabled(Flag::checkpoint));
+    EXPECT_TRUE(enabled(Flag::hscc));
+    EXPECT_FALSE(enabled(Flag::mem));
+}
+
+TEST_F(TraceFlagsTest, UnknownNamesAreTolerated)
+{
+    EXPECT_NO_THROW(enableByNames("nonsense,tlb"));
+    EXPECT_TRUE(enabled(Flag::tlb));
+}
+
+TEST_F(TraceFlagsTest, EmptyListIsNoop)
+{
+    EXPECT_NO_THROW(enableByNames(""));
+    EXPECT_NO_THROW(enableByNames(",,"));
+}
+
+TEST_F(TraceFlagsTest, ClearAllResets)
+{
+    enableByNames("tlb,mem,event");
+    clearAll();
+    EXPECT_FALSE(enabled(Flag::tlb));
+    EXPECT_FALSE(enabled(Flag::mem));
+    EXPECT_FALSE(enabled(Flag::event));
+}
+
+TEST_F(TraceFlagsTest, DprintfOnlyEmitsWhenEnabled)
+{
+    // No crash either way; argument evaluation is guarded.
+    int evaluations = 0;
+    auto expensive = [&] {
+        ++evaluations;
+        return 42;
+    };
+    dprintf(Flag::vma, 0, "value {}", expensive());
+    EXPECT_EQ(evaluations, 1);  // args evaluated at call site
+    EXPECT_NO_THROW(dprintf(Flag::vma, 0, "quiet"));
+}
+
+} // namespace
+} // namespace kindle::trace

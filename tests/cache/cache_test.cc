@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/cache.hh"
+
+namespace kindle::cache
+{
+namespace
+{
+
+/** A sink that records requests and returns a fixed latency. */
+class RecordingSink : public MemSink
+{
+  public:
+    struct Req
+    {
+        mem::MemCmd cmd;
+        Addr addr;
+    };
+
+    Tick
+    request(mem::MemCmd cmd, Addr line_addr, Tick) override
+    {
+        reqs.push_back({cmd, line_addr});
+        return latency;
+    }
+
+    std::vector<Req> reqs;
+    Tick latency = 100 * oneNs;
+};
+
+CacheParams
+smallCache()
+{
+    return {"test", 4 * oneKiB, 2, oneNs, oneNs};  // 32 sets x 2 ways
+}
+
+TEST(CacheTest, MissThenHit)
+{
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    const Tick miss = cache.request(mem::MemCmd::read, 0x1000, 0);
+    const Tick hit = cache.request(mem::MemCmd::read, 0x1000, miss);
+    EXPECT_GT(miss, hit);
+    EXPECT_EQ(cache.stats().scalarValue("hits"), 1);
+    EXPECT_EQ(cache.stats().scalarValue("misses"), 1);
+    ASSERT_EQ(sink.reqs.size(), 1u);  // one fill
+    EXPECT_EQ(sink.reqs[0].cmd, mem::MemCmd::read);
+}
+
+TEST(CacheTest, WriteAllocatesAndMarksDirty)
+{
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    cache.request(mem::MemCmd::write, 0x2000, 0);
+    EXPECT_TRUE(cache.contains(0x2000));
+    EXPECT_TRUE(cache.isDirty(0x2000));
+}
+
+TEST(CacheTest, DirtyEvictionWritesBack)
+{
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    // Fill both ways of set 0 with dirty lines, then force eviction.
+    // Set index = (addr >> 6) & 31; stride of 2 KiB maps to set 0.
+    const Addr stride = 4 * oneKiB / 2;  // sets * lineSize = 2 KiB
+    cache.request(mem::MemCmd::write, 0 * stride, 0);
+    cache.request(mem::MemCmd::write, 1 * stride, 0);
+    sink.reqs.clear();
+    cache.request(mem::MemCmd::write, 2 * stride, 0);
+    // Fill read + victim writeback.
+    ASSERT_EQ(sink.reqs.size(), 2u);
+    EXPECT_EQ(sink.reqs[0].cmd, mem::MemCmd::read);
+    EXPECT_EQ(sink.reqs[1].cmd, mem::MemCmd::writeback);
+    EXPECT_EQ(sink.reqs[1].addr, 0u);  // LRU victim
+}
+
+TEST(CacheTest, CleanEvictionIsSilent)
+{
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    const Addr stride = 2 * oneKiB;
+    cache.request(mem::MemCmd::read, 0 * stride, 0);
+    cache.request(mem::MemCmd::read, 1 * stride, 0);
+    sink.reqs.clear();
+    cache.request(mem::MemCmd::read, 2 * stride, 0);
+    ASSERT_EQ(sink.reqs.size(), 1u);  // fill only, no writeback
+}
+
+TEST(CacheTest, LruPromotionOnHit)
+{
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    const Addr stride = 2 * oneKiB;
+    cache.request(mem::MemCmd::read, 0 * stride, 0);
+    cache.request(mem::MemCmd::read, 1 * stride, 0);
+    // Touch way 0 again: way 1 becomes LRU.
+    cache.request(mem::MemCmd::read, 0 * stride, 0);
+    cache.request(mem::MemCmd::read, 2 * stride, 0);  // evicts 1
+    EXPECT_TRUE(cache.contains(0 * stride));
+    EXPECT_FALSE(cache.contains(1 * stride));
+}
+
+TEST(CacheTest, FlushLineWritesBackAndKeepsResident)
+{
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    cache.request(mem::MemCmd::write, 0x3000, 0);
+    sink.reqs.clear();
+    bool dirty = false;
+    cache.flushLine(0x3000, 0, dirty);
+    EXPECT_TRUE(dirty);
+    ASSERT_EQ(sink.reqs.size(), 1u);
+    EXPECT_EQ(sink.reqs[0].cmd, mem::MemCmd::writeback);
+    EXPECT_TRUE(cache.contains(0x3000));   // clwb keeps the line
+    EXPECT_FALSE(cache.isDirty(0x3000));
+}
+
+TEST(CacheTest, FlushCleanLineDoesNothing)
+{
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    cache.request(mem::MemCmd::read, 0x3000, 0);
+    sink.reqs.clear();
+    bool dirty = false;
+    cache.flushLine(0x3000, 0, dirty);
+    EXPECT_FALSE(dirty);
+    EXPECT_TRUE(sink.reqs.empty());
+}
+
+TEST(CacheTest, InvalidateLineWritesBackDirty)
+{
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    cache.request(mem::MemCmd::write, 0x4000, 0);
+    sink.reqs.clear();
+    cache.invalidateLine(0x4000, 0);
+    ASSERT_EQ(sink.reqs.size(), 1u);
+    EXPECT_EQ(sink.reqs[0].cmd, mem::MemCmd::writeback);
+    EXPECT_FALSE(cache.contains(0x4000));
+}
+
+TEST(CacheTest, FlushAllEmptiesTheCache)
+{
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    for (int i = 0; i < 16; ++i)
+        cache.request(mem::MemCmd::write, Addr(i) * 64, 0);
+    sink.reqs.clear();
+    cache.flushAll(0);
+    EXPECT_EQ(sink.reqs.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FALSE(cache.contains(Addr(i) * 64));
+}
+
+TEST(CacheTest, InvalidateAllIsSilent)
+{
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    cache.request(mem::MemCmd::write, 0x0, 0);
+    sink.reqs.clear();
+    cache.invalidateAll();
+    EXPECT_TRUE(sink.reqs.empty());
+    EXPECT_FALSE(cache.contains(0x0));
+}
+
+TEST(CacheTest, WritebackAllocatesWithoutFetch)
+{
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    sink.reqs.clear();
+    cache.request(mem::MemCmd::writeback, 0x5000, 0);
+    EXPECT_TRUE(sink.reqs.empty());  // full line: no fill read
+    EXPECT_TRUE(cache.isDirty(0x5000));
+}
+
+TEST(CacheTest, HitRate)
+{
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    cache.request(mem::MemCmd::read, 0, 0);
+    cache.request(mem::MemCmd::read, 0, 0);
+    cache.request(mem::MemCmd::read, 0, 0);
+    cache.request(mem::MemCmd::read, 0, 0);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.75);
+}
+
+TEST(CacheTest, UnalignedRequestPanics)
+{
+    setErrorsThrow(true);
+    RecordingSink sink;
+    Cache cache(smallCache(), sink);
+    EXPECT_THROW(cache.request(mem::MemCmd::read, 0x1001, 0),
+                 SimError);
+    setErrorsThrow(false);
+}
+
+} // namespace
+} // namespace kindle::cache

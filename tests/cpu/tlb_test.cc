@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cpu/tlb.hh"
+
+namespace kindle::cpu
+{
+namespace
+{
+
+TlbEntry
+makeEntry(Pid pid, std::uint64_t vpn, std::uint64_t pfn = 0)
+{
+    TlbEntry e;
+    e.valid = true;
+    e.pid = pid;
+    e.vpn = vpn;
+    e.pfn = pfn ? pfn : vpn + 1000;
+    return e;
+}
+
+TlbParams
+smallTlb()
+{
+    TlbParams p;
+    p.l1Entries = 4;
+    p.l2Entries = 48;  // 12 ways x 4 sets
+    return p;
+}
+
+TEST(TlbTest, FillThenHit)
+{
+    Tlb tlb(smallTlb());
+    tlb.fill(makeEntry(1, 0x10));
+    Tick extra = 99;
+    TlbEntry *e = tlb.lookup(1, 0x10, extra);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(extra, 0u);  // L1 hit
+    EXPECT_EQ(e->pfn, 0x10u + 1000u);
+}
+
+TEST(TlbTest, MissReturnsNull)
+{
+    Tlb tlb(smallTlb());
+    Tick extra = 0;
+    EXPECT_EQ(tlb.lookup(1, 0x99, extra), nullptr);
+}
+
+TEST(TlbTest, PidTagsSeparateProcesses)
+{
+    Tlb tlb(smallTlb());
+    tlb.fill(makeEntry(1, 0x10, 0xaaa));
+    tlb.fill(makeEntry(2, 0x10, 0xbbb));
+    Tick extra;
+    EXPECT_EQ(tlb.lookup(1, 0x10, extra)->pfn, 0xaaau);
+    EXPECT_EQ(tlb.lookup(2, 0x10, extra)->pfn, 0xbbbu);
+}
+
+TEST(TlbTest, L1OverflowDemotesToL2)
+{
+    Tlb tlb(smallTlb());
+    for (std::uint64_t v = 0; v < 8; ++v)
+        tlb.fill(makeEntry(1, v));
+    // Early entries must still hit, via L2 with extra latency.
+    Tick extra = 0;
+    TlbEntry *e = tlb.lookup(1, 0, extra);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(extra, smallTlb().l2HitLatency);
+    EXPECT_EQ(tlb.stats().scalarValue("l2Hits"), 1);
+}
+
+TEST(TlbTest, L2HitPromotesBackToL1)
+{
+    Tlb tlb(smallTlb());
+    for (std::uint64_t v = 0; v < 8; ++v)
+        tlb.fill(makeEntry(1, v));
+    Tick extra;
+    tlb.lookup(1, 0, extra);  // promote from L2
+    tlb.lookup(1, 0, extra);  // now an L1 hit
+    EXPECT_EQ(extra, 0u);
+}
+
+TEST(TlbTest, EvictHookFiresWithMetadata)
+{
+    Tlb tlb(smallTlb());
+    std::set<std::uint64_t> evicted;
+    tlb.addEvictHook([&](const TlbEntry &e) { evicted.insert(e.vpn); });
+    // Overflow both levels of one L2 set: VPNs congruent mod 4 land
+    // in the same set; 12 ways + 4 L1 slots hold 16.
+    for (std::uint64_t v = 0; v < 32; ++v)
+        tlb.fill(makeEntry(1, v * 4));
+    EXPECT_FALSE(evicted.empty());
+}
+
+TEST(TlbTest, RemoveEvictHookSilences)
+{
+    Tlb tlb(smallTlb());
+    int count = 0;
+    const auto h =
+        tlb.addEvictHook([&](const TlbEntry &) { ++count; });
+    tlb.removeEvictHook(h);
+    for (std::uint64_t v = 0; v < 64; ++v)
+        tlb.fill(makeEntry(1, v * 4));
+    EXPECT_EQ(count, 0);
+}
+
+TEST(TlbTest, InvalidateRemovesBothLevels)
+{
+    Tlb tlb(smallTlb());
+    for (std::uint64_t v = 0; v < 8; ++v)
+        tlb.fill(makeEntry(1, v));
+    tlb.invalidate(1, 0);  // resident in L2 by now
+    tlb.invalidate(1, 7);  // resident in L1
+    Tick extra;
+    EXPECT_EQ(tlb.lookup(1, 0, extra), nullptr);
+    EXPECT_EQ(tlb.lookup(1, 7, extra), nullptr);
+}
+
+TEST(TlbTest, FlushAllFiresHooksAndEmpties)
+{
+    Tlb tlb(smallTlb());
+    int hooks = 0;
+    tlb.addEvictHook([&](const TlbEntry &) { ++hooks; });
+    for (std::uint64_t v = 0; v < 6; ++v)
+        tlb.fill(makeEntry(1, v));
+    tlb.flushAll();
+    EXPECT_EQ(hooks, 6);
+    Tick extra;
+    for (std::uint64_t v = 0; v < 6; ++v)
+        EXPECT_EQ(tlb.lookup(1, v, extra), nullptr);
+}
+
+TEST(TlbTest, ResetIsSilent)
+{
+    Tlb tlb(smallTlb());
+    int hooks = 0;
+    tlb.addEvictHook([&](const TlbEntry &) { ++hooks; });
+    tlb.fill(makeEntry(1, 1));
+    tlb.reset();
+    EXPECT_EQ(hooks, 0);
+    Tick extra;
+    EXPECT_EQ(tlb.lookup(1, 1, extra), nullptr);
+}
+
+TEST(TlbTest, MetadataSurvivesDemotionAndPromotion)
+{
+    Tlb tlb(smallTlb());
+    TlbEntry e = makeEntry(1, 0);
+    e.sspTracked = true;
+    e.updatedBits = 0xf0f0;
+    e.accessCount = 17;
+    tlb.fill(e);
+    // Push it down to L2 and back.
+    for (std::uint64_t v = 1; v < 6; ++v)
+        tlb.fill(makeEntry(1, v));
+    Tick extra;
+    TlbEntry *back = tlb.lookup(1, 0, extra);
+    ASSERT_NE(back, nullptr);
+    EXPECT_TRUE(back->sspTracked);
+    EXPECT_EQ(back->updatedBits, 0xf0f0u);
+    EXPECT_EQ(back->accessCount, 17u);
+}
+
+TEST(TlbTest, ForEachValidVisitsBothLevels)
+{
+    Tlb tlb(smallTlb());
+    for (std::uint64_t v = 0; v < 10; ++v)
+        tlb.fill(makeEntry(1, v));
+    std::set<std::uint64_t> seen;
+    tlb.forEachValid([&](TlbEntry &e) { seen.insert(e.vpn); });
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+} // namespace
+} // namespace kindle::cpu

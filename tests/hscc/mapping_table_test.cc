@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "hscc/mapping_table.hh"
+
+namespace kindle::hscc
+{
+namespace
+{
+
+struct Rig
+{
+    Rig()
+        : memory([] {
+              mem::HybridMemoryParams p;
+              p.dramBytes = 64 * oneMiB;
+              p.nvmBytes = 64 * oneMiB;
+              return p;
+          }()),
+          hier(cache::HierarchyParams{}, memory),
+          kmem(sim, memory, hier),
+          alloc("dram", AddrRange(oneMiB, 32 * oneMiB), kmem),
+          table(64, kmem, alloc)
+    {}
+
+    sim::Simulation sim;
+    mem::HybridMemory memory;
+    cache::Hierarchy hier;
+    os::KernelMem kmem;
+    os::FrameAllocator alloc;
+    MappingTable table;
+};
+
+TEST(MappingTableTest, BidirectionalLookup)
+{
+    Rig rig;
+    rig.table.set(0, 0x100000, 0x200000);
+    EXPECT_EQ(rig.table.dramFor(0x100000), 0x200000u);
+    EXPECT_EQ(rig.table.nvmFor(0x200000), 0x100000u);
+}
+
+TEST(MappingTableTest, MissReturnsInvalid)
+{
+    Rig rig;
+    EXPECT_EQ(rig.table.dramFor(0xdead000), invalidAddr);
+    EXPECT_EQ(rig.table.nvmFor(0xdead000), invalidAddr);
+}
+
+TEST(MappingTableTest, ClearRemovesBothDirections)
+{
+    Rig rig;
+    rig.table.set(5, 0x300000, 0x400000);
+    rig.table.clear(5);
+    EXPECT_EQ(rig.table.dramFor(0x300000), invalidAddr);
+    EXPECT_EQ(rig.table.nvmFor(0x400000), invalidAddr);
+}
+
+TEST(MappingTableTest, SlotReuseOverwrites)
+{
+    Rig rig;
+    rig.table.set(2, 0x100000, 0x200000);
+    rig.table.clear(2);
+    rig.table.set(2, 0x110000, 0x210000);
+    EXPECT_EQ(rig.table.dramFor(0x110000), 0x210000u);
+    EXPECT_EQ(rig.table.dramFor(0x100000), invalidAddr);
+}
+
+TEST(MappingTableTest, ManySlots)
+{
+    Rig rig;
+    for (unsigned i = 0; i < 64; ++i) {
+        rig.table.set(i, 0x1000000 + Addr(i) * pageSize,
+                      0x2000000 + Addr(i) * pageSize);
+    }
+    for (unsigned i = 0; i < 64; ++i) {
+        EXPECT_EQ(rig.table.dramFor(0x1000000 + Addr(i) * pageSize),
+                  0x2000000 + Addr(i) * pageSize);
+    }
+}
+
+TEST(MappingTableTest, OutOfRangeSlotPanics)
+{
+    setErrorsThrow(true);
+    Rig rig;
+    EXPECT_THROW(rig.table.set(64, 0x1000, 0x2000), SimError);
+    setErrorsThrow(false);
+}
+
+TEST(MappingTableTest, LookupsChargeTime)
+{
+    Rig rig;
+    rig.table.set(0, 0x100000, 0x200000);
+    const Tick t0 = rig.sim.now();
+    rig.table.dramFor(0x100000);
+    EXPECT_GT(rig.sim.now(), t0);
+    // Misses are resolved by the (hardware-indexed) host map and
+    // charge nothing.
+    const Tick t1 = rig.sim.now();
+    rig.table.dramFor(0x999000);
+    EXPECT_EQ(rig.sim.now(), t1);
+}
+
+TEST(MappingTableTest, StatsCount)
+{
+    Rig rig;
+    rig.table.set(0, 0x100000, 0x200000);
+    rig.table.dramFor(0x100000);
+    rig.table.nvmFor(0x200000);
+    rig.table.clear(0);
+    EXPECT_EQ(rig.table.stats().scalarValue("updates"), 2);
+    EXPECT_EQ(rig.table.stats().scalarValue("lookups"), 2);
+}
+
+} // namespace
+} // namespace kindle::hscc

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Shape tests for the paper's headline results: scaled-down versions
+ * of the Figure 4 / Table III-IV / Figure 5 / Figure 6 experiments
+ * asserting the qualitative orderings the paper reports.  The full
+ * parameter sweeps live in bench/.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kindle/kindle.hh"
+#include "kindle/microbench.hh"
+
+namespace kindle
+{
+namespace
+{
+
+KindleConfig
+persistConfig(persist::PtScheme scheme, Tick interval)
+{
+    KindleConfig cfg;
+    cfg.memory.dramBytes = 512 * oneMiB;
+    cfg.memory.nvmBytes = oneGiB;
+    cfg.persistence = persist::PersistParams{scheme, interval};
+    return cfg;
+}
+
+Tick
+runSeqAlloc(persist::PtScheme scheme, std::uint64_t bytes,
+            Tick interval)
+{
+    KindleSystem sys(persistConfig(scheme, interval));
+    return sys.run(micro::seqAllocTouch(bytes), "seq");
+}
+
+TEST(Fig4aShape, RebuildSlowerThanPersistentForSequentialAlloc)
+{
+    const std::uint64_t bytes = 16 * oneMiB;
+    const Tick rebuild =
+        runSeqAlloc(persist::PtScheme::rebuild, bytes, oneMs);
+    const Tick persistent =
+        runSeqAlloc(persist::PtScheme::persistent, bytes, oneMs);
+    EXPECT_GT(rebuild, persistent);
+}
+
+TEST(Fig4aShape, RebuildOverheadGrowsSuperlinearlyWithSize)
+{
+    const Tick small =
+        runSeqAlloc(persist::PtScheme::rebuild, 4 * oneMiB, oneMs);
+    const Tick large =
+        runSeqAlloc(persist::PtScheme::rebuild, 16 * oneMiB, oneMs);
+    // 4x the pages → more checkpoints, each more expensive: clearly
+    // more than 4x total.
+    EXPECT_GT(large, small * 4);
+}
+
+TEST(Fig4bShape, SparseStridesHurtPersistentMore)
+{
+    // With strides touching more table levels, the persistent scheme
+    // pays consistency per extra table-entry store.
+    auto run_stride = [](persist::PtScheme scheme,
+                         std::uint64_t stride) {
+        KindleSystem sys(persistConfig(scheme, oneMs));
+        return sys.run(micro::strideAlloc(stride, 10), "stride");
+    };
+    const Tick persistent_1g =
+        run_stride(persist::PtScheme::persistent, oneGiB);
+    const Tick persistent_4k =
+        run_stride(persist::PtScheme::persistent, 4 * oneKiB);
+    // More table levels → more wrapped stores → more time.
+    EXPECT_GT(persistent_1g, persistent_4k);
+}
+
+TEST(Table4Shape, RebuildCostDropsWithWiderInterval)
+{
+    const std::uint64_t bytes = 8 * oneMiB;
+    const Tick narrow = runSeqAlloc(persist::PtScheme::rebuild, bytes,
+                                    500 * oneUs);
+    const Tick wide =
+        runSeqAlloc(persist::PtScheme::rebuild, bytes, 50 * oneMs);
+    EXPECT_GT(narrow, wide);
+}
+
+TEST(Table4Shape, PersistentCostInsensitiveToInterval)
+{
+    const std::uint64_t bytes = 8 * oneMiB;
+    const Tick narrow = runSeqAlloc(persist::PtScheme::persistent,
+                                    bytes, 500 * oneUs);
+    const Tick wide = runSeqAlloc(persist::PtScheme::persistent,
+                                  bytes, 50 * oneMs);
+    // Within 25% of each other (paper: identical to the msec).
+    EXPECT_LT(std::max(narrow, wide),
+              std::min(narrow, wide) * 5 / 4);
+}
+
+TEST(Table4Shape, IntervalBeyondRuntimeFavoursRebuild)
+{
+    // Paper: with a 1 s interval (longer than the run) rebuild beats
+    // persistent because the DRAM page table is simply faster.
+    const std::uint64_t bytes = 8 * oneMiB;
+    const Tick rebuild =
+        runSeqAlloc(persist::PtScheme::rebuild, bytes, 10 * oneSec);
+    const Tick persistent = runSeqAlloc(persist::PtScheme::persistent,
+                                        bytes, 10 * oneSec);
+    EXPECT_LT(rebuild, persistent);
+}
+
+TEST(Table3Shape, ChurnCostGrowsWithChurnSizeUnderBothSchemes)
+{
+    auto run_churn = [](persist::PtScheme scheme,
+                        std::uint64_t churn) {
+        KindleSystem sys(persistConfig(scheme, oneMs));
+        return sys.run(
+            micro::churnBench(16 * oneMiB, churn, 2, 1), "churn");
+    };
+    for (const auto scheme : {persist::PtScheme::rebuild,
+                              persist::PtScheme::persistent}) {
+        const Tick small = run_churn(scheme, 2 * oneMiB);
+        const Tick large = run_churn(scheme, 8 * oneMiB);
+        EXPECT_GT(large, small);
+    }
+}
+
+TEST(Fig5Shape, SspOverheadAboveBaselineAndShrinksWithInterval)
+{
+    auto run_ssp = [](std::optional<Tick> interval) {
+        KindleConfig cfg;
+        cfg.memory.dramBytes = 256 * oneMiB;
+        cfg.memory.nvmBytes = 512 * oneMiB;
+        if (interval) {
+            ssp::SspParams p;
+            p.consistencyInterval = *interval;
+            cfg.ssp = p;
+        }
+        KindleSystem sys(cfg);
+        micro::ScriptBuilder b;
+        const unsigned pages = 64;
+        b.mmapFixed(micro::scriptBase, pages * pageSize, true);
+        b.touchPages(micro::scriptBase, pages * pageSize);
+        b.faseStart();
+        for (unsigned r = 0; r < 30; ++r) {
+            for (unsigned p = 0; p < pages; ++p)
+                b.write(micro::scriptBase + p * pageSize +
+                        (r % 64) * 64);
+            b.compute(500000);
+        }
+        b.faseEnd();
+        b.exit();
+        return sys.run(b.build(), "ssp");
+    };
+    const Tick baseline = run_ssp(std::nullopt);
+    const Tick ssp_1ms = run_ssp(oneMs);
+    const Tick ssp_10ms = run_ssp(10 * oneMs);
+    EXPECT_GT(ssp_1ms, baseline);
+    EXPECT_GT(ssp_10ms, baseline);
+    EXPECT_GT(ssp_1ms, ssp_10ms);
+}
+
+TEST(Fig6Shape, HsccOsOverheadShrinksWithThreshold)
+{
+    auto run_hscc = [](unsigned threshold, bool charge) {
+        KindleConfig cfg;
+        cfg.memory.dramBytes = 256 * oneMiB;
+        cfg.memory.nvmBytes = 512 * oneMiB;
+        hscc::HsccParams p;
+        p.fetchThreshold = threshold;
+        p.chargeOsTime = charge;
+        p.dramPoolPages = 32;
+        p.migrationInterval = oneMs;
+        cfg.hscc = p;
+        KindleSystem sys(cfg);
+        micro::ScriptBuilder b;
+        const unsigned pages = 96;
+        b.mmapFixed(micro::scriptBase, pages * pageSize, true);
+        b.touchPages(micro::scriptBase, pages * pageSize);
+        for (unsigned r = 0; r < 12; ++r) {
+            for (unsigned h = 0; h < 4; ++h)
+                for (unsigned p = 0; p < pages; ++p)
+                    b.read(micro::scriptBase + p * pageSize +
+                           ((r * 4 + h) % 64) * 64);
+            b.compute(1000000);
+        }
+        b.exit();
+        return sys.run(b.build(), "hscc");
+    };
+    const double norm_low =
+        static_cast<double>(run_hscc(3, true)) /
+        static_cast<double>(run_hscc(3, false));
+    const double norm_high =
+        static_cast<double>(run_hscc(100, true)) /
+        static_cast<double>(run_hscc(100, false));
+    EXPECT_GT(norm_low, 1.0);
+    EXPECT_GE(norm_low, norm_high * 0.98);
+}
+
+} // namespace
+} // namespace kindle

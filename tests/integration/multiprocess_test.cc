@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Multi-process integration: persistence across several processes,
+ * engine interplay under co-scheduling, and the alternate NVM
+ * technology configurations of §V-D.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kindle/kindle.hh"
+#include "kindle/microbench.hh"
+
+namespace kindle
+{
+namespace
+{
+
+std::unique_ptr<cpu::OpStream>
+worker(Addr base, unsigned pages, unsigned rounds)
+{
+    micro::ScriptBuilder b;
+    b.mmapFixed(base, pages * pageSize, true);
+    b.touchPages(base, pages * pageSize);
+    for (unsigned r = 0; r < rounds; ++r) {
+        b.readPages(base, pages * pageSize);
+        b.compute(200000);
+    }
+    b.munmap(base, pages * pageSize);
+    b.exit();
+    return b.build();
+}
+
+TEST(MultiProcessTest, PersistenceCheckpointsAllProcesses)
+{
+    KindleConfig cfg;
+    cfg.memory.dramBytes = 256 * oneMiB;
+    cfg.memory.nvmBytes = 512 * oneMiB;
+    cfg.persistence = persist::PersistParams{
+        persist::PtScheme::rebuild, oneMs};
+    KindleSystem sys(cfg);
+
+    sys.kernel().spawn(worker(micro::scriptBase, 32, 40), "w1");
+    sys.kernel().spawn(worker(micro::scriptBase, 16, 40), "w2");
+    sys.kernel().spawn(worker(micro::scriptBase, 8, 40), "w3");
+    sys.runAll();
+    EXPECT_GT(sys.persistence()->checkpointsTaken(), 2u);
+    // All three address spaces were snapshot (mapping entries from
+    // all of them at some checkpoint).
+    EXPECT_GT(sys.persistence()->stats().scalarValue("mappingEntries"),
+              32 + 16 + 8 - 1);
+}
+
+TEST(MultiProcessTest, CrashRecoveryRestoresOnlyLiveProcesses)
+{
+    KindleConfig cfg;
+    cfg.memory.dramBytes = 256 * oneMiB;
+    cfg.memory.nvmBytes = 512 * oneMiB;
+    cfg.persistence = persist::PersistParams{
+        persist::PtScheme::rebuild, oneMs};
+    KindleSystem sys(cfg);
+
+    // One process exits quickly; one runs long.
+    sys.kernel().spawn(worker(micro::scriptBase, 8, 1), "short");
+    sys.kernel().spawn(worker(micro::scriptBase, 32, 4000), "long");
+    sys.kernel().runUntil(sys.now() + 30 * oneMs);
+
+    sys.crash();
+    const auto report = sys.reboot();
+    EXPECT_EQ(report.processesRecovered, 1u);
+    EXPECT_EQ(sys.kernel().processes().front()->name, "long");
+}
+
+TEST(MultiProcessTest, CoschedulingSlowsTheForegroundDown)
+{
+    auto run = [](unsigned background) {
+        KindleConfig cfg;
+        cfg.memory.dramBytes = 256 * oneMiB;
+        cfg.memory.nvmBytes = 256 * oneMiB;
+        KindleSystem sys(cfg);
+        sys.kernel().spawn(worker(micro::scriptBase, 64, 30), "fg");
+        for (unsigned i = 0; i < background; ++i) {
+            sys.kernel().spawn(
+                worker(micro::scriptBase + (i + 2) * oneGiB, 64, 30),
+                "bg");
+        }
+        sys.runAll();
+        return sys.now();
+    };
+    const Tick alone = run(0);
+    const Tick crowded = run(2);
+    EXPECT_GT(crowded, alone * 2);
+}
+
+TEST(MultiProcessTest, TlbIsolationBetweenProcesses)
+{
+    // Two processes use the same virtual addresses; pid tags must
+    // keep translations separate (different physical frames).
+    KindleConfig cfg;
+    cfg.memory.dramBytes = 128 * oneMiB;
+    cfg.memory.nvmBytes = 128 * oneMiB;
+    KindleSystem sys(cfg);
+
+    os::Process &p1 = sys.kernel().spawnShell("p1", 0);
+    os::Process &p2 = sys.kernel().spawnShell("p2", 1);
+    const Addr va = micro::scriptBase;
+    sys.kernel().sysMmap(p1, va, pageSize,
+                         cpu::mapFixed | cpu::mapNvm);
+    sys.kernel().sysMmap(p2, va, pageSize,
+                         cpu::mapFixed | cpu::mapNvm);
+
+    // Manually allocate + map (no scheduler plumbing needed).
+    const Addr f1 = sys.kernel().nvmAllocator().alloc();
+    const Addr f2 = sys.kernel().nvmAllocator().alloc();
+    sys.kernel().pageTables().map(p1.ptRoot, va, f1, true, true);
+    sys.kernel().pageTables().map(p2.ptRoot, va, f2, true, true);
+
+    sys.core().setContext(p1.pid, p1.ptRoot);
+    const Addr pa1 = sys.core().translate(va, false);
+    sys.core().setContext(p2.pid, p2.ptRoot);
+    const Addr pa2 = sys.core().translate(va, false);
+    EXPECT_EQ(pa1, f1);
+    EXPECT_EQ(pa2, f2);
+}
+
+class NvmTechParamTest
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(NvmTechParamTest, AlternateTechnologiesBootAndRun)
+{
+    KindleConfig cfg;
+    cfg.memory.dramBytes = 128 * oneMiB;
+    cfg.memory.nvmBytes = 128 * oneMiB;
+    const std::string which = GetParam();
+    if (which == "stt")
+        cfg.memory.nvmTiming = mem::sttMramParams();
+    else if (which == "rram")
+        cfg.memory.nvmTiming = mem::rramParams();
+    KindleSystem sys(cfg);
+    const Tick t = sys.run(micro::seqAllocTouch(oneMiB), "tech");
+    EXPECT_GT(t, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Techs, NvmTechParamTest,
+                         ::testing::Values("pcm", "stt", "rram"));
+
+TEST(MultiProcessTest, FasterNvmRunsFaster)
+{
+    auto run_with = [](const mem::MemTimingParams &tech) {
+        KindleConfig cfg;
+        cfg.memory.dramBytes = 128 * oneMiB;
+        cfg.memory.nvmBytes = 128 * oneMiB;
+        cfg.memory.nvmTiming = tech;
+        KindleSystem sys(cfg);
+        return sys.run(micro::seqAllocTouch(8 * oneMiB), "tech");
+    };
+    EXPECT_LT(run_with(mem::sttMramParams()),
+              run_with(mem::pcmParams()));
+}
+
+} // namespace
+} // namespace kindle

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "kindle/microbench.hh"
+
+namespace kindle::micro
+{
+namespace
+{
+
+std::vector<cpu::Op>
+drain(ScriptStream &s)
+{
+    std::vector<cpu::Op> ops;
+    cpu::Op op;
+    while (s.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+TEST(ScriptBuilderTest, BuildsOpsInOrder)
+{
+    ScriptBuilder b;
+    b.mmapFixed(0x1000, pageSize, true)
+        .write(0x1000)
+        .read(0x1000)
+        .compute(5)
+        .munmap(0x1000, pageSize)
+        .exit();
+    auto stream = b.build();
+    const auto ops = drain(*stream);
+    ASSERT_EQ(ops.size(), 6u);
+    EXPECT_EQ(ops[0].kind, cpu::Op::Kind::mmap);
+    EXPECT_TRUE(ops[0].flags & cpu::mapNvm);
+    EXPECT_TRUE(ops[0].flags & cpu::mapFixed);
+    EXPECT_EQ(ops[1].kind, cpu::Op::Kind::write);
+    EXPECT_EQ(ops[2].kind, cpu::Op::Kind::read);
+    EXPECT_EQ(ops[3].kind, cpu::Op::Kind::compute);
+    EXPECT_EQ(ops[3].size, 5u);
+    EXPECT_EQ(ops[4].kind, cpu::Op::Kind::munmap);
+    EXPECT_EQ(ops[5].kind, cpu::Op::Kind::exit);
+}
+
+TEST(ScriptBuilderTest, TouchPagesCoversRange)
+{
+    ScriptBuilder b;
+    b.touchPages(0x10000, 4 * pageSize);
+    const auto ops = drain(*b.build());
+    ASSERT_EQ(ops.size(), 4u);
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_EQ(ops[i].kind, cpu::Op::Kind::write);
+        EXPECT_EQ(ops[i].addr, 0x10000 + Addr(i) * pageSize);
+    }
+}
+
+TEST(ScriptBuilderTest, FaseMarkers)
+{
+    ScriptBuilder b;
+    b.faseStart().write(0x1000).faseEnd();
+    const auto ops = drain(*b.build());
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_EQ(ops[0].kind, cpu::Op::Kind::faseStart);
+    EXPECT_EQ(ops[2].kind, cpu::Op::Kind::faseEnd);
+}
+
+TEST(SeqAllocTouchTest, Structure)
+{
+    auto s = seqAllocTouch(8 * pageSize);
+    const auto ops = drain(*s);
+    // mmap + 8 touches + munmap + exit.
+    ASSERT_EQ(ops.size(), 11u);
+    EXPECT_EQ(ops.front().kind, cpu::Op::Kind::mmap);
+    EXPECT_EQ(ops.back().kind, cpu::Op::Kind::exit);
+}
+
+TEST(StrideAllocTest, PlacesPagesAtStride)
+{
+    auto s = strideAlloc(2 * oneMiB, 4);
+    const auto ops = drain(*s);
+    // 4 mmaps, 4 writes, 4 munmaps, exit.
+    ASSERT_EQ(ops.size(), 13u);
+    EXPECT_EQ(ops[1].addr - ops[0].addr, 2 * oneMiB);
+    EXPECT_EQ(ops[4].kind, cpu::Op::Kind::write);
+}
+
+TEST(StrideAllocTest, AccessRoundsInsertReadsAndCompute)
+{
+    auto s = strideAlloc(4 * oneKiB, 2, true, 3, 100);
+    const auto ops = drain(*s);
+    unsigned reads = 0;
+    unsigned computes = 0;
+    for (const auto &op : ops) {
+        reads += (op.kind == cpu::Op::Kind::read);
+        computes += (op.kind == cpu::Op::Kind::compute);
+    }
+    EXPECT_EQ(reads, 6u);     // 3 rounds x 2 pages
+    EXPECT_EQ(computes, 3u);  // one per round
+}
+
+TEST(ChurnBenchTest, RoundsFreeAndReallocate)
+{
+    auto s = churnBench(8 * pageSize, 4 * pageSize, 2, 1);
+    const auto ops = drain(*s);
+    unsigned munmaps = 0;
+    unsigned mmaps = 0;
+    for (const auto &op : ops) {
+        munmaps += (op.kind == cpu::Op::Kind::munmap);
+        mmaps += (op.kind == cpu::Op::Kind::mmap);
+    }
+    // 1 arena mmap + 2 churn mmaps; 2 churn munmaps + final munmap.
+    EXPECT_EQ(mmaps, 3u);
+    EXPECT_EQ(munmaps, 3u);
+    EXPECT_EQ(ops.back().kind, cpu::Op::Kind::exit);
+}
+
+TEST(ChurnBenchTest, OversizedChurnPanics)
+{
+    kindle::setErrorsThrow(true);
+    EXPECT_THROW(churnBench(4 * pageSize, 8 * pageSize),
+                 kindle::SimError);
+    kindle::setErrorsThrow(false);
+}
+
+TEST(ScriptStreamTest, ExhaustionIsSticky)
+{
+    ScriptBuilder b;
+    b.compute(1);
+    auto s = b.build();
+    cpu::Op op;
+    EXPECT_TRUE(s->next(op));
+    EXPECT_FALSE(s->next(op));
+    EXPECT_FALSE(s->next(op));
+}
+
+} // namespace
+} // namespace kindle::micro

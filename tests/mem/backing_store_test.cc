@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+
+namespace kindle::mem
+{
+namespace
+{
+
+TEST(BackingStoreTest, ReadsZeroFromHoles)
+{
+    BackingStore store(AddrRange(0, oneMiB));
+    EXPECT_EQ(store.readT<std::uint64_t>(0x1000), 0u);
+    EXPECT_EQ(store.framesAllocated(), 0u);
+}
+
+TEST(BackingStoreTest, WriteReadRoundTrip)
+{
+    BackingStore store(AddrRange(0, oneMiB));
+    store.writeT<std::uint64_t>(0x1008, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(store.readT<std::uint64_t>(0x1008),
+              0xdeadbeefcafef00dull);
+    EXPECT_EQ(store.framesAllocated(), 1u);
+}
+
+TEST(BackingStoreTest, CrossPageAccess)
+{
+    BackingStore store(AddrRange(0, oneMiB));
+    const char msg[] = "hello across the page boundary";
+    store.write(pageSize - 8, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    store.read(pageSize - 8, out, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+    EXPECT_EQ(store.framesAllocated(), 2u);
+}
+
+TEST(BackingStoreTest, ClearForgetsEverything)
+{
+    BackingStore store(AddrRange(0, oneMiB));
+    store.writeT<std::uint32_t>(0x2000, 7);
+    store.clear();
+    EXPECT_EQ(store.readT<std::uint32_t>(0x2000), 0u);
+}
+
+TEST(BackingStoreTest, NonZeroBaseRange)
+{
+    BackingStore store(AddrRange::withSize(3 * oneGiB, oneMiB));
+    store.writeT<std::uint64_t>(3 * oneGiB + 0x10, 99);
+    EXPECT_EQ(store.readT<std::uint64_t>(3 * oneGiB + 0x10), 99u);
+}
+
+TEST(BackingStoreTest, OutOfRangePanics)
+{
+    setErrorsThrow(true);
+    BackingStore store(AddrRange(0, oneMiB));
+    EXPECT_THROW(store.writeT<std::uint8_t>(2 * oneMiB, 1), SimError);
+    setErrorsThrow(false);
+}
+
+TEST(DurableStoreTest, VolatileWriteVisibleButNotDurable)
+{
+    DurableStore store(AddrRange(0, oneMiB));
+    store.writeVolatileT<std::uint64_t>(0x100, 42);
+    EXPECT_EQ(store.readT<std::uint64_t>(0x100), 42u);
+
+    std::uint64_t durable = 1;
+    store.readDurable(0x100, &durable, 8);
+    EXPECT_EQ(durable, 0u);
+    EXPECT_EQ(store.pendingLines(), 1u);
+}
+
+TEST(DurableStoreTest, CommitLineMakesDurable)
+{
+    DurableStore store(AddrRange(0, oneMiB));
+    store.writeVolatileT<std::uint64_t>(0x100, 42);
+    store.commitLine(0x100);
+    std::uint64_t durable = 0;
+    store.readDurable(0x100, &durable, 8);
+    EXPECT_EQ(durable, 42u);
+    EXPECT_EQ(store.pendingLines(), 0u);
+}
+
+TEST(DurableStoreTest, CrashDropsPendingOnly)
+{
+    DurableStore store(AddrRange(0, oneMiB));
+    store.writeVolatileT<std::uint64_t>(0x100, 1);
+    store.commitLine(0x100);
+    store.writeVolatileT<std::uint64_t>(0x100, 2);  // newer, pending
+    store.writeVolatileT<std::uint64_t>(0x200, 3);  // pending only
+
+    store.crash();
+
+    EXPECT_EQ(store.readT<std::uint64_t>(0x100), 1u);  // old survives
+    EXPECT_EQ(store.readT<std::uint64_t>(0x200), 0u);  // lost
+}
+
+TEST(DurableStoreTest, PartialLineWritePreservesNeighbours)
+{
+    DurableStore store(AddrRange(0, oneMiB));
+    store.writeDurableT<std::uint64_t>(0x100, 0x1111);
+    store.writeDurableT<std::uint64_t>(0x108, 0x2222);
+    // Volatile write to one word of the same line ...
+    store.writeVolatileT<std::uint64_t>(0x100, 0x9999);
+    // ... the other word must remain intact through the overlay.
+    EXPECT_EQ(store.readT<std::uint64_t>(0x108), 0x2222u);
+    store.commitLine(0x100);
+    std::uint64_t v = 0;
+    store.readDurable(0x108, &v, 8);
+    EXPECT_EQ(v, 0x2222u);
+}
+
+TEST(DurableStoreTest, CommitAllFlushesEverything)
+{
+    DurableStore store(AddrRange(0, oneMiB));
+    for (int i = 0; i < 10; ++i)
+        store.writeVolatileT<std::uint64_t>(0x1000 + i * 64, i);
+    EXPECT_EQ(store.pendingLines(), 10u);
+    store.commitAll();
+    EXPECT_EQ(store.pendingLines(), 0u);
+    for (int i = 0; i < 10; ++i) {
+        std::uint64_t v = 99;
+        store.readDurable(0x1000 + i * 64, &v, 8);
+        EXPECT_EQ(v, static_cast<std::uint64_t>(i));
+    }
+}
+
+} // namespace
+} // namespace kindle::mem

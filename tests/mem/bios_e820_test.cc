@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "mem/bios_e820.hh"
+
+namespace kindle::mem
+{
+namespace
+{
+
+TEST(E820Test, StandardMapShape)
+{
+    const auto map = E820Map::standard(3 * oneGiB, 2 * oneGiB);
+    // low usable, EBDA reserved, main DRAM, NVM.
+    ASSERT_EQ(map.entries().size(), 4u);
+    EXPECT_EQ(map.entries()[0].type, E820Type::usable);
+    EXPECT_EQ(map.entries()[1].type, E820Type::reserved);
+    EXPECT_EQ(map.entries()[2].type, E820Type::usable);
+    EXPECT_EQ(map.entries()[3].type, E820Type::pmem);
+}
+
+TEST(E820Test, NvmSitsDirectlyAboveDram)
+{
+    const auto map = E820Map::standard(3 * oneGiB, 2 * oneGiB);
+    const auto pmem = map.regionOf(E820Type::pmem);
+    EXPECT_EQ(pmem.start(), 3 * oneGiB);
+    EXPECT_EQ(pmem.size(), 2 * oneGiB);
+}
+
+TEST(E820Test, TotalBytesByType)
+{
+    const auto map = E820Map::standard(3 * oneGiB, 2 * oneGiB);
+    EXPECT_EQ(map.totalBytes(E820Type::pmem), 2 * oneGiB);
+    // usable = everything below 3 GiB except the EBDA hole.
+    EXPECT_EQ(map.totalBytes(E820Type::usable),
+              3 * oneGiB - (oneMiB - 640 * oneKiB));
+}
+
+TEST(E820Test, TypeOfRoutesCorrectly)
+{
+    const auto map = E820Map::standard(3 * oneGiB, 2 * oneGiB);
+    EXPECT_EQ(map.typeOf(0x1000), MemType::dram);
+    EXPECT_EQ(map.typeOf(2 * oneGiB), MemType::dram);
+    EXPECT_EQ(map.typeOf(3 * oneGiB), MemType::nvm);
+    EXPECT_EQ(map.typeOf(5 * oneGiB - 1), MemType::nvm);
+}
+
+TEST(E820Test, UnmappedAddressIsFatal)
+{
+    setErrorsThrow(true);
+    const auto map = E820Map::standard(oneGiB, oneGiB);
+    EXPECT_THROW(map.typeOf(10 * oneGiB), SimError);
+    setErrorsThrow(false);
+}
+
+TEST(E820Test, NoNvmConfiguration)
+{
+    setErrorsThrow(true);
+    const auto map = E820Map::standard(oneGiB, 0);
+    EXPECT_EQ(map.totalBytes(E820Type::pmem), 0u);
+    EXPECT_THROW(map.regionOf(E820Type::pmem), SimError);
+    setErrorsThrow(false);
+}
+
+TEST(E820Test, OverlappingEntriesRejected)
+{
+    setErrorsThrow(true);
+    E820Map map;
+    map.add(AddrRange(0, oneMiB), E820Type::usable);
+    EXPECT_THROW(map.add(AddrRange(oneMiB / 2, 2 * oneMiB),
+                         E820Type::usable),
+                 SimError);
+    setErrorsThrow(false);
+}
+
+} // namespace
+} // namespace kindle::mem

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "mem/hybrid_memory.hh"
+#include "mem/mem_ctrl.hh"
+
+namespace kindle::mem
+{
+namespace
+{
+
+AddrRange
+testRange()
+{
+    return AddrRange(0, 256 * oneMiB);
+}
+
+TEST(MemCtrlTest, PostedWritesAreCheapUntilBufferFills)
+{
+    MemCtrlParams params;
+    params.writeBufferSize = 8;
+    MemCtrl ctrl(params, pcmParams(), testRange());
+
+    // The first writes complete at buffer-accept latency.
+    Tick now = 0;
+    std::vector<Tick> lat;
+    for (int i = 0; i < 32; ++i) {
+        const Tick l = ctrl.submit(
+            {MemCmd::write, static_cast<Addr>(i) * lineSize, lineSize},
+            now);
+        lat.push_back(l);
+    }
+    // Early writes: just the frontend.
+    EXPECT_EQ(lat[0], params.frontendLatency);
+    EXPECT_EQ(lat[1], params.frontendLatency);
+    // Once the 8-entry buffer is full, the requester stalls for a
+    // device-speed drain slot.
+    EXPECT_GT(lat[20], lat[0] * 5);
+    EXPECT_GT(ctrl.stats().scalarValue("writeStallTicks"), 0);
+}
+
+TEST(MemCtrlTest, WriteBufferDrainsOverTime)
+{
+    MemCtrlParams params;
+    params.writeBufferSize = 8;
+    MemCtrl ctrl(params, pcmParams(), testRange());
+
+    // Fill the buffer.
+    for (int i = 0; i < 8; ++i)
+        ctrl.submit({MemCmd::write, Addr(i) * lineSize, lineSize}, 0);
+    // Far in the future everything has drained: cheap again.
+    const Tick l =
+        ctrl.submit({MemCmd::write, 0x10000, lineSize}, oneMs);
+    EXPECT_EQ(l, params.frontendLatency);
+}
+
+TEST(MemCtrlTest, ReadsSeeDeviceLatency)
+{
+    MemCtrlParams params;
+    MemCtrl ctrl(params, pcmParams(), testRange());
+    const Tick l = ctrl.submit({MemCmd::read, 0, lineSize}, 0);
+    EXPECT_GE(l, pcmParams().readRowMiss);
+}
+
+TEST(MemCtrlTest, ReadBufferLimitsOutstandingReads)
+{
+    MemCtrlParams params;
+    params.readBufferSize = 4;
+    MemCtrl ctrl(params, pcmParams(), testRange());
+    // Saturate with same-bank reads at t=0; the 5th must stall on a
+    // buffer slot (stall stat becomes non-zero).
+    const auto p = pcmParams();
+    for (int i = 0; i < 12; ++i) {
+        ctrl.submit({MemCmd::read,
+                     Addr(i) * p.rowBytes * p.banks, lineSize},
+                    0);
+    }
+    EXPECT_GT(ctrl.stats().scalarValue("readStallTicks"), 0);
+}
+
+TEST(MemCtrlTest, BulkCommandsRouteToDevice)
+{
+    MemCtrlParams params;
+    MemCtrl ctrl(params, ddr4_2400Params(), testRange());
+    const Tick l =
+        ctrl.submit({MemCmd::bulkWrite, 0, 64 * oneKiB}, 0);
+    EXPECT_GT(l, params.frontendLatency);
+    EXPECT_EQ(ctrl.stats().scalarValue("bulkOps"), 1);
+}
+
+TEST(MemCtrlTest, WrongRangePanics)
+{
+    setErrorsThrow(true);
+    MemCtrl ctrl(MemCtrlParams{}, ddr4_2400Params(), testRange());
+    EXPECT_THROW(ctrl.submit({MemCmd::read, oneGiB, lineSize}, 0),
+                 SimError);
+    setErrorsThrow(false);
+}
+
+TEST(MemCtrlTest, Table1NvmBufferSizesAreDefault)
+{
+    // Paper Table I: NVM write buffer 48, read buffer 64.
+    const HybridMemoryParams defaults;
+    EXPECT_EQ(defaults.nvmCtrl.writeBufferSize, 48u);
+    EXPECT_EQ(defaults.nvmCtrl.readBufferSize, 64u);
+    EXPECT_EQ(defaults.dramBytes, 3 * oneGiB);
+    EXPECT_EQ(defaults.nvmBytes, 2 * oneGiB);
+}
+
+} // namespace
+} // namespace kindle::mem

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "mem/mem_interface.hh"
+
+namespace kindle::mem
+{
+namespace
+{
+
+AddrRange
+testRange()
+{
+    return AddrRange(0, 256 * oneMiB);
+}
+
+TEST(MemInterfaceTest, RowHitFasterThanRowMiss)
+{
+    MemInterface dram(ddr4_2400Params(), testRange());
+    // First access opens the row (miss).
+    const Tick t1 = dram.access(MemCmd::read, 0x0, 0);
+    // Same row, immediately after: hit, and only bus/bank constrained.
+    const Tick t2 = dram.access(MemCmd::read, 64, t1) - t1;
+    EXPECT_GT(t1, t2);
+}
+
+TEST(MemInterfaceTest, NvmReadSlowerThanDram)
+{
+    MemInterface dram(ddr4_2400Params(), testRange());
+    MemInterface nvm(pcmParams(), testRange());
+    const Tick d = dram.access(MemCmd::read, 0x10000, 0);
+    const Tick n = nvm.access(MemCmd::read, 0x10000, 0);
+    EXPECT_GT(n, d);
+}
+
+TEST(MemInterfaceTest, NvmWriteSlowerThanNvmRead)
+{
+    MemInterface nvm(pcmParams(), testRange());
+    const Tick r = nvm.access(MemCmd::read, 0x0, 0);
+    MemInterface nvm2(pcmParams(), testRange());
+    const Tick w = nvm2.access(MemCmd::write, 0x0, 0);
+    EXPECT_GT(w, r);
+}
+
+TEST(MemInterfaceTest, BankConflictSerializes)
+{
+    MemInterface dram(ddr4_2400Params(), testRange());
+    const auto params = ddr4_2400Params();
+    // Two different rows on the same bank: second access waits.
+    const Addr row_a = 0;
+    const Addr row_b = params.rowBytes * params.banks;  // same bank
+    const Tick t1 = dram.access(MemCmd::read, row_a, 0);
+    const Tick t2 = dram.access(MemCmd::read, row_b, 0);
+    EXPECT_GE(t2, t1 + params.readRowMiss);
+}
+
+TEST(MemInterfaceTest, DifferentBanksOverlap)
+{
+    MemInterface dram(ddr4_2400Params(), testRange());
+    const auto params = ddr4_2400Params();
+    const Tick t1 = dram.access(MemCmd::read, 0, 0);
+    // Next row lands on the next bank; only the shared bus serializes.
+    const Tick t2 = dram.access(MemCmd::read, params.rowBytes, 0);
+    EXPECT_LT(t2, t1 + params.readRowMiss);
+}
+
+TEST(MemInterfaceTest, BulkCheaperThanPerLine)
+{
+    const std::uint64_t bytes = 64 * oneKiB;
+    MemInterface a(pcmParams(), testRange());
+    Tick per_line_done = 0;
+    for (std::uint64_t off = 0; off < bytes; off += lineSize)
+        per_line_done = a.access(MemCmd::write, off, per_line_done);
+
+    MemInterface b(pcmParams(), testRange());
+    const Tick bulk_done = b.bulkAccess(MemCmd::bulkWrite, 0, bytes, 0);
+    EXPECT_LT(bulk_done, per_line_done);
+}
+
+TEST(MemInterfaceTest, StatsAccumulate)
+{
+    MemInterface dram(ddr4_2400Params(), testRange());
+    dram.access(MemCmd::read, 0, 0);
+    dram.access(MemCmd::write, 64, 0);
+    dram.bulkAccess(MemCmd::bulkRead, 0x10000, 4096, 0);
+    EXPECT_EQ(dram.stats().scalarValue("readReqs"), 2);  // read + bulk
+    EXPECT_EQ(dram.stats().scalarValue("writeReqs"), 1);
+    EXPECT_GE(dram.stats().scalarValue("bytes"), 4096 + 128);
+}
+
+TEST(MemInterfaceTest, ResetForgetsOpenRows)
+{
+    MemInterface dram(ddr4_2400Params(), testRange());
+    const Tick miss1 = dram.access(MemCmd::read, 0, 0);
+    dram.reset();
+    // Same address misses again after reset (row closed).
+    const Tick miss2 = dram.access(MemCmd::read, 0, 0);
+    EXPECT_EQ(miss1, miss2);
+}
+
+class BulkSizeParam : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(BulkSizeParam, BulkCostScalesWithSize)
+{
+    MemInterface nvm(pcmParams(), testRange());
+    const std::uint64_t bytes = GetParam();
+    const Tick small = nvm.bulkAccess(MemCmd::bulkWrite, 0, bytes, 0);
+    MemInterface nvm2(pcmParams(), testRange());
+    const Tick big =
+        nvm2.bulkAccess(MemCmd::bulkWrite, 0, bytes * 4, 0);
+    EXPECT_GT(big, small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkSizeParam,
+                         ::testing::Values(4096, 65536, 1048576));
+
+} // namespace
+} // namespace kindle::mem

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "os/frame_alloc.hh"
+#include "os/nvm_layout.hh"
+
+namespace kindle::os
+{
+namespace
+{
+
+struct Rig
+{
+    Rig()
+        : memory([] {
+              mem::HybridMemoryParams p;
+              p.dramBytes = 64 * oneMiB;
+              p.nvmBytes = 64 * oneMiB;
+              return p;
+          }()),
+          hier(cache::HierarchyParams{}, memory),
+          kmem(sim, memory, hier),
+          layout(NvmLayout::standard(memory.nvmRange()))
+    {}
+
+    sim::Simulation sim;
+    mem::HybridMemory memory;
+    cache::Hierarchy hier;
+    KernelMem kmem;
+    NvmLayout layout;
+};
+
+TEST(FrameAllocTest, AllocFreeCycle)
+{
+    Rig rig;
+    FrameAllocator alloc("t", AddrRange(0, oneMiB), rig.kmem);
+    const Addr a = alloc.alloc();
+    const Addr b = alloc.alloc();
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(alloc.isAllocated(a));
+    EXPECT_EQ(alloc.allocatedFrames(), 2u);
+    alloc.free(a);
+    EXPECT_FALSE(alloc.isAllocated(a));
+    EXPECT_EQ(alloc.allocatedFrames(), 1u);
+}
+
+TEST(FrameAllocTest, RecyclesFreedFrames)
+{
+    Rig rig;
+    FrameAllocator alloc("t", AddrRange(0, oneMiB), rig.kmem);
+    const Addr a = alloc.alloc();
+    alloc.free(a);
+    EXPECT_EQ(alloc.alloc(), a);
+}
+
+TEST(FrameAllocTest, ExhaustionIsFatal)
+{
+    setErrorsThrow(true);
+    Rig rig;
+    FrameAllocator alloc("t", AddrRange(0, 4 * pageSize), rig.kmem);
+    for (int i = 0; i < 4; ++i)
+        alloc.alloc();
+    EXPECT_THROW(alloc.alloc(), SimError);
+    setErrorsThrow(false);
+}
+
+TEST(FrameAllocTest, DoubleFreeIsPanic)
+{
+    setErrorsThrow(true);
+    Rig rig;
+    FrameAllocator alloc("t", AddrRange(0, oneMiB), rig.kmem);
+    const Addr a = alloc.alloc();
+    alloc.free(a);
+    EXPECT_THROW(alloc.free(a), SimError);
+    setErrorsThrow(false);
+}
+
+TEST(FrameAllocTest, PersistentAllocatorChargesTime)
+{
+    Rig rig;
+    FrameAllocator alloc(
+        "t", AddrRange::withSize(rig.layout.userPool, oneMiB),
+        rig.kmem, rig.layout.allocBitmap);
+    const Tick t0 = rig.sim.now();
+    alloc.alloc();
+    EXPECT_GT(rig.sim.now(), t0);
+    EXPECT_EQ(alloc.stats().scalarValue("persistWrites"), 1);
+}
+
+TEST(FrameAllocTest, BitmapSurvivesCrashAndRecovers)
+{
+    Rig rig;
+    const AddrRange zone =
+        AddrRange::withSize(rig.layout.userPool, oneMiB);
+    std::vector<Addr> kept;
+    {
+        FrameAllocator alloc("t", zone, rig.kmem,
+                             rig.layout.allocBitmap);
+        kept.push_back(alloc.alloc());
+        kept.push_back(alloc.alloc());
+        const Addr dropped = alloc.alloc();
+        kept.push_back(alloc.alloc());
+        alloc.free(dropped);
+    }
+
+    // Power loss: volatile structures are gone, the bitmap is not.
+    rig.memory.crash();
+
+    FrameAllocator fresh("t", zone, rig.kmem,
+                         rig.layout.allocBitmap);
+    fresh.recoverFromBitmap();
+    EXPECT_EQ(fresh.allocatedFrames(), 3u);
+    for (const Addr f : kept)
+        EXPECT_TRUE(fresh.isAllocated(f));
+    // Freed frame is allocatable again, and recovery starts low.
+    const Addr next = fresh.alloc();
+    EXPECT_FALSE(std::count(kept.begin(), kept.end(), next));
+}
+
+TEST(FrameAllocTest, ForEachAllocatedVisitsExactly)
+{
+    Rig rig;
+    FrameAllocator alloc("t", AddrRange(0, oneMiB), rig.kmem);
+    const Addr a = alloc.alloc();
+    const Addr b = alloc.alloc();
+    alloc.free(a);
+    std::vector<Addr> seen;
+    alloc.forEachAllocated([&](Addr f) { seen.push_back(f); });
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], b);
+}
+
+TEST(FrameAllocTest, VolatileRecoveryPanics)
+{
+    setErrorsThrow(true);
+    Rig rig;
+    FrameAllocator alloc("t", AddrRange(0, oneMiB), rig.kmem);
+    EXPECT_THROW(alloc.recoverFromBitmap(), SimError);
+    setErrorsThrow(false);
+}
+
+} // namespace
+} // namespace kindle::os

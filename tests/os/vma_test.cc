@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "os/vma.hh"
+
+namespace kindle::os
+{
+namespace
+{
+
+Vma
+makeVma(Addr start, std::uint64_t size, bool nvm = false)
+{
+    Vma v;
+    v.range = AddrRange::withSize(start, size);
+    v.nvm = nvm;
+    return v;
+}
+
+constexpr Addr base = AddressSpace::mmapBase;
+
+TEST(VmaTest, FindInsideAndOutside)
+{
+    AddressSpace as;
+    as.insert(makeVma(base, 4 * pageSize));
+    EXPECT_NE(as.find(base), nullptr);
+    EXPECT_NE(as.find(base + 4 * pageSize - 1), nullptr);
+    EXPECT_EQ(as.find(base + 4 * pageSize), nullptr);
+    EXPECT_EQ(as.find(base - 1), nullptr);
+}
+
+TEST(VmaTest, FindFreeRegionSkipsExisting)
+{
+    AddressSpace as;
+    as.insert(makeVma(base, 4 * pageSize));
+    const Addr got = as.findFreeRegion(0, 2 * pageSize);
+    EXPECT_GE(got, base + 4 * pageSize);
+}
+
+TEST(VmaTest, FindFreeRegionFitsInGap)
+{
+    AddressSpace as;
+    as.insert(makeVma(base, pageSize));
+    as.insert(makeVma(base + 10 * pageSize, pageSize));
+    const Addr got = as.findFreeRegion(0, 4 * pageSize);
+    EXPECT_EQ(got, base + pageSize);
+}
+
+TEST(VmaTest, FindFreeRegionHonoursHint)
+{
+    AddressSpace as;
+    const Addr hint = base + 100 * pageSize;
+    EXPECT_EQ(as.findFreeRegion(hint, pageSize), hint);
+}
+
+TEST(VmaTest, OverlappingInsertPanics)
+{
+    setErrorsThrow(true);
+    AddressSpace as;
+    as.insert(makeVma(base, 4 * pageSize));
+    EXPECT_THROW(as.insert(makeVma(base + pageSize, pageSize)),
+                 SimError);
+    EXPECT_THROW(
+        as.insert(makeVma(base - pageSize, 2 * pageSize)),
+        SimError);
+    setErrorsThrow(false);
+}
+
+TEST(VmaTest, RemoveWholeVma)
+{
+    AddressSpace as;
+    as.insert(makeVma(base, 4 * pageSize, true));
+    const auto removed =
+        as.removeRange(AddrRange::withSize(base, 4 * pageSize));
+    ASSERT_EQ(removed.size(), 1u);
+    EXPECT_TRUE(removed[0].nvm);
+    EXPECT_TRUE(as.empty());
+}
+
+TEST(VmaTest, RemoveHeadSplits)
+{
+    AddressSpace as;
+    as.insert(makeVma(base, 4 * pageSize));
+    const auto removed =
+        as.removeRange(AddrRange::withSize(base, pageSize));
+    ASSERT_EQ(removed.size(), 1u);
+    EXPECT_EQ(removed[0].range.size(), pageSize);
+    ASSERT_EQ(as.count(), 1u);
+    EXPECT_EQ(as.find(base), nullptr);
+    EXPECT_NE(as.find(base + pageSize), nullptr);
+}
+
+TEST(VmaTest, RemoveMiddleSplitsInTwo)
+{
+    AddressSpace as;
+    as.insert(makeVma(base, 4 * pageSize));
+    as.removeRange(
+        AddrRange::withSize(base + pageSize, pageSize));
+    EXPECT_EQ(as.count(), 2u);
+    EXPECT_NE(as.find(base), nullptr);
+    EXPECT_EQ(as.find(base + pageSize), nullptr);
+    EXPECT_NE(as.find(base + 2 * pageSize), nullptr);
+}
+
+TEST(VmaTest, RemoveSpanningMultipleVmas)
+{
+    AddressSpace as;
+    as.insert(makeVma(base, 2 * pageSize));
+    as.insert(makeVma(base + 2 * pageSize, 2 * pageSize, true));
+    as.insert(makeVma(base + 4 * pageSize, 2 * pageSize));
+    const auto removed = as.removeRange(
+        AddrRange(base + pageSize, base + 5 * pageSize));
+    // Pieces: tail of #1, all of #2, head of #3.
+    ASSERT_EQ(removed.size(), 3u);
+    EXPECT_EQ(removed[1].nvm, true);
+    EXPECT_EQ(as.count(), 2u);
+    EXPECT_EQ(as.mappedBytes(), 2 * pageSize);
+}
+
+TEST(VmaTest, RemoveUntouchedRangeIsEmpty)
+{
+    AddressSpace as;
+    as.insert(makeVma(base, pageSize));
+    const auto removed = as.removeRange(
+        AddrRange::withSize(base + 10 * pageSize, pageSize));
+    EXPECT_TRUE(removed.empty());
+    EXPECT_EQ(as.count(), 1u);
+}
+
+TEST(VmaTest, ProtectRangeSplitsAndRetags)
+{
+    AddressSpace as;
+    as.insert(makeVma(base, 4 * pageSize));
+    as.protectRange(AddrRange::withSize(base + pageSize, pageSize),
+                    cpu::protRead);
+    EXPECT_EQ(as.count(), 3u);
+    EXPECT_EQ(as.find(base)->prot,
+              cpu::protRead | cpu::protWrite);
+    EXPECT_EQ(as.find(base + pageSize)->prot, cpu::protRead);
+    EXPECT_EQ(as.find(base + 2 * pageSize)->prot,
+              cpu::protRead | cpu::protWrite);
+}
+
+TEST(VmaTest, MappedBytesSums)
+{
+    AddressSpace as;
+    as.insert(makeVma(base, 4 * pageSize));
+    as.insert(makeVma(base + 100 * pageSize, pageSize));
+    EXPECT_EQ(as.mappedBytes(), 5 * pageSize);
+}
+
+TEST(VmaTest, EqualityAfterIdenticalOperations)
+{
+    AddressSpace a;
+    AddressSpace b;
+    for (AddressSpace *as : {&a, &b}) {
+        as->insert(makeVma(base, 4 * pageSize, true));
+        as->removeRange(
+            AddrRange::withSize(base + pageSize, pageSize));
+    }
+    EXPECT_TRUE(a == b);
+}
+
+} // namespace
+} // namespace kindle::os

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "base/addr_range.hh"
+#include "base/intmath.hh"
+#include "prep/replay.hh"
+#include "prep/workloads.hh"
+
+namespace kindle::prep
+{
+namespace
+{
+
+WorkloadParams
+smallParams(std::uint64_t ops)
+{
+    WorkloadParams p;
+    p.ops = ops;
+    p.scaleDown = 64;
+    return p;
+}
+
+TEST(ReplayTest, EmitsSetupBodyTeardownExit)
+{
+    auto src = makeWorkload(Benchmark::ycsbMem, smallParams(100));
+    ReplayStream replay(*src, ReplayConfig{});
+
+    const std::size_t areas = src->layout().areas.size();
+    cpu::Op op;
+    // Setup: one mmap per area.
+    for (std::size_t i = 0; i < areas; ++i) {
+        ASSERT_TRUE(replay.next(op));
+        EXPECT_EQ(op.kind, cpu::Op::Kind::mmap) << i;
+        EXPECT_TRUE(op.flags & cpu::mapFixed);
+    }
+    // Body: reads/writes/computes until teardown.
+    std::size_t memops = 0;
+    while (replay.next(op)) {
+        if (op.kind == cpu::Op::Kind::munmap)
+            break;
+        EXPECT_TRUE(op.kind == cpu::Op::Kind::read ||
+                    op.kind == cpu::Op::Kind::write ||
+                    op.kind == cpu::Op::Kind::compute);
+        memops += (op.kind != cpu::Op::Kind::compute);
+    }
+    EXPECT_EQ(memops, 100u);
+    // Remaining teardown + exit.
+    std::size_t unmaps = 1;
+    bool exited = false;
+    while (replay.next(op)) {
+        if (op.kind == cpu::Op::Kind::munmap)
+            ++unmaps;
+        if (op.kind == cpu::Op::Kind::exit)
+            exited = true;
+    }
+    EXPECT_EQ(unmaps, areas);
+    EXPECT_TRUE(exited);
+    EXPECT_EQ(replay.recordsReplayed(), 100u);
+}
+
+TEST(ReplayTest, NvmFlagFollowsConfig)
+{
+    auto src = makeWorkload(Benchmark::ycsbMem, smallParams(10));
+    ReplayConfig cfg;
+    cfg.heapsInNvm = true;
+    cfg.stacksInNvm = false;
+    ReplayStream replay(*src, cfg);
+    cpu::Op op;
+    std::size_t nvm_maps = 0;
+    std::size_t dram_maps = 0;
+    for (std::size_t i = 0; i < src->layout().areas.size(); ++i) {
+        ASSERT_TRUE(replay.next(op));
+        ASSERT_EQ(op.kind, cpu::Op::Kind::mmap);
+        ((op.flags & cpu::mapNvm) ? nvm_maps : dram_maps)++;
+    }
+    EXPECT_EQ(nvm_maps, 2u);   // heap areas
+    EXPECT_EQ(dram_maps, 4u);  // thread stacks
+}
+
+TEST(ReplayTest, AddressesFallInsidePlannedAreas)
+{
+    auto src = makeWorkload(Benchmark::gapbsPr, smallParams(2000));
+    ReplayStream replay(*src, ReplayConfig{});
+    cpu::Op op;
+    while (replay.next(op)) {
+        if (op.kind != cpu::Op::Kind::read &&
+            op.kind != cpu::Op::Kind::write) {
+            continue;
+        }
+        bool inside = false;
+        for (const auto &a : src->layout().areas) {
+            const Addr base = replay.areaBase(a.areaId);
+            if (op.addr >= base &&
+                op.addr + op.size <= base + a.sizeBytes) {
+                inside = true;
+                break;
+            }
+        }
+        ASSERT_TRUE(inside) << "stray address " << op.addr;
+    }
+}
+
+TEST(ReplayTest, FaseWrappingEmitsMarkers)
+{
+    auto src = makeWorkload(Benchmark::ycsbMem, smallParams(50));
+    ReplayConfig cfg;
+    cfg.wrapInFase = true;
+    ReplayStream replay(*src, cfg);
+    cpu::Op op;
+    bool saw_start = false;
+    bool saw_end = false;
+    bool start_before_end = false;
+    while (replay.next(op)) {
+        if (op.kind == cpu::Op::Kind::faseStart) {
+            saw_start = true;
+            start_before_end = !saw_end;
+        }
+        if (op.kind == cpu::Op::Kind::faseEnd)
+            saw_end = true;
+    }
+    EXPECT_TRUE(saw_start);
+    EXPECT_TRUE(saw_end);
+    EXPECT_TRUE(start_before_end);
+}
+
+TEST(ReplayTest, ComputeBatchingInsertsThinkTime)
+{
+    auto src = makeWorkload(Benchmark::ycsbMem, smallParams(64));
+    ReplayConfig cfg;
+    cfg.computePerRecord = 10;
+    cfg.computeBatch = 8;
+    ReplayStream replay(*src, cfg);
+    cpu::Op op;
+    std::size_t computes = 0;
+    while (replay.next(op))
+        computes += (op.kind == cpu::Op::Kind::compute);
+    EXPECT_NEAR(static_cast<double>(computes), 64.0 / 8.0, 2.0);
+}
+
+TEST(ReplayTest, ZeroComputeConfigEmitsNone)
+{
+    auto src = makeWorkload(Benchmark::ycsbMem, smallParams(64));
+    ReplayConfig cfg;
+    cfg.computePerRecord = 0;
+    ReplayStream replay(*src, cfg);
+    cpu::Op op;
+    while (replay.next(op))
+        EXPECT_NE(op.kind, cpu::Op::Kind::compute);
+}
+
+TEST(ReplayTest, AreaBasesAreDisjointAndAligned)
+{
+    auto src = makeWorkload(Benchmark::g500Sssp, smallParams(10));
+    ReplayStream replay(*src, ReplayConfig{});
+    const auto &areas = src->layout().areas;
+    for (std::size_t i = 0; i < areas.size(); ++i) {
+        const Addr bi = replay.areaBase(areas[i].areaId);
+        EXPECT_TRUE(isAligned(bi, pageSize));
+        for (std::size_t j = i + 1; j < areas.size(); ++j) {
+            const Addr bj = replay.areaBase(areas[j].areaId);
+            const AddrRange ri =
+                AddrRange::withSize(bi, areas[i].sizeBytes);
+            const AddrRange rj =
+                AddrRange::withSize(bj, areas[j].sizeBytes);
+            EXPECT_FALSE(ri.intersects(rj));
+        }
+    }
+}
+
+} // namespace
+} // namespace kindle::prep

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clocked.hh"
+#include "sim/event.hh"
+#include "sim/simulation.hh"
+
+namespace kindle::sim
+{
+namespace
+{
+
+TEST(EventQueueTest, FiresInTimeOrder)
+{
+    Simulation sim;
+    std::vector<int> order;
+    CallbackEvent a("a", [&] { order.push_back(1); });
+    CallbackEvent b("b", [&] { order.push_back(2); });
+    CallbackEvent c("c", [&] { order.push_back(3); });
+    sim.eventq().schedule(&b, 200);
+    sim.eventq().schedule(&c, 300);
+    sim.eventq().schedule(&a, 100);
+
+    sim.bump(250);
+    sim.service();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    sim.bump(100);
+    sim.service();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTickUsesPriorityThenInsertion)
+{
+    Simulation sim;
+    std::vector<int> order;
+    CallbackEvent low("low", [&] { order.push_back(1); },
+                      Event::Priority::deflt);
+    CallbackEvent high("high", [&] { order.push_back(2); },
+                       Event::Priority::ckpt);
+    CallbackEvent mid("mid", [&] { order.push_back(3); },
+                      Event::Priority::sched);
+    sim.eventq().schedule(&low, 100);
+    sim.eventq().schedule(&mid, 100);
+    sim.eventq().schedule(&high, 100);
+    sim.bump(100);
+    sim.service();
+    EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(EventQueueTest, DescheduleCancels)
+{
+    Simulation sim;
+    int fired = 0;
+    CallbackEvent e("e", [&] { ++fired; });
+    sim.eventq().schedule(&e, 100);
+    sim.eventq().deschedule(&e);
+    sim.bump(1000);
+    sim.service();
+    EXPECT_EQ(fired, 0);
+    EXPECT_FALSE(e.scheduled());
+}
+
+TEST(EventQueueTest, RescheduleAfterDeschedule)
+{
+    Simulation sim;
+    int fired = 0;
+    CallbackEvent e("e", [&] { ++fired; });
+    sim.eventq().schedule(&e, 100);
+    sim.eventq().deschedule(&e);
+    sim.eventq().schedule(&e, 150);
+    sim.bump(200);
+    sim.service();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, SelfReschedulingPeriodicEvent)
+{
+    Simulation sim;
+    int fired = 0;
+
+    class Periodic : public Event
+    {
+      public:
+        Periodic(Simulation &sim, int &count)
+            : Event("periodic"), sim(sim), count(count)
+        {}
+        void
+        process() override
+        {
+            ++count;
+            if (count < 5)
+                sim.eventq().schedule(this, sim.now() + 100);
+        }
+
+      private:
+        Simulation &sim;
+        int &count;
+    } periodic(sim, fired);
+
+    sim.eventq().schedule(&periodic, 100);
+    for (int step = 0; step < 10; ++step) {
+        sim.bump(100);
+        sim.service();
+    }
+    EXPECT_EQ(fired, 5);
+}
+
+TEST(EventQueueTest, EventBumpingTimeCascades)
+{
+    // An event handler advancing time makes later events due inside
+    // the same service() call.
+    Simulation sim;
+    std::vector<int> order;
+    CallbackEvent second("second", [&] { order.push_back(2); });
+    CallbackEvent first("first", [&] {
+        order.push_back(1);
+        sim.bump(500);  // work done by the handler
+    });
+    sim.eventq().schedule(&first, 100);
+    sim.eventq().schedule(&second, 400);
+    sim.bump(100);
+    sim.service();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, ClearDropsEverything)
+{
+    Simulation sim;
+    int fired = 0;
+    CallbackEvent e1("e1", [&] { ++fired; });
+    CallbackEvent e2("e2", [&] { ++fired; });
+    sim.eventq().schedule(&e1, 10);
+    sim.eventq().schedule(&e2, 20);
+    sim.eventq().clear();
+    EXPECT_TRUE(sim.eventq().empty());
+    sim.bump(100);
+    sim.service();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, NextTickSkipsStaleEntries)
+{
+    Simulation sim;
+    CallbackEvent e1("e1", [] {});
+    CallbackEvent e2("e2", [] {});
+    sim.eventq().schedule(&e1, 10);
+    sim.eventq().schedule(&e2, 20);
+    sim.eventq().deschedule(&e1);
+    EXPECT_EQ(sim.eventq().nextTick(), 20u);
+}
+
+TEST(ClockDomainTest, Conversions)
+{
+    const auto clk = ClockDomain::fromMHz(3000);  // 3 GHz
+    EXPECT_EQ(clk.period(), 333u);  // ps, truncated
+    EXPECT_EQ(clk.cyclesToTicks(3), 999u);
+    EXPECT_EQ(clk.ticksToCycles(999), 3u);
+    EXPECT_EQ(clk.ticksToCycles(1000), 4u);  // rounds up
+}
+
+TEST(SimulationTest, BumpToOnlyMovesForward)
+{
+    Simulation sim;
+    sim.bump(100);
+    sim.bumpTo(50);
+    EXPECT_EQ(sim.now(), 100u);
+    sim.bumpTo(200);
+    EXPECT_EQ(sim.now(), 200u);
+}
+
+} // namespace
+} // namespace kindle::sim

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "ssp/ssp_cache.hh"
+
+namespace kindle::ssp
+{
+namespace
+{
+
+struct Rig
+{
+    Rig()
+        : memory([] {
+              mem::HybridMemoryParams p;
+              p.dramBytes = 64 * oneMiB;
+              p.nvmBytes = 256 * oneMiB;
+              return p;
+          }()),
+          hier(cache::HierarchyParams{}, memory),
+          kmem(sim, memory, hier),
+          layout(os::NvmLayout::standard(memory.nvmRange())),
+          cache(kmem, layout)
+    {}
+
+    Addr
+    poolFrame(unsigned i) const
+    {
+        return layout.userPool + Addr(i) * pageSize;
+    }
+
+    sim::Simulation sim;
+    mem::HybridMemory memory;
+    cache::Hierarchy hier;
+    os::KernelMem kmem;
+    os::NvmLayout layout;
+    SspCache cache;
+};
+
+SspCacheEntry
+makeEntry(Addr orig, Addr shadow)
+{
+    SspCacheEntry e;
+    e.magic = SspCacheEntry::magicValue;
+    e.flags = SspCacheEntry::flagAllocated;
+    e.origFrame = orig;
+    e.shadowFrame = shadow;
+    return e;
+}
+
+TEST(SspCacheTest, WriteReadRoundTrip)
+{
+    Rig rig;
+    const Addr frame = rig.poolFrame(3);
+    rig.cache.write(frame, makeEntry(frame, rig.poolFrame(4)));
+    const SspCacheEntry got = rig.cache.read(frame);
+    EXPECT_TRUE(got.allocated());
+    EXPECT_EQ(got.origFrame, frame);
+    EXPECT_EQ(got.shadowFrame, rig.poolFrame(4));
+}
+
+TEST(SspCacheTest, EntriesAreIndexedByFrame)
+{
+    Rig rig;
+    rig.cache.write(rig.poolFrame(0),
+                    makeEntry(rig.poolFrame(0), rig.poolFrame(10)));
+    rig.cache.write(rig.poolFrame(1),
+                    makeEntry(rig.poolFrame(1), rig.poolFrame(11)));
+    EXPECT_EQ(rig.cache.read(rig.poolFrame(0)).shadowFrame,
+              rig.poolFrame(10));
+    EXPECT_EQ(rig.cache.read(rig.poolFrame(1)).shadowFrame,
+              rig.poolFrame(11));
+    EXPECT_EQ(rig.cache.entryAddr(rig.poolFrame(1)) -
+                  rig.cache.entryAddr(rig.poolFrame(0)),
+              sizeof(SspCacheEntry));
+}
+
+TEST(SspCacheTest, MergeBitsFlipsCurrentAndAccumulatesPending)
+{
+    Rig rig;
+    const Addr frame = rig.poolFrame(5);
+    rig.cache.write(frame, makeEntry(frame, rig.poolFrame(6)));
+
+    rig.cache.mergeBits(frame, 0x0f, false);
+    SspCacheEntry e = rig.cache.read(frame);
+    EXPECT_EQ(e.currentBits, 0x0fu);
+    EXPECT_EQ(e.pendingBits, 0x0fu);
+    EXPECT_FALSE(e.evicted());
+
+    // Flipping the same lines again returns current to 0; pending
+    // keeps accumulating until consolidation.
+    rig.cache.mergeBits(frame, 0x0f, true);
+    e = rig.cache.read(frame);
+    EXPECT_EQ(e.currentBits, 0u);
+    EXPECT_EQ(e.pendingBits, 0x0fu);
+    EXPECT_TRUE(e.evicted());
+}
+
+TEST(SspCacheTest, EvictedSetTracksMarkedFrames)
+{
+    Rig rig;
+    const Addr a = rig.poolFrame(7);
+    const Addr b = rig.poolFrame(8);
+    rig.cache.write(a, makeEntry(a, rig.poolFrame(20)));
+    rig.cache.write(b, makeEntry(b, rig.poolFrame(21)));
+    rig.cache.mergeBits(a, 1, true);
+    rig.cache.mergeBits(b, 1, false);
+    EXPECT_EQ(rig.cache.evictedFrames().count(a), 1u);
+    EXPECT_EQ(rig.cache.evictedFrames().count(b), 0u);
+
+    rig.cache.clearEvicted(a);
+    EXPECT_TRUE(rig.cache.evictedFrames().empty());
+    EXPECT_EQ(rig.cache.read(a).pendingBits, 0u);
+}
+
+TEST(SspCacheTest, MergeOnUnallocatedEntryPanics)
+{
+    setErrorsThrow(true);
+    Rig rig;
+    EXPECT_THROW(rig.cache.mergeBits(rig.poolFrame(9), 1, false),
+                 SimError);
+    setErrorsThrow(false);
+}
+
+TEST(SspCacheTest, NonPoolFramePanics)
+{
+    setErrorsThrow(true);
+    Rig rig;
+    EXPECT_THROW(rig.cache.entryAddr(0x1000), SimError);
+    setErrorsThrow(false);
+}
+
+TEST(SspCacheTest, AccessesChargeSimTime)
+{
+    Rig rig;
+    const Tick t0 = rig.sim.now();
+    rig.cache.write(rig.poolFrame(0),
+                    makeEntry(rig.poolFrame(0), rig.poolFrame(1)));
+    rig.cache.read(rig.poolFrame(0));
+    EXPECT_GT(rig.sim.now(), t0);
+}
+
+} // namespace
+} // namespace kindle::ssp
