@@ -20,11 +20,32 @@
 #include <string>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/str.hh"
 #include "base/types.hh"
+#include "runner/sweep_runner.hh"
 
 namespace kindle::bench
 {
+
+/** Abort the bench if any sweep point failed. */
+inline void
+requireAllOk(const std::vector<runner::RunResult> &results)
+{
+    for (const auto &r : results) {
+        if (!r.ok)
+            kindle_fatal("sweep point '{}' failed: {}", r.name,
+                         r.error);
+    }
+}
+
+/** Footer naming the JSON record a runner bench produced. */
+inline void
+printJsonFooter(const std::string &path, unsigned jobs)
+{
+    std::printf("\nStructured results: %s (ran with %u jobs)\n",
+                path.c_str(), jobs);
+}
 
 /** Workload scale divisor from the environment. */
 inline std::uint64_t

@@ -7,57 +7,101 @@
  *
  * Paper shape: rebuild is slower at every size, with the gap growing
  * from ~2.4x (64 MiB) to ~74x (512 MiB).
+ *
+ * Runs on the sweep runner (--jobs/KINDLE_JOBS) and exports the
+ * sweep, including per-point checkpoint accounting from the stat
+ * snapshot, as BENCH_fig4a_seq_alloc.json.
  */
 
 #include "bench_util.hh"
 #include "kindle/kindle.hh"
 #include "kindle/microbench.hh"
+#include "runner/options.hh"
+#include "runner/report.hh"
 
 namespace
 {
 
 using namespace kindle;
 
-Tick
-runOne(persist::PtScheme scheme, std::uint64_t bytes)
+runner::Scenario
+makeScenario(persist::PtScheme scheme, std::uint64_t bytes)
 {
-    KindleConfig cfg;
-    cfg.memory.dramBytes = 3 * oneGiB;
-    cfg.memory.nvmBytes = 2 * oneGiB;
-    cfg.persistence =
-        persist::PersistParams{scheme, 10 * oneMs};
-    KindleSystem sys(cfg);
-    return sys.run(micro::seqAllocTouch(bytes, /*nvm=*/true), "seq");
+    const std::string scheme_name =
+        scheme == persist::PtScheme::persistent ? "persistent"
+                                                : "rebuild";
+    runner::Scenario sc;
+    sc.name = scheme_name + "/" + sizeToString(bytes);
+    sc.axes = {{"scheme", scheme_name},
+               {"alloc_bytes", std::to_string(bytes)}};
+    sc.config.memory.dramBytes = 3 * oneGiB;
+    sc.config.memory.nvmBytes = 2 * oneGiB;
+    sc.config.persistence = persist::PersistParams{scheme, 10 * oneMs};
+    sc.program = [bytes] {
+        return micro::seqAllocTouch(bytes, /*nvm=*/true);
+    };
+    return sc;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kindle;
     using namespace kindle::bench;
 
+    const auto opts = runner::parseOptions(argc, argv);
     const std::uint64_t scale = scaleFromEnv();
     printHeader("Figure 4a",
                 "Sequential allocation/access vs page-table scheme "
                 "(sizes / " +
                     std::to_string(scale) + ", KINDLE_SCALE)");
 
-    TablePrinter table({"Alloc size", "Persistent (ms)",
-                        "Rebuild (ms)", "Rebuild/Persistent"});
-    for (const std::uint64_t mib : {64, 128, 256, 512}) {
+    const std::vector<std::uint64_t> sizes = {64, 128, 256, 512};
+    std::vector<runner::Scenario> scenarios;
+    for (const std::uint64_t mib : sizes) {
         const std::uint64_t bytes = mib * oneMiB / scale;
-        const Tick persistent =
-            runOne(persist::PtScheme::persistent, bytes);
-        const Tick rebuild = runOne(persist::PtScheme::rebuild, bytes);
-        table.addRow({sizeToString(bytes), ms(persistent),
-                      ms(rebuild),
-                      ratio(static_cast<double>(rebuild) /
-                            static_cast<double>(persistent))});
+        scenarios.push_back(
+            makeScenario(persist::PtScheme::persistent, bytes));
+        scenarios.push_back(
+            makeScenario(persist::PtScheme::rebuild, bytes));
+    }
+
+    runner::SweepRunner pool(opts.jobs);
+    const auto results = pool.run(scenarios);
+    requireAllOk(results);
+
+    // Checkpoint share comes from the stat snapshot (persist group),
+    // not an ad-hoc counter: ckptTicks::sum / elapsed ticks.
+    auto ckpt_share = [](const runner::RunResult &r) {
+        const double ckpt = r.stats.getOr("persist.ckptTicks::sum", 0);
+        return r.ticks
+                   ? fixed(100.0 * ckpt /
+                               static_cast<double>(r.ticks),
+                           1) + "%"
+                   : std::string("-");
+    };
+
+    TablePrinter table({"Alloc size", "Persistent (ms)",
+                        "Rebuild (ms)", "Rebuild/Persistent",
+                        "Rebuild ckpt share"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const auto &persistent = results[2 * i];
+        const auto &rebuild = results[2 * i + 1];
+        table.addRow(
+            {sizeToString(sizes[i] * oneMiB / scale),
+             ms(persistent.ticks), ms(rebuild.ticks),
+             ratio(static_cast<double>(rebuild.ticks) /
+                   static_cast<double>(persistent.ticks)),
+             ckpt_share(rebuild)});
     }
     table.print();
     std::printf("\nPaper shape: rebuild slower everywhere; overhead "
                 "grows with size (~2.4x at 64MiB to ~74x at 512MiB).\n");
+
+    runner::BenchReport report("fig4a_seq_alloc", pool.jobs());
+    report.add(results);
+    printJsonFooter(report.writeJsonFile(), pool.jobs());
     return 0;
 }

@@ -7,45 +7,82 @@
  *
  * Paper shape: overhead well above 1.0 at 1 ms and shrinking with a
  * wider interval (~3x average reduction from 1 ms to 10 ms).
+ *
+ * Runs on the sweep runner: all 12 points (3 workloads x [baseline +
+ * 3 intervals]) execute concurrently under --jobs/KINDLE_JOBS, and
+ * the sweep is exported as BENCH_fig5_ssp_interval.json.  Tick counts
+ * are bit-identical at any jobs level.
  */
 
 #include "bench_util.hh"
+#include "runner/options.hh"
+#include "runner/report.hh"
 #include "ssp_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kindle;
     using namespace kindle::bench;
 
+    const auto opts = runner::parseOptions(argc, argv);
     const std::uint64_t ops = prep::opsFromEnv(200000);
     printHeader("Figure 5",
                 "SSP consistency-interval sweep (KINDLE_OPS=" +
                     std::to_string(ops) + ")");
 
-    TablePrinter table({"Benchmark", "Interval", "Baseline (ms)",
-                        "SSP (ms)", "Normalized"});
-    for (const auto bench :
-         {prep::Benchmark::gapbsPr, prep::Benchmark::g500Sssp,
-          prep::Benchmark::ycsbMem}) {
-        const auto baseline =
-            runSspWorkload(bench, ops, std::nullopt);
-        for (const Tick interval : {oneMs, 5 * oneMs, 10 * oneMs}) {
+    const std::vector<prep::Benchmark> benches = {
+        prep::Benchmark::gapbsPr, prep::Benchmark::g500Sssp,
+        prep::Benchmark::ycsbMem};
+    const std::vector<Tick> intervals = {oneMs, 5 * oneMs,
+                                         10 * oneMs};
+
+    // Scenario order: per workload, baseline first then the three
+    // intervals — the table below indexes on that layout.
+    std::vector<runner::Scenario> scenarios;
+    for (const auto bench : benches) {
+        const std::string wl = prep::benchmarkName(bench);
+        scenarios.push_back(makeSspScenario(
+            bench, ops, std::nullopt, wl + "/baseline",
+            {{"benchmark", wl}, {"interval", "none"}}));
+        for (const Tick interval : intervals) {
+            const std::string label =
+                std::to_string(interval / oneMs) + "ms";
             ssp::SspParams params;
             params.consistencyInterval = interval;
             params.consolidationInterval = oneMs;
-            const auto run = runSspWorkload(bench, ops, params);
+            scenarios.push_back(makeSspScenario(
+                bench, ops, params, wl + "/" + label,
+                {{"benchmark", wl}, {"interval", label}}));
+        }
+    }
+
+    runner::SweepRunner pool(opts.jobs);
+    const auto results = pool.run(scenarios);
+    requireAllOk(results);
+
+    TablePrinter table({"Benchmark", "Interval", "Baseline (ms)",
+                        "SSP (ms)", "Normalized"});
+    const std::size_t stride = 1 + intervals.size();
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const auto &baseline = results[b * stride];
+        for (std::size_t i = 0; i < intervals.size(); ++i) {
+            const auto &run = results[b * stride + 1 + i];
             table.addRow(
-                {prep::benchmarkName(bench),
-                 std::to_string(interval / oneMs) + " ms",
-                 ms(baseline.elapsed), ms(run.elapsed),
-                 ratio(static_cast<double>(run.elapsed) /
-                       static_cast<double>(baseline.elapsed))});
+                {prep::benchmarkName(benches[b]),
+                 std::to_string(intervals[i] / oneMs) + " ms",
+                 ms(baseline.ticks), ms(run.ticks),
+                 ratio(static_cast<double>(run.ticks) /
+                       static_cast<double>(baseline.ticks))});
         }
     }
     table.print();
     std::printf("\nPaper shape: normalized time > 1 everywhere and "
                 "decreasing with wider intervals (~3x lower at 10 ms "
                 "than 1 ms).\n");
+
+    runner::BenchReport report("fig5_ssp_interval", pool.jobs());
+    report.add(results);
+    printJsonFooter(report.writeJsonFile(), pool.jobs());
     return 0;
 }

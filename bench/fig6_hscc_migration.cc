@@ -7,40 +7,80 @@
  * Paper shape: all values above 1.0 (OS work costs), decreasing as
  * the threshold rises because fewer pages qualify for migration.
  * This is the study a user-level simulator like ZSim cannot run.
+ *
+ * Runs on the sweep runner (--jobs/KINDLE_JOBS); all 18 points (3
+ * workloads x 3 thresholds x {hw, hw+os}) execute concurrently and
+ * the sweep is exported as BENCH_fig6_hscc_migration.json with the
+ * full per-point stat snapshot (selection/copy/migration ticks
+ * included).
  */
 
 #include "bench_util.hh"
 #include "hscc_common.hh"
+#include "runner/options.hh"
+#include "runner/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kindle;
     using namespace kindle::bench;
 
+    const auto opts = runner::parseOptions(argc, argv);
     const std::uint64_t ops = prep::opsFromEnv(1000000);
     printHeader("Figure 6",
                 "HSCC OS-migration overhead (KINDLE_OPS=" +
                     std::to_string(ops) + ")");
 
+    const std::vector<prep::Benchmark> benches = {
+        prep::Benchmark::gapbsPr, prep::Benchmark::g500Sssp,
+        prep::Benchmark::ycsbMem};
+    const std::vector<unsigned> thresholds = {5, 25, 50};
+
+    // Scenario order: (bench, threshold) major, hw-only before hw+os.
+    std::vector<runner::Scenario> scenarios;
+    for (const auto bench : benches) {
+        const std::string wl = prep::benchmarkName(bench);
+        for (const unsigned th : thresholds) {
+            const std::string th_label = "Th-" + std::to_string(th);
+            for (const bool charge_os : {false, true}) {
+                const char *mode = charge_os ? "hw+os" : "hw";
+                scenarios.push_back(makeHsccScenario(
+                    bench, ops, th, charge_os,
+                    wl + "/" + th_label + "/" + mode,
+                    {{"benchmark", wl},
+                     {"threshold", std::to_string(th)},
+                     {"migration", mode}}));
+            }
+        }
+    }
+
+    runner::SweepRunner pool(opts.jobs);
+    const auto results = pool.run(scenarios);
+    requireAllOk(results);
+
     TablePrinter table({"Benchmark", "Threshold", "HW-only (ms)",
                         "HW+OS (ms)", "Normalized"});
-    for (const auto bench :
-         {prep::Benchmark::gapbsPr, prep::Benchmark::g500Sssp,
-          prep::Benchmark::ycsbMem}) {
-        for (const unsigned th : {5u, 25u, 50u}) {
-            const auto hw = runHsccWorkload(bench, ops, th, false);
-            const auto os = runHsccWorkload(bench, ops, th, true);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        for (std::size_t t = 0; t < thresholds.size(); ++t) {
+            const std::size_t base =
+                (b * thresholds.size() + t) * 2;
+            const auto &hw = results[base];
+            const auto &os = results[base + 1];
             table.addRow(
-                {prep::benchmarkName(bench),
-                 "Th-" + std::to_string(th), ms(hw.elapsed),
-                 ms(os.elapsed),
-                 ratio(static_cast<double>(os.elapsed) /
-                       static_cast<double>(hw.elapsed))});
+                {prep::benchmarkName(benches[b]),
+                 "Th-" + std::to_string(thresholds[t]),
+                 ms(hw.ticks), ms(os.ticks),
+                 ratio(static_cast<double>(os.ticks) /
+                       static_cast<double>(hw.ticks))});
         }
     }
     table.print();
     std::printf("\nPaper shape: normalized > 1 everywhere; overhead "
                 "falls as the fetch threshold rises.\n");
+
+    runner::BenchReport report("fig6_hscc_migration", pool.jobs());
+    report.add(results);
+    printJsonFooter(report.writeJsonFile(), pool.jobs());
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "kindle/kindle.hh"
 #include "prep/replay.hh"
 #include "prep/workloads.hh"
+#include "runner/scenario.hh"
 
 namespace kindle::bench
 {
@@ -61,6 +62,41 @@ runHsccWorkload(prep::Benchmark bench, std::uint64_t ops,
     result.copyTicks = sys.hsccEngine()->copyTicks();
     result.migrationTicks = sys.hsccEngine()->migrationTicks();
     return result;
+}
+
+/**
+ * The same HSCC study point packaged as a runner scenario.  The
+ * selection/copy phase split is *not* read from engine accessors:
+ * it falls out of the hscc.* entries of the RunResult stat snapshot.
+ */
+inline runner::Scenario
+makeHsccScenario(prep::Benchmark bench, std::uint64_t ops,
+                 unsigned fetch_threshold, bool charge_os_time,
+                 std::string point_name, runner::Axes axes)
+{
+    runner::Scenario sc;
+    sc.name = std::move(point_name);
+    sc.axes = std::move(axes);
+    sc.config.memory.dramBytes = 3 * oneGiB;
+    sc.config.memory.nvmBytes = 2 * oneGiB;
+    hscc::HsccParams params;
+    params.fetchThreshold = fetch_threshold;
+    params.chargeOsTime = charge_os_time;
+    sc.config.hscc = params;
+    sc.program = [bench, ops]() -> std::unique_ptr<cpu::OpStream> {
+        prep::WorkloadParams wp;
+        wp.ops = ops;
+        wp.scaleDown = 8;
+        prep::ReplayConfig rc;
+        rc.heapsInNvm = true;  // data lives in NVM, DRAM is the cache
+        rc.stacksInNvm = true;
+        // Pace the replay as in runHsccWorkload: spread records over
+        // many 31.25 ms migration intervals.
+        rc.computePerRecord = 300;
+        return std::make_unique<prep::OwningReplayStream>(
+            prep::makeWorkload(bench, wp), rc);
+    };
+    return sc;
 }
 
 } // namespace kindle::bench

@@ -14,6 +14,7 @@
 #include "kindle/kindle.hh"
 #include "prep/replay.hh"
 #include "prep/workloads.hh"
+#include "runner/scenario.hh"
 
 namespace kindle::bench
 {
@@ -66,6 +67,36 @@ runSspWorkload(prep::Benchmark bench, std::uint64_t ops,
             st.scalarValue("consolidations"));
     }
     return result;
+}
+
+/**
+ * The same SSP study point packaged as a runner scenario: system
+ * config plus a workload factory, safe to execute on any SweepRunner
+ * worker thread.  @p ssp_params nullopt = no-consistency baseline.
+ */
+inline runner::Scenario
+makeSspScenario(prep::Benchmark bench, std::uint64_t ops,
+                std::optional<ssp::SspParams> ssp_params,
+                std::string point_name, runner::Axes axes)
+{
+    runner::Scenario sc;
+    sc.name = std::move(point_name);
+    sc.axes = std::move(axes);
+    sc.config.memory.dramBytes = 3 * oneGiB;
+    sc.config.memory.nvmBytes = 2 * oneGiB;
+    sc.config.ssp = ssp_params;
+    sc.program = [bench, ops]() -> std::unique_ptr<cpu::OpStream> {
+        prep::WorkloadParams wp;
+        wp.ops = ops;
+        wp.scaleDown = 8;  // keep trace footprints inside the NVM pool
+        prep::ReplayConfig rc;
+        rc.heapsInNvm = true;
+        rc.stacksInNvm = true;
+        rc.wrapInFase = true;
+        return std::make_unique<prep::OwningReplayStream>(
+            prep::makeWorkload(bench, wp), rc);
+    };
+    return sc;
 }
 
 } // namespace kindle::bench

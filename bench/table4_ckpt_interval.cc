@@ -8,29 +8,47 @@
  * rebuild scheme improves ~5x from 10→100 ms, and with a 1 s interval
  * (beyond the runtime) rebuild beats persistent, exposing the benefit
  * of a DRAM-hosted page table.
+ *
+ * Runs on the sweep runner (--jobs/KINDLE_JOBS).  The extra
+ * "checkpoint share" columns are pure stat-snapshot arithmetic
+ * (persist.ckptTicks::sum over elapsed ticks) — the per-phase
+ * accounting the runner's JSON export records for every point in
+ * BENCH_table4_ckpt_interval.json.
  */
 
 #include "bench_util.hh"
 #include "kindle/kindle.hh"
 #include "kindle/microbench.hh"
+#include "runner/options.hh"
+#include "runner/report.hh"
 
 namespace
 {
 
 using namespace kindle;
 
-Tick
-runOne(persist::PtScheme scheme, std::uint64_t arena,
-       std::uint64_t churn, Tick interval)
+runner::Scenario
+makeScenario(persist::PtScheme scheme, std::uint64_t arena,
+             std::uint64_t churn, Tick interval,
+             const std::string &interval_label)
 {
-    KindleConfig cfg;
-    cfg.memory.dramBytes = 3 * oneGiB;
-    cfg.memory.nvmBytes = 2 * oneGiB;
-    cfg.persistence = persist::PersistParams{scheme, interval};
-    KindleSystem sys(cfg);
+    const std::string scheme_name =
+        scheme == persist::PtScheme::persistent ? "persistent"
+                                                : "rebuild";
+    runner::Scenario sc;
+    sc.name = scheme_name + "/" + sizeToString(churn) + "/" +
+              interval_label;
+    sc.axes = {{"scheme", scheme_name},
+               {"churn_bytes", std::to_string(churn)},
+               {"interval", interval_label}};
+    sc.config.memory.dramBytes = 3 * oneGiB;
+    sc.config.memory.nvmBytes = 2 * oneGiB;
+    sc.config.persistence = persist::PersistParams{scheme, interval};
     // access_rounds > 1: multiple sweeps causing TLB misses.
-    return sys.run(micro::churnBench(arena, churn, 2, 3, true),
-                   "churn");
+    sc.program = [arena, churn] {
+        return micro::churnBench(arena, churn, 2, 3, true);
+    };
+    return sc;
 }
 
 std::string
@@ -41,34 +59,67 @@ intervalName(kindle::Tick t)
     return std::to_string(t / kindle::oneMs) + " msec";
 }
 
+std::string
+ckptShare(const runner::RunResult &r)
+{
+    const double ckpt = r.stats.getOr("persist.ckptTicks::sum", 0);
+    if (!r.ticks)
+        return "-";
+    return kindle::fixed(
+               100.0 * ckpt / static_cast<double>(r.ticks), 1) +
+           "%";
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kindle;
     using namespace kindle::bench;
 
+    const auto opts = runner::parseOptions(argc, argv);
     const std::uint64_t scale = scaleFromEnv();
     const std::uint64_t arena = 512 * oneMiB / scale;
     printHeader("Table IV",
                 "Checkpoint-interval sweep, arena " +
                     sizeToString(arena));
 
-    TablePrinter table({"Alloc/Free size", "Interval",
-                        "Persistent (ms)", "Rebuild (ms)"});
-    for (const std::uint64_t mib : {64, 128, 256}) {
+    const std::vector<std::uint64_t> sizes = {64, 128, 256};
+    const std::vector<Tick> intervals = {10 * oneMs, 100 * oneMs,
+                                         oneSec};
+
+    std::vector<runner::Scenario> scenarios;
+    for (const std::uint64_t mib : sizes) {
         const std::uint64_t churn = mib * oneMiB / scale;
-        for (const Tick interval :
-             {10 * oneMs, 100 * oneMs, oneSec}) {
-            const Tick persistent = runOne(
-                persist::PtScheme::persistent, arena, churn,
-                interval);
-            const Tick rebuild = runOne(persist::PtScheme::rebuild,
-                                        arena, churn, interval);
+        for (const Tick interval : intervals) {
+            scenarios.push_back(makeScenario(
+                persist::PtScheme::persistent, arena, churn, interval,
+                intervalName(interval)));
+            scenarios.push_back(makeScenario(
+                persist::PtScheme::rebuild, arena, churn, interval,
+                intervalName(interval)));
+        }
+    }
+
+    runner::SweepRunner pool(opts.jobs);
+    const auto results = pool.run(scenarios);
+    requireAllOk(results);
+
+    TablePrinter table({"Alloc/Free size", "Interval",
+                        "Persistent (ms)", "Rebuild (ms)",
+                        "Ckpt share (P)", "Ckpt share (R)"});
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        const std::uint64_t churn = sizes[s] * oneMiB / scale;
+        for (std::size_t i = 0; i < intervals.size(); ++i) {
+            const std::size_t base =
+                (s * intervals.size() + i) * 2;
+            const auto &persistent = results[base];
+            const auto &rebuild = results[base + 1];
             table.addRow({sizeToString(churn),
-                          intervalName(interval), ms(persistent),
-                          ms(rebuild)});
+                          intervalName(intervals[i]),
+                          ms(persistent.ticks), ms(rebuild.ticks),
+                          ckptShare(persistent), ckptShare(rebuild)});
         }
     }
     table.print();
@@ -76,5 +127,9 @@ main()
                 "rebuild ~5x cheaper at 100ms than 10ms and cheaper "
                 "than persistent once the interval exceeds the "
                 "runtime.\n");
+
+    runner::BenchReport report("table4_ckpt_interval", pool.jobs());
+    report.add(results);
+    printJsonFooter(report.writeJsonFile(), pool.jobs());
     return 0;
 }

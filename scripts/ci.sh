@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI gate: build the tree with AddressSanitizer+UBSan and run the full
+# tier-1 test suite, then rebuild the concurrency-sensitive parts with
+# ThreadSanitizer and run the SweepRunner tests under it.
+#
+#   scripts/ci.sh            # asan/ubsan suite + tsan runner tests
+#   SKIP_TSAN=1 scripts/ci.sh  # asan/ubsan only (fast path)
+#
+# TSan and ASan cannot share a build tree, so each sanitizer gets its
+# own build directory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+
+echo "=== ASan/UBSan build + full test suite ==="
+cmake -B build-asan -S . -G Ninja \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+    echo "=== TSan build + SweepRunner tests ==="
+    cmake -B build-tsan -S . -G Ninja \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread"
+    cmake --build build-tsan -j "${JOBS}" --target test_runner
+    # The runner tests exercise every cross-thread path: the work
+    # queue, result placement, and the shared trace-flag/error-mode
+    # globals that concurrent KindleSystem instances touch.
+    ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+        -R 'SweepRunner|SweepDeterminism|BenchReport'
+fi
+
+echo "ci.sh: all checks passed"

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Artifact-style driver (paper appendix E): builds the framework and
-# regenerates every table and figure into outputs/.
+# regenerates every table and figure into outputs/, plus the structured
+# BENCH_*.json records (ported benches) into results/.
 #
 #   KINDLE_SCALE=1 KINDLE_OPS=10000000 scripts/run_experiments.sh
 #
-# runs at paper scale; the defaults finish in a few minutes.
+# runs at paper scale; the defaults finish in a few minutes.  Sweeps on
+# the runner-backed benches honour KINDLE_JOBS (or --jobs, forwarded
+# via BENCH_ARGS) for parallel execution.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,7 +15,10 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 
-mkdir -p outputs
+mkdir -p outputs results
+
+# Runner-backed benches drop BENCH_<name>.json here.
+export KINDLE_RESULTS_DIR="${KINDLE_RESULTS_DIR:-$PWD/results}"
 
 run() {
     local name=$1
@@ -41,4 +47,14 @@ run ablation_hscc_dynamic
 ./build/bench/micro_mem | tee outputs/micro_mem.txt
 ./build/bench/micro_cache | tee outputs/micro_cache.txt
 
-echo "All outputs in ./outputs/"
+# Sweep any stray JSON records (benches run outside this script drop
+# them in the working directory) into results/ as well.
+shopt -s nullglob
+for f in BENCH_*.json; do
+    mv "$f" results/
+done
+shopt -u nullglob
+
+echo "All text outputs in ./outputs/"
+echo "Structured sweep records:"
+ls -1 results/BENCH_*.json 2>/dev/null || echo "  (none)"

@@ -1,5 +1,6 @@
 #include "base/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,20 +10,22 @@ namespace kindle
 namespace
 {
 
-bool throwErrors = false;
+// Atomic so concurrent KindleSystem runs (runner::SweepRunner worker
+// threads) can hit error paths while a test harness flips the mode.
+std::atomic<bool> throwErrors{false};
 
 } // namespace
 
 void
 setErrorsThrow(bool throw_instead)
 {
-    throwErrors = throw_instead;
+    throwErrors.store(throw_instead, std::memory_order_relaxed);
 }
 
 bool
 errorsThrow()
 {
-    return throwErrors;
+    return throwErrors.load(std::memory_order_relaxed);
 }
 
 namespace detail

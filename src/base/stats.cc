@@ -1,14 +1,20 @@
 #include "base/stats.hh"
 
+#include <algorithm>
+
 namespace kindle::statistics
 {
 
 Scalar &
 StatGroup::addScalar(const std::string &stat_name, const std::string &desc)
 {
+    if (dists.count(stat_name)) {
+        kindle_fatal("stat {}.{} already registered as a distribution",
+                     _name, stat_name);
+    }
     auto [it, inserted] = scalars.try_emplace(stat_name);
-    kindle_assert(inserted, "duplicate scalar stat {}.{}", _name,
-                  stat_name);
+    if (!inserted)
+        kindle_fatal("duplicate scalar stat {}.{}", _name, stat_name);
     it->second.desc = desc;
     return it->second.stat;
 }
@@ -17,9 +23,15 @@ Distribution &
 StatGroup::addDistribution(const std::string &stat_name,
                            const std::string &desc)
 {
+    if (scalars.count(stat_name)) {
+        kindle_fatal("stat {}.{} already registered as a scalar",
+                     _name, stat_name);
+    }
     auto [it, inserted] = dists.try_emplace(stat_name);
-    kindle_assert(inserted, "duplicate distribution stat {}.{}", _name,
-                  stat_name);
+    if (!inserted) {
+        kindle_fatal("duplicate distribution stat {}.{}", _name,
+                     stat_name);
+    }
     it->second.desc = desc;
     return it->second.stat;
 }
@@ -28,6 +40,14 @@ void
 StatGroup::addChild(StatGroup &child)
 {
     children.push_back(&child);
+}
+
+void
+StatGroup::removeChild(const StatGroup &child)
+{
+    children.erase(
+        std::remove(children.begin(), children.end(), &child),
+        children.end());
 }
 
 double
@@ -76,22 +96,228 @@ StatGroup::resetAll()
 }
 
 void
+StatGroup::accept(StatVisitor &visitor) const
+{
+    visitor.beginGroup(_name, _desc);
+    for (const auto &[k, e] : scalars)
+        visitor.visitScalar(k, e.desc, e.stat);
+    for (const auto &[k, e] : dists)
+        visitor.visitDistribution(k, e.desc, e.stat);
+    for (const auto *c : children)
+        c->accept(visitor);
+    visitor.endGroup();
+}
+
+void
 StatGroup::dump(std::ostream &os, const std::string &prefix) const
 {
-    const std::string full =
-        prefix.empty() ? _name : prefix + "." + _name;
-    for (const auto &[k, e] : scalars) {
-        os << full << '.' << k << ' ' << e.stat.value() << " # "
-           << e.desc << '\n';
+    TextSerializer text(os, prefix);
+    accept(text);
+}
+
+// ---------------------------------------------------------------------
+// TextSerializer
+
+void
+TextSerializer::beginGroup(const std::string &name,
+                           const std::string &desc)
+{
+    const std::string &parent = stack.back();
+    stack.push_back(parent.empty() ? name : parent + "." + name);
+    if (!desc.empty())
+        out << "# " << stack.back() << ": " << desc << '\n';
+}
+
+void
+TextSerializer::endGroup()
+{
+    stack.pop_back();
+}
+
+void
+TextSerializer::visitScalar(const std::string &name,
+                            const std::string &desc, const Scalar &stat)
+{
+    out << path() << '.' << name << ' ' << stat.value() << " # "
+        << desc << '\n';
+}
+
+void
+TextSerializer::visitDistribution(const std::string &name,
+                                  const std::string &desc,
+                                  const Distribution &stat)
+{
+    out << path() << '.' << name << "::mean " << stat.mean() << " # "
+        << desc << '\n';
+    out << path() << '.' << name << "::count " << stat.count() << " # "
+        << desc << '\n';
+}
+
+// ---------------------------------------------------------------------
+// JsonSerializer
+
+void
+JsonSerializer::beginGroup(const std::string &name,
+                           const std::string &desc)
+{
+    (void)desc;
+    out.key(name);
+    out.beginObject();
+}
+
+void
+JsonSerializer::endGroup()
+{
+    out.endObject();
+}
+
+void
+JsonSerializer::visitScalar(const std::string &name,
+                            const std::string &desc, const Scalar &stat)
+{
+    (void)desc;
+    out.keyValue(name, stat.value());
+}
+
+void
+JsonSerializer::visitDistribution(const std::string &name,
+                                  const std::string &desc,
+                                  const Distribution &stat)
+{
+    (void)desc;
+    out.key(name);
+    out.beginObject();
+    out.keyValue("count", stat.count());
+    out.keyValue("min", stat.min());
+    out.keyValue("max", stat.max());
+    out.keyValue("mean", stat.mean());
+    out.keyValue("sum", stat.sum());
+    out.endObject();
+}
+
+// ---------------------------------------------------------------------
+// StatSnapshot
+
+StatSnapshot
+StatSnapshot::capture(const StatGroup &root)
+{
+    StatSnapshot snap;
+    Builder builder(snap);
+    root.accept(builder);
+    return snap;
+}
+
+std::string
+StatSnapshot::Builder::joined(const std::string &leaf) const
+{
+    return stack.empty() ? leaf : stack.back() + "." + leaf;
+}
+
+void
+StatSnapshot::Builder::beginGroup(const std::string &name,
+                                  const std::string &desc)
+{
+    (void)desc;
+    stack.push_back(joined(name));
+}
+
+void
+StatSnapshot::Builder::endGroup()
+{
+    stack.pop_back();
+}
+
+void
+StatSnapshot::Builder::visitScalar(const std::string &name,
+                                   const std::string &desc,
+                                   const Scalar &stat)
+{
+    (void)desc;
+    snap.values[joined(name)] = stat.value();
+}
+
+void
+StatSnapshot::Builder::visitDistribution(const std::string &name,
+                                         const std::string &desc,
+                                         const Distribution &stat)
+{
+    (void)desc;
+    const std::string path = joined(name);
+    snap.values[path + "::count"] =
+        static_cast<double>(stat.count());
+    snap.values[path + "::sum"] = stat.sum();
+    snap.values[path + "::min"] = stat.min();
+    snap.values[path + "::max"] = stat.max();
+    snap.values[path + "::mean"] = stat.mean();
+}
+
+bool
+StatSnapshot::has(const std::string &path) const
+{
+    return values.count(path) != 0;
+}
+
+double
+StatSnapshot::get(const std::string &path) const
+{
+    const auto it = values.find(path);
+    if (it == values.end())
+        kindle_fatal("no stat snapshot entry named {}", path);
+    return it->second;
+}
+
+double
+StatSnapshot::getOr(const std::string &path, double fallback) const
+{
+    const auto it = values.find(path);
+    return it == values.end() ? fallback : it->second;
+}
+
+namespace
+{
+
+bool
+endsWith(const std::string &s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+} // namespace
+
+StatSnapshot
+StatSnapshot::delta(const StatSnapshot &earlier) const
+{
+    StatSnapshot out;
+    for (const auto &[path, later_v] : values) {
+        // Interval extrema are unknowable from endpoint snapshots.
+        if (endsWith(path, "::min") || endsWith(path, "::max") ||
+            endsWith(path, "::mean"))
+            continue;
+        out.values[path] = later_v - earlier.getOr(path, 0);
     }
-    for (const auto &[k, e] : dists) {
-        os << full << '.' << k << "::mean " << e.stat.mean() << " # "
-           << e.desc << '\n';
-        os << full << '.' << k << "::count " << e.stat.count() << " # "
-           << e.desc << '\n';
+    // Recompute ::mean from the differenced sum and count.
+    for (const auto &[path, later_v] : values) {
+        (void)later_v;
+        if (!endsWith(path, "::count"))
+            continue;
+        const std::string base =
+            path.substr(0, path.size() - std::string("::count").size());
+        const double dcount = out.values[path];
+        const double dsum = out.getOr(base + "::sum", 0);
+        out.values[base + "::mean"] = dcount ? dsum / dcount : 0;
     }
-    for (const auto *c : children)
-        c->dump(os, full);
+    return out;
+}
+
+void
+StatSnapshot::writeJson(json::Writer &writer) const
+{
+    writer.beginObject();
+    for (const auto &[path, v] : values)
+        writer.keyValue(path, v);
+    writer.endObject();
 }
 
 } // namespace kindle::statistics

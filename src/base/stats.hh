@@ -2,10 +2,22 @@
  * @file
  * A small statistics package in the spirit of gem5's Stats.
  *
- * Components own Scalar / Formula / Distribution stats and register
- * them with a StatGroup.  Benches and tests read values by name; the
- * whole tree can be dumped as text.  Stats are plain doubles/counters —
- * no atomic machinery since the simulator is single threaded.
+ * Components own Scalar / Distribution stats and register them with a
+ * StatGroup; groups nest into a tree.  The tree is consumed through a
+ * visitor (StatVisitor), with two stock serializers:
+ *
+ *   - TextSerializer reproduces the classic "name value # desc" dump,
+ *   - JsonSerializer emits a nested JSON object for tooling.
+ *
+ * StatSnapshot captures the whole tree as a flat path→value map so
+ * callers can diff two instants (per-phase accounting: checkpoint vs
+ * app time, HSCC selection vs copy) instead of keeping ad-hoc
+ * counters.
+ *
+ * Stats are plain doubles/counters — no atomic machinery, because one
+ * simulated machine is single threaded.  Concurrent *machines* (the
+ * runner's sweep executor) are safe because every KindleSystem owns a
+ * disjoint stat tree; there is no global registry.
  */
 
 #ifndef KINDLE_BASE_STATS_HH
@@ -17,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "base/json.hh"
 #include "base/logging.hh"
 
 namespace kindle::statistics
@@ -39,17 +52,28 @@ class Scalar
     double _value = 0;
 };
 
-/** Min/max/mean/count tracker for per-event samples. */
+/**
+ * Min/max/mean/count tracker for per-event samples.
+ *
+ * The empty state (no samples yet, or just after reset()) reports
+ * min() == max() == mean() == 0 by convention; the first sample after
+ * construction *or* reset() re-seeds min and max from that sample, so
+ * reset-then-sample never leaks the pre-reset extrema.
+ */
 class Distribution
 {
   public:
     void
     sample(double v)
     {
-        if (_count == 0 || v < _min)
-            _min = v;
-        if (_count == 0 || v > _max)
-            _max = v;
+        if (_count == 0) {
+            _min = _max = v;
+        } else {
+            if (v < _min)
+                _min = v;
+            if (v > _max)
+                _max = v;
+        }
         _sum += v;
         ++_count;
     }
@@ -79,13 +103,40 @@ class Distribution
 };
 
 /**
+ * Consumer of a stat tree traversal.  StatGroup::accept() calls
+ * beginGroup/endGroup around each group and visitScalar /
+ * visitDistribution for every stat, in the group's canonical order
+ * (scalars sorted by name, then distributions sorted by name, then
+ * child groups in attachment order).  Serializers, snapshots and
+ * ad-hoc queries are all visitors.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    virtual void beginGroup(const std::string &name,
+                            const std::string &desc) = 0;
+    virtual void endGroup() = 0;
+    virtual void visitScalar(const std::string &name,
+                             const std::string &desc,
+                             const Scalar &stat) = 0;
+    virtual void visitDistribution(const std::string &name,
+                                   const std::string &desc,
+                                   const Distribution &stat) = 0;
+};
+
+/**
  * A group of named stats belonging to one component.  Groups nest via
- * dotted names when registered with a parent.
+ * addChild(); names within one group are unique across *both* stat
+ * kinds — re-registering a name is a fatal configuration error.
  */
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+    explicit StatGroup(std::string name, std::string desc = {})
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
 
     StatGroup(const StatGroup &) = delete;
     StatGroup &operator=(const StatGroup &) = delete;
@@ -101,6 +152,9 @@ class StatGroup
     /** Attach a child group (not owned). */
     void addChild(StatGroup &child);
 
+    /** Detach a child group previously attached with addChild(). */
+    void removeChild(const StatGroup &child);
+
     /** Look up a scalar's current value; fatal if missing. */
     double scalarValue(const std::string &stat_name) const;
 
@@ -114,10 +168,14 @@ class StatGroup
     /** Reset every stat in this group and all children. */
     void resetAll();
 
+    /** Drive @p visitor over this group and all children. */
+    void accept(StatVisitor &visitor) const;
+
     /** Dump "name value # desc" lines, recursively. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
     const std::string &name() const { return _name; }
+    const std::string &description() const { return _desc; }
 
   private:
     struct ScalarEntry
@@ -132,9 +190,148 @@ class StatGroup
     };
 
     std::string _name;
+    std::string _desc;
     std::map<std::string, ScalarEntry> scalars;
     std::map<std::string, DistEntry> dists;
     std::vector<StatGroup *> children;
+};
+
+/**
+ * Visitor producing the classic text dump:
+ *
+ *   # group.child: component description
+ *   group.child.stat 42 # description
+ *   group.child.dist::mean 1.5 # description
+ *   group.child.dist::count 2 # description
+ *
+ * Groups with a description contribute a "# path: desc" header line.
+ * An optional @p prefix is prepended to every path, matching the old
+ * StatGroup::dump(os, prefix) behaviour.
+ */
+class TextSerializer : public StatVisitor
+{
+  public:
+    explicit TextSerializer(std::ostream &os, std::string prefix = {})
+        : out(os), stack{std::move(prefix)}
+    {}
+
+    void beginGroup(const std::string &name,
+                    const std::string &desc) override;
+    void endGroup() override;
+    void visitScalar(const std::string &name, const std::string &desc,
+                     const Scalar &stat) override;
+    void visitDistribution(const std::string &name,
+                           const std::string &desc,
+                           const Distribution &stat) override;
+
+  private:
+    const std::string &path() const { return stack.back(); }
+
+    std::ostream &out;
+    std::vector<std::string> stack;
+};
+
+/**
+ * Visitor producing a nested JSON object.  Groups become objects,
+ * scalars numeric members and distributions objects with
+ * count/min/max/mean/sum members.  The caller owns the surrounding
+ * json::Writer, so several sibling trees can be serialized into one
+ * enclosing object (KindleSystem dumps its component forest this way):
+ *
+ *   json::Writer w(os);
+ *   w.beginObject();
+ *   JsonSerializer ser(w);
+ *   groupA.accept(ser);
+ *   groupB.accept(ser);
+ *   w.endObject();
+ */
+class JsonSerializer : public StatVisitor
+{
+  public:
+    explicit JsonSerializer(json::Writer &writer) : out(writer) {}
+
+    void beginGroup(const std::string &name,
+                    const std::string &desc) override;
+    void endGroup() override;
+    void visitScalar(const std::string &name, const std::string &desc,
+                     const Scalar &stat) override;
+    void visitDistribution(const std::string &name,
+                           const std::string &desc,
+                           const Distribution &stat) override;
+
+  private:
+    json::Writer &out;
+};
+
+/**
+ * A point-in-time copy of a stat tree (or forest) as a flat, sorted
+ * path→value map.  Scalars appear under their dotted path;
+ * distributions contribute "path::count", "path::sum", "path::min",
+ * "path::max" and "path::mean".
+ *
+ * Snapshots subtract: `later.delta(earlier)` yields the activity in
+ * between — counters and count/sum entries are differenced, ::mean is
+ * recomputed from the differenced sum and count, and ::min/::max are
+ * dropped (extrema of an interval are not recoverable from two
+ * endpoint snapshots).
+ */
+class StatSnapshot
+{
+  public:
+    StatSnapshot() = default;
+
+    /** Capture @p root and everything below it. */
+    static StatSnapshot capture(const StatGroup &root);
+
+    /** Visitor that appends into an existing snapshot (forest use). */
+    class Builder : public StatVisitor
+    {
+      public:
+        explicit Builder(StatSnapshot &snap) : snap(snap) {}
+
+        void beginGroup(const std::string &name,
+                        const std::string &desc) override;
+        void endGroup() override;
+        void visitScalar(const std::string &name,
+                         const std::string &desc,
+                         const Scalar &stat) override;
+        void visitDistribution(const std::string &name,
+                               const std::string &desc,
+                               const Distribution &stat) override;
+
+      private:
+        std::string joined(const std::string &leaf) const;
+
+        StatSnapshot &snap;
+        std::vector<std::string> stack;
+    };
+
+    bool has(const std::string &path) const;
+
+    /** Value at @p path; fatal if absent. */
+    double get(const std::string &path) const;
+
+    /** Value at @p path, or @p fallback if absent. */
+    double getOr(const std::string &path, double fallback) const;
+
+    /** Stats recorded between @p earlier and this snapshot. */
+    StatSnapshot delta(const StatSnapshot &earlier) const;
+
+    /** Serialize as one flat JSON object. */
+    void writeJson(json::Writer &writer) const;
+
+    const std::map<std::string, double> &entries() const
+    {
+        return values;
+    }
+
+    bool operator==(const StatSnapshot &other) const
+    {
+        return values == other.values;
+    }
+
+  private:
+    std::map<std::string, double> values;
 };
 
 } // namespace kindle::statistics

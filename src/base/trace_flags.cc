@@ -1,8 +1,10 @@
 #include "base/trace_flags.hh"
 
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "base/logging.hh"
 
@@ -14,7 +16,12 @@ namespace
 
 constexpr unsigned numFlags = static_cast<unsigned>(Flag::numFlags);
 
-std::array<bool, numFlags> flagState{};
+// Atomics: flag state is process-global configuration that may be
+// consulted from concurrent KindleSystem instances (SweepRunner
+// worker threads) while the main thread toggles flags.
+std::array<std::atomic<bool>, numFlags> flagState{};
+
+std::once_flag envInitOnce;
 
 constexpr std::array<const char *, numFlags> flagNames = {
     "event", "mem", "cache", "tlb", "pwalk", "vma",
@@ -38,7 +45,8 @@ disable(Flag f)
 void
 clearAll()
 {
-    flagState.fill(false);
+    for (auto &f : flagState)
+        f = false;
 }
 
 void
@@ -64,8 +72,13 @@ enableByNames(std::string_view names)
 void
 initFromEnv()
 {
-    if (const char *env = std::getenv("KINDLE_DEBUG"))
-        enableByNames(env);
+    // Every KindleSystem constructor calls this; guard with a
+    // once-flag so concurrently constructed systems don't race on
+    // the parse and repeated sequential constructions stay cheap.
+    std::call_once(envInitOnce, [] {
+        if (const char *env = std::getenv("KINDLE_DEBUG"))
+            enableByNames(env);
+    });
 }
 
 bool

@@ -11,7 +11,7 @@ Cache::Cache(const CacheParams &params, MemSink &downstream)
       below(downstream),
       numSets(params.sizeBytes / (lineSize * params.associativity)),
       lines(numSets * params.associativity),
-      statGroup(params.name),
+      statGroup(params.name, "set-associative write-back cache"),
       hits(statGroup.addScalar("hits", "demand hits")),
       misses(statGroup.addScalar("misses", "demand misses")),
       evictions(statGroup.addScalar("evictions", "lines evicted")),

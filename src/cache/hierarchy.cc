@@ -15,7 +15,8 @@ Hierarchy::Hierarchy(const HierarchyParams &params,
       llcCache(std::make_unique<Cache>(params.llc, adapter)),
       l2Cache(std::make_unique<Cache>(params.l2, *llcCache)),
       l1Cache(std::make_unique<Cache>(params.l1, *l2Cache)),
-      statGroup("cacheHierarchy"),
+      statGroup("cacheHierarchy",
+                "three-level write-back cache hierarchy"),
       accesses(statGroup.addScalar("accesses", "demand accesses")),
       llcMisses(statGroup.addScalar("llcMisses",
                                     "accesses missing in the LLC")),

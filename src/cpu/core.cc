@@ -17,7 +17,7 @@ Core::Core(const CoreParams &params, sim::Simulation &sim_arg,
       clockDomain(sim::ClockDomain::fromMHz(params.freqMHz)),
       dtlb(params.tlb),
       ptWalker(memory_arg, caches_arg),
-      statGroup("core"),
+      statGroup("core", "in-order core"),
       memOps(statGroup.addScalar("memOps", "loads+stores executed")),
       computeOps(statGroup.addScalar("computeOps",
                                      "compute bursts executed")),

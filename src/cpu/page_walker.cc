@@ -9,7 +9,7 @@ PageWalker::PageWalker(mem::HybridMemory &memory_arg,
                        cache::Hierarchy &caches_arg)
     : memory(memory_arg),
       caches(caches_arg),
-      statGroup("pageWalker"),
+      statGroup("pageWalker", "hardware page-table walker"),
       walks(statGroup.addScalar("walks", "page-table walks")),
       faults(statGroup.addScalar("faults", "walks hitting a hole")),
       levelReads(statGroup.addScalar("levelReads",

@@ -18,7 +18,7 @@ Tlb::Tlb(const TlbParams &params)
     : _params(params),
       l1(params.l1Entries),
       l2(params.l2Entries),
-      statGroup("tlb"),
+      statGroup("tlb", "two-level TLB"),
       l1Hits(statGroup.addScalar("l1Hits", "L1 TLB hits")),
       l2Hits(statGroup.addScalar("l2Hits", "L2 TLB hits")),
       missCount(statGroup.addScalar("misses", "full TLB misses")),

@@ -6,7 +6,7 @@ namespace kindle::hscc
 {
 
 DramPool::DramPool(unsigned pages, os::FrameAllocator &dram_alloc)
-    : statGroup("dramPool"),
+    : statGroup("dramPool", "HSCC DRAM page pool (free/clean/dirty)"),
       selFree(statGroup.addScalar("selFree",
                                   "selections from the free list")),
       selClean(statGroup.addScalar("selClean",

@@ -28,7 +28,8 @@ HsccEngine::HsccEngine(const HsccParams &params, os::Kernel &kernel_arg)
       mapTable(params.dramPoolPages, kernel_arg.kmem(),
                kernel_arg.dramAllocator()),
       migrateEvent(*this),
-      statGroup("hscc"),
+      statGroup("hscc",
+                "HW/SW cooperative DRAM caching engine"),
       migrated(statGroup.addScalar("pagesMigrated",
                                    "NVM pages migrated to DRAM")),
       intervals(statGroup.addScalar("intervals",

@@ -10,7 +10,7 @@ MappingTable::MappingTable(unsigned slots_arg, os::KernelMem &kmem_arg,
                            os::FrameAllocator &dram_alloc)
     : kmem(kmem_arg),
       slots(slots_arg),
-      statGroup("hsccMapTable"),
+      statGroup("hsccMapTable", "NVM-to-DRAM mapping lookup table"),
       lookups(statGroup.addScalar("lookups", "table lookups")),
       updates(statGroup.addScalar("updates", "table updates"))
 {

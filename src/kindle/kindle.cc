@@ -1,5 +1,6 @@
 #include "kindle/kindle.hh"
 
+#include "base/json.hh"
 #include "base/logging.hh"
 #include "base/trace_flags.hh"
 
@@ -122,19 +123,46 @@ KindleSystem::reboot()
 }
 
 void
+KindleSystem::acceptStats(statistics::StatVisitor &visitor) const
+{
+    mem_->stats().accept(visitor);
+    caches_->stats().accept(visitor);
+    core_->stats().accept(visitor);
+    if (kernel_)
+        kernel_->stats().accept(visitor);
+    if (persist_)
+        persist_->stats().accept(visitor);
+    if (ssp_)
+        ssp_->stats().accept(visitor);
+    if (hscc_)
+        hscc_->stats().accept(visitor);
+}
+
+void
 KindleSystem::dumpStats(std::ostream &os) const
 {
-    mem_->stats().dump(os);
-    caches_->stats().dump(os);
-    core_->stats().dump(os);
-    if (kernel_)
-        kernel_->stats().dump(os);
-    if (persist_)
-        persist_->stats().dump(os);
-    if (ssp_)
-        ssp_->stats().dump(os);
-    if (hscc_)
-        hscc_->stats().dump(os);
+    statistics::TextSerializer text(os);
+    acceptStats(text);
+}
+
+void
+KindleSystem::dumpStatsJson(std::ostream &os) const
+{
+    json::Writer writer(os);
+    writer.beginObject();
+    statistics::JsonSerializer ser(writer);
+    acceptStats(ser);
+    writer.endObject();
+    os << '\n';
+}
+
+statistics::StatSnapshot
+KindleSystem::snapshotStats() const
+{
+    statistics::StatSnapshot snap;
+    statistics::StatSnapshot::Builder builder(snap);
+    acceptStats(builder);
+    return snap;
 }
 
 } // namespace kindle

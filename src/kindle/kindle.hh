@@ -26,6 +26,7 @@
 #include <optional>
 #include <ostream>
 
+#include "base/stats.hh"
 #include "cache/hierarchy.hh"
 #include "cpu/core.hh"
 #include "hscc/hscc_engine.hh"
@@ -108,8 +109,22 @@ class KindleSystem
     /** True between crash() and reboot(). */
     bool crashed() const { return isCrashed; }
 
-    /** Dump the complete statistics tree. */
+    /**
+     * Drive @p visitor over every component's stat tree (memory,
+     * caches, core, kernel, persistence/SSP/HSCC when configured) in
+     * the fixed dump order.  Serializers, snapshots and ad-hoc stat
+     * queries all build on this.
+     */
+    void acceptStats(statistics::StatVisitor &visitor) const;
+
+    /** Dump the complete statistics tree as text. */
     void dumpStats(std::ostream &os) const;
+
+    /** Dump the complete statistics tree as one JSON object. */
+    void dumpStatsJson(std::ostream &os) const;
+
+    /** Capture every stat as a flat path→value snapshot. */
+    statistics::StatSnapshot snapshotStats() const;
 
   private:
     void buildOsLayer();

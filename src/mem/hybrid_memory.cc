@@ -16,7 +16,7 @@ HybridMemory::HybridMemory(const HybridMemoryParams &params)
           params.dramCtrl, params.dramTiming, _dramRange)),
       _nvmCtrl(std::make_unique<MemCtrl>(params.nvmCtrl,
                                          params.nvmTiming, _nvmRange)),
-      statGroup("hybridMem"),
+      statGroup("hybridMem", "hybrid DRAM+NVM physical memory"),
       crashes(statGroup.addScalar("crashes", "simulated power failures"))
 {
     kindle_assert(params.dramBytes >= 16 * oneMiB,

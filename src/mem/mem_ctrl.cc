@@ -12,7 +12,8 @@ MemCtrl::MemCtrl(const MemCtrlParams &params,
     : _params(params),
       _range(range),
       iface(std::make_unique<MemInterface>(timing, range)),
-      statGroup(std::string(timing.name) + "Ctrl"),
+      statGroup(std::string(timing.name) + "Ctrl",
+                "memory controller with read/write buffers"),
       readStallTicks(statGroup.addScalar(
           "readStallTicks", "stall waiting for a read-buffer slot")),
       writeStallTicks(statGroup.addScalar(

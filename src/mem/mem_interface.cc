@@ -84,7 +84,7 @@ MemInterface::MemInterface(const MemTimingParams &params, AddrRange range)
     : _params(params),
       _range(range),
       bankState(params.banks),
-      statGroup(params.name),
+      statGroup(params.name, "memory device timing model"),
       readReqs(statGroup.addScalar("readReqs", "line reads serviced")),
       writeReqs(statGroup.addScalar("writeReqs", "line writes serviced")),
       rowHits(statGroup.addScalar("rowHits", "row-buffer hits")),

@@ -16,7 +16,7 @@ FrameAllocator::FrameAllocator(std::string name, AddrRange zone,
       bitmapAddr(bitmap_addr),
       frameCount(zone.size() / pageSize),
       used(frameCount, false),
-      statGroup(_name),
+      statGroup(_name, "zone frame allocator"),
       allocs(statGroup.addScalar("allocs", "frames allocated")),
       frees(statGroup.addScalar("frees", "frames freed")),
       persistWrites(statGroup.addScalar(

@@ -20,7 +20,7 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
       layout(NvmLayout::standard(memory_arg.nvmRange())),
       plainPtWrite(kernelMem),
       policyProxy(&plainPtWrite),
-      statGroup("kernel"),
+      statGroup("kernel", "gemOS-like kernel"),
       syscalls(statGroup.addScalar("syscalls", "system calls serviced")),
       contextSwitches(statGroup.addScalar("contextSwitches",
                                           "scheduler switches")),

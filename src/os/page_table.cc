@@ -18,7 +18,8 @@ PageTableManager::PageTableManager(KernelMem &kmem_arg,
     : kmem(kmem_arg),
       tableAlloc(table_alloc),
       policy(policy_arg),
-      statGroup("pageTables"),
+      statGroup("pageTables",
+                "4-level page tables in simulated frames"),
       writesStat(statGroup.addScalar("entryWrites",
                                      "page-table entry stores")),
       tablePages(statGroup.addScalar("tablePages",

@@ -12,7 +12,8 @@ PersistDomain::PersistDomain(const PersistParams &params,
     : _params(params),
       kernel(kernel_arg),
       event(*this),
-      statGroup("persist"),
+      statGroup("persist",
+                "process-persistence domain (periodic checkpointing)"),
       checkpoints(statGroup.addScalar("checkpoints",
                                       "periodic checkpoints taken")),
       ckptTicks(statGroup.addDistribution(

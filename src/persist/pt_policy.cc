@@ -28,7 +28,8 @@ ConsistentPtWrite::ConsistentPtWrite(os::KernelMem &kmem_arg,
     : kmem(kmem_arg),
       logBase(log_base),
       logRecords((log_bytes - lineSize) / sizeof(PtUndoRecord)),
-      statGroup("ptConsistency"),
+      statGroup("ptConsistency",
+                "page-table consistency scheme"),
       stores(statGroup.addScalar("wrappedStores",
                                  "consistency-wrapped PTE stores"))
 {

@@ -24,7 +24,7 @@ RedoLog::RedoLog(os::KernelMem &kmem_arg, Addr base_arg,
     : kmem(kmem_arg),
       base(base_arg),
       maxRecords((capacity - lineSize) / sizeof(RedoRecord)),
-      statGroup(std::move(name)),
+      statGroup(std::move(name), "redo log in NVM"),
       appends(statGroup.addScalar("appends", "records appended")),
       replays(statGroup.addScalar("replays", "records replayed")),
       resets(statGroup.addScalar("resets", "epoch bumps")),

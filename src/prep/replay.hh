@@ -14,6 +14,7 @@
 #ifndef KINDLE_PREP_REPLAY_HH
 #define KINDLE_PREP_REPLAY_HH
 
+#include <memory>
 #include <unordered_map>
 
 #include "cpu/op.hh"
@@ -74,6 +75,32 @@ class ReplayStream : public cpu::OpStream
     std::size_t teardownIdx = 0;
     std::uint64_t replayed = 0;
     unsigned sinceCompute = 0;
+};
+
+/**
+ * A ReplayStream that owns its trace source.  ReplayStream proper
+ * only references the source (benches keep the trace alive on the
+ * stack); scenario factories hand the whole program to another thread,
+ * so trace and stream must travel together.
+ */
+class OwningReplayStream : public cpu::OpStream
+{
+  public:
+    OwningReplayStream(std::unique_ptr<TraceSource> source,
+                       const ReplayConfig &config)
+        : trace(std::move(source)), stream(*trace, config)
+    {}
+
+    bool next(cpu::Op &op) override { return stream.next(op); }
+
+    std::uint64_t recordsReplayed() const
+    {
+        return stream.recordsReplayed();
+    }
+
+  private:
+    std::unique_ptr<TraceSource> trace;
+    ReplayStream stream;
 };
 
 } // namespace kindle::prep

@@ -1,0 +1,60 @@
+#include "runner/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace kindle::runner
+{
+
+namespace
+{
+
+unsigned
+parseJobs(const char *text, const char *origin)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || v > 4096)
+        kindle_fatal("{}: bad job count '{}'", origin, text);
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opts;
+    if (const char *env = std::getenv("KINDLE_JOBS")) {
+        if (*env)
+            opts.jobs = parseJobs(env, "KINDLE_JOBS");
+    }
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0) {
+            std::printf(
+                "usage: %s [--jobs N]\n"
+                "  --jobs N   sweep worker threads "
+                "(default: hardware threads; env KINDLE_JOBS)\n",
+                argv[0]);
+            std::exit(0);
+        }
+        if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc)
+                kindle_fatal("--jobs needs a value");
+            opts.jobs = parseJobs(argv[++i], "--jobs");
+            continue;
+        }
+        if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            opts.jobs = parseJobs(arg + 7, "--jobs");
+            continue;
+        }
+        kindle_fatal("unknown argument '{}' (try --help)", arg);
+    }
+    return opts;
+}
+
+} // namespace kindle::runner

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Command-line/environment options shared by every runner-driven
+ * bench binary.
+ *
+ *   --jobs N       worker threads for the sweep (also: KINDLE_JOBS)
+ *   --help         print usage for the common flags
+ *
+ * Unrecognized arguments are fatal so a typo cannot silently fall
+ * back to defaults in a long experiment campaign.
+ */
+
+#ifndef KINDLE_RUNNER_OPTIONS_HH
+#define KINDLE_RUNNER_OPTIONS_HH
+
+#include <string>
+
+namespace kindle::runner
+{
+
+struct Options
+{
+    /** Sweep parallelism; 0 = one worker per hardware thread. */
+    unsigned jobs = 0;
+};
+
+/**
+ * Parse @p argc / @p argv.  Precedence: command line over KINDLE_JOBS
+ * over the hardware default.  Calls std::exit(0) after printing usage
+ * for --help.
+ */
+Options parseOptions(int argc, char **argv);
+
+} // namespace kindle::runner
+
+#endif // KINDLE_RUNNER_OPTIONS_HH

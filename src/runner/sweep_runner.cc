@@ -1,0 +1,79 @@
+#include "runner/sweep_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "base/logging.hh"
+
+namespace kindle::runner
+{
+
+SweepRunner::SweepRunner(unsigned jobs) : _jobs(jobs)
+{
+    if (_jobs == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        _jobs = hw ? hw : 1;
+    }
+}
+
+RunResult
+SweepRunner::runOne(const Scenario &scenario)
+{
+    RunResult result;
+    result.name = scenario.name;
+    result.axes = scenario.axes;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    try {
+        KindleSystem sys(scenario.config);
+        result.ticks = sys.run(scenario.program(), scenario.name);
+        result.stats = sys.snapshotStats();
+        result.ok = true;
+    } catch (const SimError &e) {
+        result.error = e.message();
+    } catch (const std::exception &e) {
+        result.error = e.what();
+    }
+    const auto wall_end = std::chrono::steady_clock::now();
+    result.wallMs =
+        std::chrono::duration<double, std::milli>(wall_end -
+                                                  wall_start)
+            .count();
+    return result;
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<Scenario> &scenarios)
+{
+    std::vector<RunResult> results(scenarios.size());
+
+    // Work stealing over an atomic cursor: results land at their
+    // scenario's index, so output order never depends on scheduling.
+    std::atomic<std::size_t> cursor{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= scenarios.size())
+                return;
+            results[i] = runOne(scenarios[i]);
+        }
+    };
+
+    const std::size_t want =
+        std::min<std::size_t>(_jobs, scenarios.size());
+    if (want <= 1) {
+        worker();
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(want);
+    for (std::size_t t = 0; t < want; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace kindle::runner

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SweepRunner: execute a vector of Scenarios on a thread pool, one
+ * fully self-contained KindleSystem per scenario.
+ *
+ * Parallelism changes wall-clock time only: the simulator consults no
+ * host time or host randomness, each scenario owns its whole stat
+ * tree, and the only process-global state (trace flags, the
+ * error-reporting mode) is read-only during runs — so per-sweep-point
+ * tick counts and stat snapshots are bit-identical whether the sweep
+ * runs with 1 job or N.  The determinism tests in tests/runner assert
+ * exactly that.
+ */
+
+#ifndef KINDLE_RUNNER_SWEEP_RUNNER_HH
+#define KINDLE_RUNNER_SWEEP_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "runner/scenario.hh"
+
+namespace kindle::runner
+{
+
+/** Outcome of one executed scenario. */
+struct RunResult
+{
+    std::string name;
+    Axes axes;
+
+    /** Simulated ticks consumed by the run (KindleSystem::run). */
+    Tick ticks = 0;
+
+    /** Host wall-clock milliseconds (reporting only — never fed back
+     *  into the simulation). */
+    double wallMs = 0;
+
+    /** Full stat snapshot of the system after the run. */
+    statistics::StatSnapshot stats;
+
+    /** False when the scenario threw; error holds the message. */
+    bool ok = false;
+    std::string error;
+};
+
+class SweepRunner
+{
+  public:
+    /** @param jobs Worker threads; 0 = one per hardware thread. */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    unsigned jobs() const { return _jobs; }
+
+    /**
+     * Run every scenario and return results in scenario order
+     * regardless of completion order.  Scenarios must not share
+     * mutable state through their program factories.
+     */
+    std::vector<RunResult> run(const std::vector<Scenario> &scenarios);
+
+    /** Execute a single scenario inline (no threads). */
+    static RunResult runOne(const Scenario &scenario);
+
+  private:
+    unsigned _jobs;
+};
+
+} // namespace kindle::runner
+
+#endif // KINDLE_RUNNER_SWEEP_RUNNER_HH

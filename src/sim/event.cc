@@ -5,6 +5,12 @@
 namespace kindle::sim
 {
 
+Event::~Event()
+{
+    if (_scheduled && _queue)
+        _queue->deschedule(this);
+}
+
 void
 EventQueue::schedule(Event *ev, Tick when)
 {
@@ -14,27 +20,30 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->_scheduled = true;
     ev->_when = when;
     ev->_seq = nextSeq++;
+    ev->_queue = this;
+    live.insert(ev->_seq);
     heap.push(Entry{when, static_cast<int>(ev->priority()), ev->_seq, ev});
 }
 
 void
 EventQueue::deschedule(Event *ev)
 {
-    // Lazy removal: mark the event unscheduled; its heap entry becomes
-    // stale and is skipped when it reaches the top.
-    if (ev && ev->_scheduled)
+    // Lazy removal: mark the event unscheduled and retire its seq; the
+    // heap entry becomes stale and is dropped (without touching the
+    // event again) when it reaches the top.
+    if (ev && ev->_scheduled) {
         ev->_scheduled = false;
+        live.erase(ev->_seq);
+    }
 }
 
 void
 EventQueue::skipStale(Tick)
 {
-    while (!heap.empty()) {
-        const Entry &top = heap.top();
-        if (top.ev->_scheduled && top.ev->_seq == top.seq)
-            return;
+    // Stale entries are recognised by seq alone: their Event* may
+    // already dangle (owner destroyed after descheduling).
+    while (!heap.empty() && live.find(heap.top().seq) == live.end())
         heap.pop();
-    }
 }
 
 Tick
@@ -56,6 +65,7 @@ EventQueue::popDue(Tick now)
     if (heap.empty() || heap.top().when > now)
         return nullptr;
     Event *ev = heap.top().ev;
+    live.erase(heap.top().seq);
     heap.pop();
     ev->_scheduled = false;
     return ev;
@@ -64,10 +74,15 @@ EventQueue::popDue(Tick now)
 void
 EventQueue::clear()
 {
+    // Live entries point at alive events (a scheduled event
+    // deschedules itself on destruction), so resetting their flag is
+    // safe; stale entries are dropped without being dereferenced.
     while (!heap.empty()) {
-        heap.top().ev->_scheduled = false;
+        if (live.find(heap.top().seq) != live.end())
+            heap.top().ev->_scheduled = false;
         heap.pop();
     }
+    live.clear();
 }
 
 } // namespace kindle::sim

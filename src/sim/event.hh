@@ -18,12 +18,15 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "base/types.hh"
 
 namespace kindle::sim
 {
+
+class EventQueue;
 
 /**
  * An occurrence scheduled on the EventQueue.  Subclass and implement
@@ -47,7 +50,10 @@ class Event
         : _name(std::move(name)), _priority(prio)
     {}
 
-    virtual ~Event() = default;
+    /** A still-scheduled event deschedules itself on destruction so
+     *  the queue never holds an entry it might dereference after the
+     *  owner died (crash() tears components down mid-simulation). */
+    virtual ~Event();
 
     Event(const Event &) = delete;
     Event &operator=(const Event &) = delete;
@@ -72,6 +78,7 @@ class Event
     bool _scheduled = false;
     Tick _when = 0;
     std::uint64_t _seq = 0;
+    EventQueue *_queue = nullptr;
 };
 
 /** A one-shot event wrapping a callable. */
@@ -148,6 +155,14 @@ class EventQueue
 
     std::priority_queue<Entry> heap;
     std::uint64_t nextSeq = 0;
+
+    /**
+     * Sequence numbers of entries whose event is still scheduled.
+     * Stale entries (descheduled or superseded) are identified by seq
+     * alone, so the queue never dereferences an Event* it cannot prove
+     * alive.
+     */
+    std::unordered_set<std::uint64_t> live;
 };
 
 } // namespace kindle::sim

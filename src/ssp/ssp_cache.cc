@@ -11,7 +11,7 @@ SspCache::SspCache(os::KernelMem &kmem_arg,
       regionBase(layout.sspCache),
       capacity(layout.sspCacheBytes / sizeof(SspCacheEntry)),
       frameBase(layout.userPool),
-      statGroup("sspCache"),
+      statGroup("sspCache", "SSP metadata cache region"),
       reads(statGroup.addScalar("reads", "metadata entries read")),
       writes(statGroup.addScalar("writes", "metadata entries written"))
 {

@@ -35,7 +35,7 @@ SspEngine::SspEngine(const SspParams &params, os::Kernel &kernel_arg)
       sspCache(kernel_arg.kmem(), kernel_arg.nvmLayout()),
       intervalEvent(*this),
       consolidateEvent(*this),
-      statGroup("ssp"),
+      statGroup("ssp", "shadow sub-paging engine"),
       shadowAllocs(statGroup.addScalar("shadowPages",
                                        "shadow pages allocated")),
       intervalCommits(statGroup.addScalar(

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+
+namespace kindle::json
+{
+namespace
+{
+
+TEST(JsonTest, EscapeHandlesSpecials)
+{
+    EXPECT_EQ(escape("plain"), "plain");
+    EXPECT_EQ(escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(escape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonTest, FormatNumberIsIntegerExactAndDeterministic)
+{
+    EXPECT_EQ(formatNumber(0), "0");
+    EXPECT_EQ(formatNumber(42), "42");
+    EXPECT_EQ(formatNumber(-3), "-3");
+    EXPECT_EQ(formatNumber(1e15), "1000000000000000");
+    EXPECT_EQ(formatNumber(1.5), "1.5");
+    // Same value, same text — every time.
+    EXPECT_EQ(formatNumber(0.1), formatNumber(0.1));
+}
+
+TEST(JsonTest, WriterNestsObjectsAndArrays)
+{
+    std::ostringstream os;
+    Writer w(os);
+    w.beginObject();
+    w.keyValue("name", "bench");
+    w.keyValue("ticks", std::uint64_t(7));
+    w.key("points");
+    w.beginArray();
+    w.beginObject();
+    w.keyValue("ok", true);
+    w.endObject();
+    w.value(std::uint64_t(3));
+    w.endArray();
+    w.endObject();
+    EXPECT_TRUE(w.balanced());
+
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"name\": \"bench\""), std::string::npos);
+    EXPECT_NE(out.find("\"ticks\": 7"), std::string::npos);
+    EXPECT_NE(out.find("\"ok\": true"), std::string::npos);
+    // Array elements separated by a comma.
+    EXPECT_NE(out.find("},"), std::string::npos);
+}
+
+TEST(JsonTest, EmptyContainersStayCompact)
+{
+    std::ostringstream os;
+    Writer w(os);
+    w.beginObject();
+    w.key("empty_obj");
+    w.beginObject();
+    w.endObject();
+    w.key("empty_arr");
+    w.beginArray();
+    w.endArray();
+    w.endObject();
+    EXPECT_NE(os.str().find("{}"), std::string::npos);
+    EXPECT_NE(os.str().find("[]"), std::string::npos);
+}
+
+TEST(JsonTest, MisuseTripsAssertions)
+{
+    setErrorsThrow(true);
+    {
+        std::ostringstream os;
+        Writer w(os);
+        w.beginObject();
+        EXPECT_THROW(w.value(std::uint64_t(1)), SimError);  // no key
+    }
+    {
+        std::ostringstream os;
+        Writer w(os);
+        w.beginArray();
+        EXPECT_THROW(w.endObject(), SimError);  // wrong close
+    }
+    setErrorsThrow(false);
+}
+
+} // namespace
+} // namespace kindle::json

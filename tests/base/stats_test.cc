@@ -53,13 +53,64 @@ TEST(StatsTest, MissingStatIsFatal)
     setErrorsThrow(false);
 }
 
-TEST(StatsTest, DuplicateRegistrationPanics)
+TEST(StatsTest, DuplicateRegistrationIsFatal)
 {
     setErrorsThrow(true);
     StatGroup g("test");
     g.addScalar("x", "");
-    EXPECT_THROW(g.addScalar("x", ""), SimError);
+    try {
+        g.addScalar("x", "");
+        FAIL() << "duplicate scalar registration not rejected";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimError::Kind::fatal);
+    }
+    g.addDistribution("d", "");
+    EXPECT_THROW(g.addDistribution("d", ""), SimError);
     setErrorsThrow(false);
+}
+
+TEST(StatsTest, ScalarAndDistributionCannotShareAName)
+{
+    setErrorsThrow(true);
+    StatGroup g("test");
+    g.addScalar("latency", "");
+    EXPECT_THROW(g.addDistribution("latency", ""), SimError);
+    g.addDistribution("width", "");
+    EXPECT_THROW(g.addScalar("width", ""), SimError);
+    setErrorsThrow(false);
+}
+
+TEST(StatsTest, DistributionResetThenSampleReseedsExtrema)
+{
+    Distribution d;
+    d.sample(-5);
+    d.sample(100);
+    d.reset();
+
+    // Empty after reset: the zero convention, not stale extrema.
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.min(), 0);
+    EXPECT_DOUBLE_EQ(d.max(), 0);
+    EXPECT_DOUBLE_EQ(d.mean(), 0);
+    EXPECT_DOUBLE_EQ(d.sum(), 0);
+
+    // First sample after reset defines both extrema, even when it is
+    // larger/smaller than the pre-reset min/max were.
+    d.sample(7);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_DOUBLE_EQ(d.min(), 7);
+    EXPECT_DOUBLE_EQ(d.max(), 7);
+    EXPECT_DOUBLE_EQ(d.mean(), 7);
+}
+
+TEST(StatsTest, DistributionSingleNegativeSample)
+{
+    Distribution d;
+    d.sample(-2.5);
+    EXPECT_DOUBLE_EQ(d.min(), -2.5);
+    EXPECT_DOUBLE_EQ(d.max(), -2.5);
+    EXPECT_DOUBLE_EQ(d.sum(), -2.5);
+    EXPECT_DOUBLE_EQ(d.mean(), -2.5);
 }
 
 TEST(StatsTest, DumpIncludesChildren)
@@ -89,6 +140,153 @@ TEST(StatsTest, ResetAllRecurses)
     parent.resetAll();
     EXPECT_EQ(p.value(), 0.0);
     EXPECT_EQ(c.value(), 0.0);
+}
+
+TEST(StatsTest, GroupDescriptionAppearsAsDumpHeader)
+{
+    StatGroup g("engine", "the component under test");
+    g.addScalar("ops", "work done") += 3;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("# engine: the component under test"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("engine.ops 3"), std::string::npos);
+}
+
+TEST(StatsTest, AcceptVisitsCanonicalOrder)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    parent.addScalar("b", "");
+    parent.addScalar("a", "");
+    parent.addDistribution("d", "");
+    child.addScalar("x", "");
+    parent.addChild(child);
+
+    struct Recorder : StatVisitor
+    {
+        std::vector<std::string> events;
+        void
+        beginGroup(const std::string &n, const std::string &) override
+        {
+            events.push_back("g:" + n);
+        }
+        void endGroup() override { events.push_back("end"); }
+        void
+        visitScalar(const std::string &n, const std::string &,
+                    const Scalar &) override
+        {
+            events.push_back("s:" + n);
+        }
+        void
+        visitDistribution(const std::string &n, const std::string &,
+                          const Distribution &) override
+        {
+            events.push_back("d:" + n);
+        }
+    } rec;
+    parent.accept(rec);
+
+    const std::vector<std::string> expected = {
+        "g:p", "s:a", "s:b", "d:d", "g:c", "s:x", "end", "end"};
+    EXPECT_EQ(rec.events, expected);
+}
+
+TEST(StatsTest, JsonSerializerProducesNestedObject)
+{
+    StatGroup parent("parent");
+    StatGroup child("child");
+    parent.addScalar("p", "") += 1.5;
+    Distribution &d = child.addDistribution("lat", "");
+    d.sample(2);
+    d.sample(4);
+    parent.addChild(child);
+
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject();
+    JsonSerializer ser(w);
+    parent.accept(ser);
+    w.endObject();
+
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"parent\""), std::string::npos);
+    EXPECT_NE(out.find("\"p\": 1.5"), std::string::npos);
+    EXPECT_NE(out.find("\"child\""), std::string::npos);
+    EXPECT_NE(out.find("\"count\": 2"), std::string::npos);
+    EXPECT_NE(out.find("\"mean\": 3"), std::string::npos);
+}
+
+TEST(StatsTest, SnapshotCapturesFlatPaths)
+{
+    StatGroup parent("parent");
+    StatGroup child("child");
+    parent.addScalar("p", "") += 4;
+    child.addDistribution("lat", "").sample(10);
+    parent.addChild(child);
+
+    const StatSnapshot snap = StatSnapshot::capture(parent);
+    EXPECT_TRUE(snap.has("parent.p"));
+    EXPECT_DOUBLE_EQ(snap.get("parent.p"), 4);
+    EXPECT_DOUBLE_EQ(snap.get("parent.child.lat::count"), 1);
+    EXPECT_DOUBLE_EQ(snap.get("parent.child.lat::sum"), 10);
+    EXPECT_DOUBLE_EQ(snap.get("parent.child.lat::min"), 10);
+    EXPECT_DOUBLE_EQ(snap.getOr("parent.child.lat::mean", -1), 10);
+    EXPECT_FALSE(snap.has("parent.missing"));
+    EXPECT_DOUBLE_EQ(snap.getOr("parent.missing", 9), 9);
+}
+
+TEST(StatsTest, SnapshotDeltaGivesPhaseAccounting)
+{
+    StatGroup g("phase");
+    Scalar &work = g.addScalar("work", "");
+    Distribution &lat = g.addDistribution("lat", "");
+
+    work += 10;
+    lat.sample(100);
+    const StatSnapshot before = StatSnapshot::capture(g);
+
+    // The "phase" under measurement.
+    work += 5;
+    lat.sample(20);
+    lat.sample(40);
+    const StatSnapshot after = StatSnapshot::capture(g);
+
+    const StatSnapshot delta = after.delta(before);
+    EXPECT_DOUBLE_EQ(delta.get("phase.work"), 5);
+    EXPECT_DOUBLE_EQ(delta.get("phase.lat::count"), 2);
+    EXPECT_DOUBLE_EQ(delta.get("phase.lat::sum"), 60);
+    EXPECT_DOUBLE_EQ(delta.get("phase.lat::mean"), 30);
+    // Interval extrema are not recoverable from endpoint snapshots.
+    EXPECT_FALSE(delta.has("phase.lat::min"));
+    EXPECT_FALSE(delta.has("phase.lat::max"));
+}
+
+TEST(StatsTest, SnapshotEqualityAndJson)
+{
+    StatGroup g("g");
+    g.addScalar("v", "") += 2;
+    const StatSnapshot a = StatSnapshot::capture(g);
+    const StatSnapshot b = StatSnapshot::capture(g);
+    EXPECT_TRUE(a == b);
+
+    std::ostringstream os;
+    json::Writer w(os);
+    a.writeJson(w);
+    EXPECT_NE(os.str().find("\"g.v\": 2"), std::string::npos);
+}
+
+TEST(StatsTest, RemoveChildDetachesSubtree)
+{
+    StatGroup parent("parent");
+    StatGroup child("child");
+    child.addScalar("c", "") += 1;
+    parent.addChild(child);
+    parent.removeChild(child);
+
+    std::ostringstream os;
+    parent.dump(os);
+    EXPECT_EQ(os.str().find("child"), std::string::npos);
 }
 
 } // namespace
