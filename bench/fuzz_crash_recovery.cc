@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Recovery-audit fuzz harness: systematic crash-point exploration.
+ *
+ * For each page-table scheme the harness first takes a *golden run* —
+ * the workload executed with an unarmed (observe-only) injector — to
+ * learn (a) how often every named crash site fires, (b) how many
+ * durable NVM writes the controller accepts, and (c) the set of
+ * committed checkpoint states (the recovery oracle: any state a
+ * recovered process may legally resume from).
+ *
+ * It then sweeps crash points over that space: a site × occurrence
+ * grid covering every named crash site the scheme exercises, padded
+ * with seeded-random Nth-durable-write points, ≥100 points per scheme
+ * by default (KINDLE_FUZZ_POINTS overrides, KINDLE_FUZZ_SEED reseeds
+ * the random pad).  Each point runs the same workload with an armed
+ * FaultPlan, rides the injected PowerLoss into crash()+reboot(), and
+ * audits the outcome:
+ *
+ *   - every recovered process must resume from a state present in the
+ *     golden oracle (anything else is an oracle divergence → FAILED),
+ *   - the rebooted machine must still take a checkpoint,
+ *   - a point is CLEAN when recovery reported no errors, SALVAGED
+ *     when it classified damage (quarantined slots, torn log tails)
+ *     but every surviving process validated.
+ *
+ * Everything is deterministic: a fixed seed reproduces the same sweep
+ * and byte-identical BENCH_fuzz_crash_recovery.json (wall-clock is
+ * omitted from the export for exactly this reason).
+ */
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "base/random.hh"
+#include "bench_util.hh"
+#include "kindle/kindle.hh"
+#include "kindle/microbench.hh"
+#include "runner/options.hh"
+#include "runner/report.hh"
+
+namespace
+{
+
+using namespace kindle;
+
+/** Committed states a recovered process may legally resume from. */
+using Oracle = std::set<std::pair<std::uint64_t, std::uint64_t>>;
+
+struct Golden
+{
+    std::map<std::string, std::uint64_t> hits;
+    std::uint64_t durableWrites = 0;
+    Oracle committed;
+};
+
+std::uint64_t
+envCount(const char *name, std::uint64_t fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        const auto v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+std::unique_ptr<cpu::OpStream>
+makeWorkload()
+{
+    // Touch + churn + compute: enough allocator traffic, VMA events
+    // and PTE writes that every instrumented protocol runs repeatedly
+    // across several checkpoint intervals.
+    micro::ScriptBuilder b;
+    b.mmapFixed(micro::scriptBase, 48 * pageSize, true);
+    b.touchPages(micro::scriptBase, 48 * pageSize);
+    for (int r = 0; r < 10; ++r) {
+        b.compute(500000);
+        const Addr extra =
+            micro::scriptBase + (64 + Addr(r) * 16) * pageSize;
+        b.mmapFixed(extra, 8 * pageSize, true);
+        b.touchPages(extra, 8 * pageSize);
+        if (r % 2)
+            b.munmap(extra, 8 * pageSize);
+    }
+    b.exit();
+    return b.build();
+}
+
+KindleConfig
+baseConfig(persist::PtScheme scheme)
+{
+    KindleConfig cfg;
+    cfg.memory.dramBytes = 128 * oneMiB;
+    cfg.memory.nvmBytes = 256 * oneMiB;
+    cfg.persistence = persist::PersistParams{scheme, oneMs / 4};
+    return cfg;
+}
+
+/** The committed (rip, mappedBytes) of @p proc — the exact register
+ *  source checkpointProcess() serializes. */
+std::pair<std::uint64_t, std::uint64_t>
+committedState(KindleSystem &sys, const os::Process &proc)
+{
+    const std::uint64_t rip =
+        (sys.kernel().currentProcess() == &proc &&
+         proc.state == os::ProcState::running)
+            ? sys.core().state().rip
+            : proc.context.rip;
+    return {rip, proc.aspace.mappedBytes()};
+}
+
+Golden
+goldenRun(persist::PtScheme scheme)
+{
+    Golden g;
+    KindleSystem sys(baseConfig(scheme));
+    sys.injector().setObserver(
+        [&](const std::string &name, std::uint64_t) {
+            if (name != "ckpt.after_commit")
+                return;
+            for (const auto &proc : sys.kernel().processes()) {
+                if (proc->state == os::ProcState::zombie)
+                    continue;
+                g.committed.insert(committedState(sys, *proc));
+            }
+        });
+    sys.run(makeWorkload(), "golden");
+    g.hits = sys.injector().allHits();
+    g.durableWrites = sys.injector().durableWrites();
+    return g;
+}
+
+struct Point
+{
+    std::string label;
+    fault::FaultPlan plan;
+};
+
+/**
+ * Crash points: a site × occurrence grid first (every site the golden
+ * run hit, occurrence levels round-robin so scarce sites are fully
+ * covered before frequent ones repeat), then seeded-random
+ * Nth-durable-write points up to @p total.
+ */
+std::vector<Point>
+makePoints(const Golden &g, std::uint64_t total, std::uint64_t seed)
+{
+    std::vector<Point> pts;
+    const std::uint64_t grid_target = total * 3 / 5;
+    for (std::uint64_t occ = 1; pts.size() < grid_target; ++occ) {
+        bool any = false;
+        for (const auto &[site, hits] : g.hits) {
+            if (hits < occ)
+                continue;
+            any = true;
+            Point p;
+            p.label = site + "#" + std::to_string(occ);
+            p.plan.site = site;
+            p.plan.occurrence = occ;
+            p.plan.seed = seed + pts.size();
+            pts.push_back(std::move(p));
+            if (pts.size() >= grid_target)
+                break;
+        }
+        if (!any)
+            break;
+    }
+    Random rng(seed);
+    while (pts.size() < total) {
+        Point p;
+        p.plan.atNthDurableWrite = 1 + rng.uniform(g.durableWrites);
+        p.plan.seed = seed + pts.size();
+        p.label = "durable_write#" +
+                  std::to_string(p.plan.atNthDurableWrite);
+        pts.push_back(std::move(p));
+    }
+    return pts;
+}
+
+runner::Scenario
+makeScenario(persist::PtScheme scheme, const Point &point,
+             const Golden &golden)
+{
+    const std::string scheme_name = persist::ptSchemeName(scheme);
+    runner::Scenario sc;
+    sc.name = scheme_name + "/" + point.label;
+    sc.axes = {{"scheme", scheme_name},
+               {"site", point.plan.site.empty() ? "durable_write"
+                                                : point.plan.site},
+               {"trigger", point.label}};
+    sc.config = baseConfig(scheme);
+    sc.config.fault = point.plan;
+    sc.drive = [oracle = &golden.committed](
+                   KindleSystem &sys,
+                   statistics::StatSnapshot &extra) -> Tick {
+        const Tick t0 = sys.now();
+        bool fired = false;
+        try {
+            sys.run(makeWorkload(), "fuzz");
+        } catch (const fault::PowerLoss &) {
+            fired = true;
+        }
+        // Pull the plug — mid-protocol when the trigger fired, at
+        // workload completion otherwise — and reboot over the wreck.
+        sys.crash();
+        const persist::RecoveryReport report = sys.reboot();
+
+        std::uint64_t recovered = 0;
+        std::uint64_t divergences = 0;
+        for (const auto &proc : sys.kernel().processes()) {
+            if (!proc->restored)
+                continue;
+            ++recovered;
+            if (!oracle->count(
+                    {proc->context.rip, proc->aspace.mappedBytes()}))
+                ++divergences;
+        }
+
+        // The recovered machine must still be able to checkpoint.
+        bool post_ok = true;
+        try {
+            sys.persistence()->checkpointNow();
+        } catch (const std::exception &) {
+            post_ok = false;
+        }
+
+        const bool failed = divergences > 0 || !post_ok;
+        const bool clean = !failed && report.clean();
+        extra.set("fuzz.fired", fired ? 1 : 0);
+        extra.set("fuzz.recovered", static_cast<double>(recovered));
+        extra.set("fuzz.quarantined",
+                  static_cast<double>(report.processesQuarantined));
+        extra.set("fuzz.recoveryErrors",
+                  static_cast<double>(report.errors.size()));
+        extra.set("fuzz.tornPtStoresRolledBack",
+                  static_cast<double>(report.tornPtStoresRolledBack));
+        extra.set("fuzz.oracleDivergences",
+                  static_cast<double>(divergences));
+        extra.set("fuzz.clean", clean ? 1 : 0);
+        extra.set("fuzz.salvaged", (!clean && !failed) ? 1 : 0);
+        extra.set("fuzz.failed", failed ? 1 : 0);
+        return sys.now() - t0;
+    };
+    return sc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace kindle::bench;
+
+    const auto opts = runner::parseOptions(argc, argv);
+    const std::uint64_t total = envCount("KINDLE_FUZZ_POINTS", 128);
+    const std::uint64_t seed = envCount("KINDLE_FUZZ_SEED", 12345);
+    printHeader("Crash-recovery fuzz",
+                "crash-point exploration, " + std::to_string(total) +
+                    " points/scheme, seed " + std::to_string(seed));
+
+    const std::vector<persist::PtScheme> schemes = {
+        persist::PtScheme::rebuild, persist::PtScheme::persistent};
+
+    runner::BenchReport report("fuzz_crash_recovery", opts.jobs);
+    report.omitWallClock();
+    report.keepStatPrefixes(
+        {"fuzz.", "fault.", "recovery.", "persist.checkpoints"});
+
+    TablePrinter table({"Scheme", "Points", "Fired", "Clean",
+                        "Salvaged", "Failed", "Torn PT undone"});
+    bool any_failed = false;
+
+    for (const auto scheme : schemes) {
+        const Golden golden = goldenRun(scheme);
+        kindle_assert(!golden.committed.empty(),
+                      "golden run took no checkpoints — workload or "
+                      "interval mistuned");
+        const auto points = makePoints(golden, total, seed);
+
+        std::vector<runner::Scenario> scenarios;
+        scenarios.reserve(points.size());
+        for (const auto &p : points)
+            scenarios.push_back(makeScenario(scheme, p, golden));
+
+        runner::SweepRunner pool(opts.jobs);
+        const auto results = pool.run(scenarios);
+        requireAllOk(results);
+        report.add(results);
+
+        std::uint64_t fired = 0, clean = 0, salvaged = 0, failed = 0;
+        std::uint64_t torn = 0;
+        for (const auto &r : results) {
+            fired += static_cast<std::uint64_t>(
+                r.stats.get("fuzz.fired"));
+            clean += static_cast<std::uint64_t>(
+                r.stats.get("fuzz.clean"));
+            salvaged += static_cast<std::uint64_t>(
+                r.stats.get("fuzz.salvaged"));
+            failed += static_cast<std::uint64_t>(
+                r.stats.get("fuzz.failed"));
+            torn += static_cast<std::uint64_t>(
+                r.stats.get("fuzz.tornPtStoresRolledBack"));
+        }
+        any_failed = any_failed || failed > 0;
+        table.addRow({persist::ptSchemeName(scheme),
+                      std::to_string(results.size()),
+                      std::to_string(fired), std::to_string(clean),
+                      std::to_string(salvaged),
+                      std::to_string(failed), std::to_string(torn)});
+    }
+    table.print();
+
+    printJsonFooter(report.writeJsonFile(), opts.jobs);
+    if (any_failed)
+        kindle_fatal("fuzz found unexplained recovery divergences");
+    return 0;
+}

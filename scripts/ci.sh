@@ -21,6 +21,14 @@ cmake -B build-asan -S . -G Ninja \
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
+echo "=== Crash-recovery fuzz smoke (ASan/UBSan) ==="
+# A reduced deterministic sweep of the crash-point fuzzer: enough
+# points to cover every named site under both schemes, small enough
+# for a CI gate.  The harness exits non-zero on any unexplained
+# recovery divergence.
+KINDLE_FUZZ_POINTS=64 ./build-asan/bench/fuzz_crash_recovery
+rm -f BENCH_fuzz_crash_recovery.json
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     echo "=== TSan build + SweepRunner tests ==="
     cmake -B build-tsan -S . -G Ninja \

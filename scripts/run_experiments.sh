@@ -44,6 +44,11 @@ run ablation_nvm_tech
 run ablation_multiprocess
 run ablation_incremental_ckpt
 run ablation_hscc_dynamic
+
+# Robustness audit: deterministic crash-point exploration with the
+# recovery oracle (KINDLE_FUZZ_POINTS / KINDLE_FUZZ_SEED override).
+run fuzz_crash_recovery
+
 ./build/bench/micro_mem | tee outputs/micro_mem.txt
 ./build/bench/micro_cache | tee outputs/micro_cache.txt
 

@@ -317,6 +317,16 @@ class StatSnapshot
     /** Stats recorded between @p earlier and this snapshot. */
     StatSnapshot delta(const StatSnapshot &earlier) const;
 
+    /**
+     * Insert or overwrite one entry.  Lets harness code attach derived
+     * values (classifications, oracle verdicts) next to captured stats
+     * so they travel through the same export pipeline.
+     */
+    void set(const std::string &path, double value)
+    {
+        values[path] = value;
+    }
+
     /** Serialize as one flat JSON object. */
     void writeJson(json::Writer &writer) const;
 

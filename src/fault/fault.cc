@@ -1,0 +1,138 @@
+#include "fault/fault.hh"
+
+#include "base/logging.hh"
+
+namespace kindle::fault
+{
+
+namespace
+{
+
+/**
+ * Routing stack: one entry per live KindleSystem on this thread, newest
+ * last.  Entries carry the owning scope so destruction can remove its
+ * own entry even when lifetimes are not LIFO-nested.
+ */
+thread_local std::vector<std::pair<const InjectorScope *, CrashInjector *>>
+    tlsStack;
+
+} // namespace
+
+CrashInjector::CrashInjector(FaultPlan plan, std::function<Tick()> now_fn)
+    : _plan(std::move(plan)),
+      nowFn(std::move(now_fn)),
+      statGroup("fault", "crash-point fault injection"),
+      siteHits(statGroup.addScalar("siteHits",
+                                   "named crash-site probes reached")),
+      durableWriteStat(statGroup.addScalar(
+          "durableWrites", "durable NVM writes observed")),
+      crashesInjected(statGroup.addScalar(
+          "crashesInjected", "power-loss crashes fired by the plan"))
+{
+    kindle_assert(nowFn, "CrashInjector needs a clock");
+}
+
+void
+CrashInjector::fire(const std::string &name)
+{
+    _fired = true;
+    _firedSite = name;
+    ++crashesInjected;
+    throw PowerLoss(name, nowFn());
+}
+
+void
+CrashInjector::site(const char *name)
+{
+    if (!active || _fired)
+        return;
+    ++siteHits;
+    const std::uint64_t count = ++hits[name];
+    if (observer)
+        observer(name, count);
+    if (_plan.atTick != 0 && nowFn() >= _plan.atTick)
+        fire(name);
+    if (!_plan.site.empty() && _plan.site == name &&
+        count == _plan.occurrence) {
+        fire(name);
+    }
+}
+
+void
+CrashInjector::durableWrite(Tick now)
+{
+    if (!active || _fired)
+        return;
+    ++durableWriteStat;
+    ++_durableWrites;
+    if (_plan.atNthDurableWrite != 0 &&
+        _durableWrites == _plan.atNthDurableWrite) {
+        fire("nvm.durable_write#" + std::to_string(_durableWrites));
+    }
+    if (_plan.atTick != 0 && now >= _plan.atTick)
+        fire("nvm.durable_write#" + std::to_string(_durableWrites));
+}
+
+InjectorScope::InjectorScope(CrashInjector *injector) : injector(injector)
+{
+    tlsStack.emplace_back(this, injector);
+}
+
+InjectorScope::~InjectorScope()
+{
+    for (auto it = tlsStack.rbegin(); it != tlsStack.rend(); ++it) {
+        if (it->first == this) {
+            tlsStack.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+CrashInjector *
+current()
+{
+    return tlsStack.empty() ? nullptr : tlsStack.back().second;
+}
+
+void
+crashSite(const char *name)
+{
+    if (CrashInjector *inj = current())
+        inj->site(name);
+}
+
+void
+onDurableNvmWrite(Tick now)
+{
+    if (CrashInjector *inj = current())
+        inj->durableWrite(now);
+}
+
+const std::vector<std::string> &
+knownCrashSites()
+{
+    // Keep in sync with every KINDLE_CRASH_SITE() in the tree; the
+    // crash-site parameterized test cross-checks this list by crashing
+    // at each entry and asserting the probe actually fired.
+    static const std::vector<std::string> sites = {
+        "ckpt.before_cpu_log",      // checkpoint: before CPU redo record
+        "ckpt.after_log_append",    // checkpoint: CPU record durable
+        "ckpt.after_replay",        // checkpoint: metadata log replayed
+        "ckpt.after_working_write", // checkpoint: working context written
+        "ckpt.after_mapping_update",// checkpoint: mapping list / pt root
+        "ckpt.after_commit",        // checkpoint: slot flipped consistent
+        "ckpt.complete",            // checkpoint: log reset + undo retire
+        "redo.after_append",        // redo log: record fully durable
+        "redo.append_pre_fence",    // redo log: record clwb'd, unfenced
+        "pt.after_undo_append",     // pt policy: undo record durable
+        "pt.after_store",           // pt policy: PTE stored, not flushed
+        "pt.after_clwb",            // pt policy: PTE clwb'd, unfenced
+        "slot.mid_working_write",   // saved state: context half-flushed
+        "slot.commit_pre_fence",    // saved state: header clwb'd, unfenced
+        "alloc.bitmap_pre_fence",   // frame alloc: bitmap clwb'd, unfenced
+        "hscc.after_copy",          // hscc: page copied, PTE not remapped
+    };
+    return sites;
+}
+
+} // namespace kindle::fault

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Crash-point fault injection.
+ *
+ * A FaultPlan arms exactly one power-loss crash, triggered either at an
+ * absolute simulation tick, at the Nth durable NVM write the controller
+ * accepts, or at the Nth hit of a *named crash site* — a lightweight
+ * probe (KINDLE_CRASH_SITE("ckpt.after_commit")) placed between the
+ * individual steps of multi-step durable protocols: checkpoint commit,
+ * redo-log append, wrapped PTE stores, allocator bitmap persists, HSCC
+ * page copies.  When the trigger fires the injector throws PowerLoss,
+ * which unwinds to KindleSystem::run()'s caller; the caller then calls
+ * crash() + reboot() exactly like the hand-written crash tests do — but
+ * the crash lands *inside* the protocol rather than between operations.
+ *
+ * Probes are free-function calls (fault::crashSite) routed through a
+ * thread-local registration stack so instrumented subsystems need no
+ * plumbing; each KindleSystem registers its injector (or nullptr) for
+ * the duration of its lifetime, and concurrent SweepRunner workers each
+ * see only their own system's injector.
+ */
+
+#ifndef KINDLE_FAULT_FAULT_HH
+#define KINDLE_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace kindle::fault
+{
+
+/** What to crash on.  At most one trigger should be armed. */
+struct FaultPlan
+{
+    /** Named crash site to trip on ("" = disabled). */
+    std::string site;
+    /** Fire at the Nth hit of @c site (1-based). */
+    std::uint64_t occurrence = 1;
+    /** Fire at the Nth durable NVM write (0 = disabled, 1-based). */
+    std::uint64_t atNthDurableWrite = 0;
+    /** Fire at the first probe at or after this tick (0 = disabled). */
+    Tick atTick = 0;
+    /** Lose undrained controller-buffer writes with a torn store. */
+    bool tornStore = true;
+    /** Seed for the deterministic torn-store victim choice. */
+    std::uint64_t seed = 1;
+
+    bool
+    armed() const
+    {
+        return !site.empty() || atNthDurableWrite != 0 || atTick != 0;
+    }
+};
+
+/** Thrown when an armed trigger fires; unwinds out of run(). */
+class PowerLoss : public std::exception
+{
+  public:
+    PowerLoss(std::string site, Tick tick)
+        : _site(std::move(site)), _tick(tick),
+          msg("power loss injected at crash site '" + _site + "'")
+    {}
+
+    const char *what() const noexcept override { return msg.c_str(); }
+    const std::string &site() const { return _site; }
+    Tick tick() const { return _tick; }
+
+  private:
+    std::string _site;
+    Tick _tick;
+    std::string msg;
+};
+
+/**
+ * Per-system crash injector.  Counts site hits and durable NVM writes
+ * even when no trigger is armed (observe-only mode), which is how the
+ * fuzz harness sizes its crash-point space from a golden run.
+ */
+class CrashInjector
+{
+  public:
+    CrashInjector(FaultPlan plan, std::function<Tick()> now_fn);
+
+    /**
+     * Arm the probes.  Until activate() the injector only exists; the
+     * owning system activates it after boot so that construction-time
+     * durable writes do not consume trigger budget (keeping golden and
+     * faulted runs aligned on the same counting base).
+     */
+    void activate() { active = true; }
+    void deactivate() { active = false; }
+
+    /** Probe: a named crash site was reached. */
+    void site(const char *name);
+    /** Probe: a durable write was accepted by the NVM controller. */
+    void durableWrite(Tick now);
+
+    /**
+     * Observer called on every site hit with (name, hit-count), before
+     * any trigger evaluation.  The fuzz harness uses it to snapshot its
+     * oracle at protocol boundaries.
+     */
+    void
+    setObserver(std::function<void(const std::string &, std::uint64_t)> fn)
+    {
+        observer = std::move(fn);
+    }
+
+    const FaultPlan &plan() const { return _plan; }
+    bool fired() const { return _fired; }
+    const std::string &firedSite() const { return _firedSite; }
+    std::uint64_t durableWrites() const { return _durableWrites; }
+    std::uint64_t
+    hitsOf(const std::string &name) const
+    {
+        const auto it = hits.find(name);
+        return it == hits.end() ? 0 : it->second;
+    }
+    const std::map<std::string, std::uint64_t> &allHits() const
+    {
+        return hits;
+    }
+
+    statistics::StatGroup &stats() { return statGroup; }
+
+  private:
+    [[noreturn]] void fire(const std::string &name);
+
+    FaultPlan _plan;
+    std::function<Tick()> nowFn;
+    std::function<void(const std::string &, std::uint64_t)> observer;
+
+    bool active = false;
+    bool _fired = false;
+    std::string _firedSite;
+    std::uint64_t _durableWrites = 0;
+    std::map<std::string, std::uint64_t> hits;
+
+    statistics::StatGroup statGroup;
+    statistics::Scalar &siteHits;
+    statistics::Scalar &durableWriteStat;
+    statistics::Scalar &crashesInjected;
+};
+
+/**
+ * RAII registration of a system's injector (may be null) on this
+ * thread's routing stack.  The most recently constructed registration
+ * wins, so probes fired while a KindleSystem is live route to *that*
+ * system's injector — and a system without fault config shadows any
+ * older injector instead of leaking probes to it.
+ */
+class InjectorScope
+{
+  public:
+    explicit InjectorScope(CrashInjector *injector);
+    ~InjectorScope();
+
+    InjectorScope(const InjectorScope &) = delete;
+    InjectorScope &operator=(const InjectorScope &) = delete;
+
+  private:
+    CrashInjector *injector;
+};
+
+/** The injector probes route to on this thread (may be null). */
+CrashInjector *current();
+
+/** Probe entry points used by instrumented code. */
+void crashSite(const char *name);
+void onDurableNvmWrite(Tick now);
+
+/** Inventory of every named crash site compiled into the tree. */
+const std::vector<std::string> &knownCrashSites();
+
+} // namespace kindle::fault
+
+/** Probe macro — reads as a labelled no-op at the instrumented line. */
+#define KINDLE_CRASH_SITE(name) ::kindle::fault::crashSite(name)
+
+#endif // KINDLE_FAULT_FAULT_HH

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "base/trace_flags.hh"
+#include "fault/fault.hh"
 
 namespace kindle::hscc
 {
@@ -299,6 +300,7 @@ HsccEngine::migrate()
         sim.bump(kernel.kmem().mem().submit(
             {mem::MemCmd::bulkWrite, sel.dramFrame, pageSize},
             sim.now()));
+        KINDLE_CRASH_SITE("hscc.after_copy");
 
         Pte updated = c.pte;
         updated.setPfn(sel.dramFrame >> pageShift);

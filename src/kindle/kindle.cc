@@ -8,7 +8,20 @@ namespace kindle
 {
 
 KindleSystem::KindleSystem(const KindleConfig &config_arg)
-    : config(config_arg)
+    : config(config_arg),
+      recoveryStats("recovery",
+                    "crash recovery outcomes (cumulative over reboots)"),
+      reboots(recoveryStats.addScalar("reboots", "reboot() calls")),
+      recoveredProcs(recoveryStats.addScalar(
+          "processesRecovered", "processes restored by recovery")),
+      quarantinedProcs(recoveryStats.addScalar(
+          "processesQuarantined", "slots fenced off by recovery")),
+      framesReclaimed(recoveryStats.addScalar(
+          "framesReclaimed", "leaked NVM frames reclaimed")),
+      tornPtRolledBack(recoveryStats.addScalar(
+          "tornPtStoresRolledBack", "torn PTE stores undone")),
+      recoveryErrors(recoveryStats.addScalar(
+          "errors", "classified recovery errors"))
 {
     trace::initFromEnv();
 
@@ -18,11 +31,25 @@ KindleSystem::KindleSystem(const KindleConfig &config_arg)
             config.persistence->scheme == persist::PtScheme::persistent;
     }
 
+    // The injector exists even when no fault is configured: an unarmed
+    // plan just counts probe hits (observe mode).  Registering it on
+    // the thread-local routing stack also shadows any outer system's
+    // injector for the lifetime of this one.
+    injector_ = std::make_unique<fault::CrashInjector>(
+        config.fault.value_or(fault::FaultPlan{}),
+        [this] { return sim.now(); });
+    injectorScope_ =
+        std::make_unique<fault::InjectorScope>(injector_.get());
+
     mem_ = std::make_unique<mem::HybridMemory>(config.memory);
     caches_ = std::make_unique<cache::Hierarchy>(config.caches, *mem_);
     core_ = std::make_unique<cpu::Core>(config.core, sim, *mem_,
                                         *caches_);
     buildOsLayer();
+
+    // Activate only after boot so construction-time durable writes do
+    // not consume trigger budget.
+    injector_->activate();
 }
 
 KindleSystem::~KindleSystem()
@@ -59,11 +86,26 @@ Tick
 KindleSystem::run(std::unique_ptr<cpu::OpStream> program,
                   const std::string &name)
 {
-    kindle_assert(!isCrashed, "run() on a crashed machine");
+    if (isCrashed) {
+        kindle_fatal("KindleSystem::run() between crash() and "
+                     "reboot() — the machine has no OS; call reboot() "
+                     "to recover the durable image first");
+    }
     const Tick t0 = sim.now();
     kernel_->spawn(std::move(program), name);
     kernel_->run();
     return sim.now() - t0;
+}
+
+void
+KindleSystem::runAll()
+{
+    if (isCrashed) {
+        kindle_fatal("KindleSystem::runAll() between crash() and "
+                     "reboot() — the machine has no OS; call reboot() "
+                     "to recover the durable image first");
+    }
+    kernel_->run();
 }
 
 void
@@ -85,11 +127,22 @@ KindleSystem::crash()
     persist_.reset();
     kernel_.reset();
 
-    // Volatile hardware state disappears; durable NVM survives.
+    // Volatile hardware state disappears; durable NVM survives —
+    // except the lines still queued in the controller write buffer,
+    // which are lost (and possibly torn) by the power-loss model.
     caches_->invalidateAll();
     core_->reset();
-    mem_->crash();
+    mem::PowerLossModel loss;
+    if (config.fault) {
+        loss.tornStore = config.fault->tornStore;
+        loss.seed = config.fault->seed;
+    }
+    crashOutcome = mem_->crash(sim.now(), loss);
     sim.hardReset();
+
+    // The injector's job is done once the crash lands; silence the
+    // probes until the post-reboot system is whole again.
+    injector_->deactivate();
 }
 
 persist::RecoveryReport
@@ -119,6 +172,18 @@ KindleSystem::reboot()
                                                    *kernel_);
         hscc_->start();
     }
+
+    // The injector stays deactivated: its one armed crash has fired
+    // (or been skipped), and recovery/rerun probes must not refire it.
+    ++reboots;
+    recoveredProcs += static_cast<double>(report.processesRecovered);
+    quarantinedProcs +=
+        static_cast<double>(report.processesQuarantined);
+    framesReclaimed += static_cast<double>(report.framesReclaimed);
+    tornPtRolledBack +=
+        static_cast<double>(report.tornPtStoresRolledBack);
+    recoveryErrors += static_cast<double>(report.errors.size());
+    lastRecovery_ = report;
     return report;
 }
 
@@ -136,6 +201,8 @@ KindleSystem::acceptStats(statistics::StatVisitor &visitor) const
         ssp_->stats().accept(visitor);
     if (hscc_)
         hscc_->stats().accept(visitor);
+    injector_->stats().accept(visitor);
+    recoveryStats.accept(visitor);
 }
 
 void

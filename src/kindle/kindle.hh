@@ -29,6 +29,7 @@
 #include "base/stats.hh"
 #include "cache/hierarchy.hh"
 #include "cpu/core.hh"
+#include "fault/fault.hh"
 #include "hscc/hscc_engine.hh"
 #include "mem/hybrid_memory.hh"
 #include "os/kernel.hh"
@@ -56,6 +57,13 @@ struct KindleConfig
 
     /** Enable the HSCC prototype. */
     std::optional<hscc::HsccParams> hscc;
+
+    /**
+     * Arm one injected power-loss crash (see fault::FaultPlan).  An
+     * unarmed plan still counts site hits and durable writes, which is
+     * how the fuzz harness sizes its crash-point space.
+     */
+    std::optional<fault::FaultPlan> fault;
 };
 
 /** The assembled machine. */
@@ -80,17 +88,25 @@ class KindleSystem
     persist::PersistDomain *persistence() { return persist_.get(); }
     ssp::SspEngine *sspEngine() { return ssp_.get(); }
     hscc::HsccEngine *hsccEngine() { return hscc_.get(); }
+
+    /** The system's crash injector (always present; may be unarmed). */
+    fault::CrashInjector &injector() { return *injector_; }
     /// @}
 
     /** Current simulated time. */
     Tick now() const { return sim.now(); }
 
-    /** Spawn a program and run the machine until everything exits. */
+    /**
+     * Spawn a program and run the machine until everything exits.
+     * Fatal on a crashed machine; if an armed fault fires mid-run,
+     * fault::PowerLoss propagates to the caller, who then drives the
+     * crash()/reboot() protocol.
+     */
     Tick run(std::unique_ptr<cpu::OpStream> program,
              const std::string &name);
 
     /** Run until all processes exit. */
-    void runAll() { kernel_->run(); }
+    void runAll();
 
     /**
      * Power failure at the current instant: caches, TLBs, DRAM, MSRs,
@@ -108,6 +124,18 @@ class KindleSystem
 
     /** True between crash() and reboot(). */
     bool crashed() const { return isCrashed; }
+
+    /** What the last crash() did to the controller write buffer. */
+    const mem::CrashOutcome &lastCrashOutcome() const
+    {
+        return crashOutcome;
+    }
+
+    /** The report from the last reboot()'s recovery pass. */
+    const persist::RecoveryReport &lastRecovery() const
+    {
+        return lastRecovery_;
+    }
 
     /**
      * Drive @p visitor over every component's stat tree (memory,
@@ -132,6 +160,13 @@ class KindleSystem
     KindleConfig config;
 
     sim::Simulation sim;
+
+    // The injector and its thread-local registration outlive every
+    // component that can fire a probe (members destroy in reverse
+    // order, so the scope unregisters only after the OS layer is gone).
+    std::unique_ptr<fault::CrashInjector> injector_;
+    std::unique_ptr<fault::InjectorScope> injectorScope_;
+
     std::unique_ptr<mem::HybridMemory> mem_;
     std::unique_ptr<cache::Hierarchy> caches_;
     std::unique_ptr<cpu::Core> core_;
@@ -141,6 +176,19 @@ class KindleSystem
     std::unique_ptr<hscc::HsccEngine> hscc_;
 
     bool isCrashed = false;
+    mem::CrashOutcome crashOutcome;
+    persist::RecoveryReport lastRecovery_;
+
+    // Reboot-survivable counters: the group is created once with the
+    // system (never re-registered on reboot) and accumulates across
+    // crash/reboot cycles.
+    statistics::StatGroup recoveryStats;
+    statistics::Scalar &reboots;
+    statistics::Scalar &recoveredProcs;
+    statistics::Scalar &quarantinedProcs;
+    statistics::Scalar &framesReclaimed;
+    statistics::Scalar &tornPtRolledBack;
+    statistics::Scalar &recoveryErrors;
 };
 
 } // namespace kindle

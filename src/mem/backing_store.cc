@@ -1,5 +1,10 @@
 #include "mem/backing_store.hh"
 
+#include <algorithm>
+#include <vector>
+
+#include "base/random.hh"
+
 namespace kindle::mem
 {
 
@@ -96,8 +101,11 @@ DurableStore::read(Addr addr, void *dst, std::uint64_t size) const
         const std::uint64_t in_line = addr - line_addr;
         const std::uint64_t chunk = std::min(size, lineSize - in_line);
         const auto it = pending.find(line_addr);
+        const auto fit = inflight.find(line_addr);
         if (it != pending.end())
             std::memcpy(out, it->second.data() + in_line, chunk);
+        else if (fit != inflight.end())
+            std::memcpy(out, fit->second.data.data() + in_line, chunk);
         else
             durable.read(addr, out, chunk);
         addr += chunk;
@@ -107,14 +115,48 @@ DurableStore::read(Addr addr, void *dst, std::uint64_t size) const
 }
 
 void
-DurableStore::commitLine(Addr line_addr)
+DurableStore::commitLine(Addr line_addr, Tick now, Tick drain_at)
 {
+    drainTo(now);
     line_addr = roundDown(line_addr, lineSize);
     const auto it = pending.find(line_addr);
-    if (it == pending.end())
+    if (it == pending.end()) {
+        // Nothing volatile for this line; a repeat writeback of an
+        // already-buffered line just restarts its drain clock.
+        const auto fit = inflight.find(line_addr);
+        if (fit != inflight.end())
+            fit->second.drainAt = std::max(fit->second.drainAt, drain_at);
         return;
-    durable.write(line_addr, it->second.data(), lineSize);
+    }
+    inflight[line_addr] = Inflight{it->second, drain_at};
     pending.erase(it);
+}
+
+void
+DurableStore::commitLineImmediate(Addr line_addr)
+{
+    line_addr = roundDown(line_addr, lineSize);
+    if (const auto it = pending.find(line_addr); it != pending.end()) {
+        durable.write(line_addr, it->second.data(), lineSize);
+        pending.erase(it);
+    }
+    if (const auto it = inflight.find(line_addr); it != inflight.end()) {
+        durable.write(line_addr, it->second.data.data(), lineSize);
+        inflight.erase(it);
+    }
+}
+
+void
+DurableStore::drainTo(Tick now)
+{
+    for (auto it = inflight.begin(); it != inflight.end();) {
+        if (it->second.drainAt <= now) {
+            durable.write(it->first, it->second.data.data(), lineSize);
+            it = inflight.erase(it);
+        } else {
+            ++it;
+        }
+    }
 }
 
 void
@@ -123,6 +165,64 @@ DurableStore::commitAll()
     for (const auto &[line_addr, data] : pending)
         durable.write(line_addr, data.data(), lineSize);
     pending.clear();
+    drainTo(~Tick{0});
+}
+
+CrashOutcome
+DurableStore::crash(Tick now, const PowerLossModel &model)
+{
+    CrashOutcome out;
+
+    // Writes the device finished draining before the power cut are on
+    // media and survive; collect the rest (sorted for determinism).
+    std::vector<Addr> lost;
+    lost.reserve(inflight.size());
+    for (const auto &[line_addr, entry] : inflight) {
+        if (entry.drainAt <= now) {
+            durable.write(line_addr, entry.data.data(), lineSize);
+            ++out.linesDrained;
+        } else {
+            lost.push_back(line_addr);
+        }
+    }
+    std::sort(lost.begin(), lost.end());
+    out.linesLost = lost.size();
+
+    if (model.tornStore && !lost.empty()) {
+        // Pick one lost line (seeded) that actually changes a 64-bit
+        // word relative to media, and persist only a prefix of one
+        // such word — the media's write granularity is smaller than a
+        // word, so a store torn mid-drain lands 1–7 of its new bytes
+        // (4, the half-word tear, is one of the possibilities).
+        Random rng(model.seed);
+        const std::size_t start = rng.uniform(lost.size());
+        for (std::size_t k = 0;
+             k < lost.size() && out.tornWords == 0; ++k) {
+            const Addr line_addr = lost[(start + k) % lost.size()];
+            const Line &buffered = inflight.at(line_addr).data;
+            Line media{};
+            durable.read(line_addr, media.data(), lineSize);
+            std::vector<std::uint64_t> candidates;
+            for (std::uint64_t off = 0; off + 8 <= lineSize; off += 8) {
+                if (std::memcmp(buffered.data() + off,
+                                media.data() + off, 8) != 0) {
+                    candidates.push_back(off);
+                }
+            }
+            if (candidates.empty())
+                continue;
+            const std::uint64_t off =
+                candidates[rng.uniform(candidates.size())];
+            const std::uint64_t bytes = 1 + rng.uniform(7);
+            durable.write(line_addr + off, buffered.data() + off,
+                          bytes);
+            ++out.tornWords;
+        }
+    }
+
+    inflight.clear();
+    pending.clear();
+    return out;
 }
 
 } // namespace kindle::mem

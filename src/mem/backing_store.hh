@@ -6,13 +6,19 @@
  *
  *  - BackingStore: a plain sparse frame map.  DRAM uses one directly;
  *    its contents vanish on crash.
- *  - DurableStore: an NVM store with a *pending-line overlay*.  Writes
- *    land in the overlay first (they are architecturally in volatile
- *    CPU caches); only when the cache hierarchy writes a line back — or
- *    software issues clwb — does the line become durable.  A crash
- *    discards the overlay, exactly like powering off a machine whose
- *    caches held unflushed NVM lines.  This is what gives the
- *    persistence experiments (and their tests) real teeth.
+ *  - DurableStore: an NVM store with a *pending-line overlay* and an
+ *    *in-flight controller stage*.  Writes land in the overlay first
+ *    (they are architecturally in volatile CPU caches); when the cache
+ *    hierarchy writes a line back — or software issues clwb — the line
+ *    moves to the controller's posted-write buffer, tagged with the
+ *    tick at which the device drain completes; only then is it truly
+ *    durable.  A crash discards the overlay *and* every buffered line
+ *    whose drain had not completed by the crash tick, exactly like
+ *    powering off a machine whose caches and write buffers held
+ *    unflushed NVM lines.  A seeded torn-store mode persists only half
+ *    of one in-flight 64-bit word, modelling a store torn mid-drain.
+ *    This is what gives the persistence experiments (and their tests)
+ *    real teeth.
  */
 
 #ifndef KINDLE_MEM_BACKING_STORE_HH
@@ -80,14 +86,36 @@ class BackingStore
     std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames;
 };
 
+/** What a power failure does to writes still in the controller. */
+struct PowerLossModel
+{
+    /** Tear one lost 64-bit store (persist only its lower half). */
+    bool tornStore = false;
+    /** Seed for the deterministic torn-victim choice. */
+    std::uint64_t seed = 1;
+};
+
+/** Accounting of a power-loss event over the controller buffer. */
+struct CrashOutcome
+{
+    /** Buffered lines whose device drain beat the crash (survive). */
+    std::uint64_t linesDrained = 0;
+    /** Buffered lines still draining at the crash (lost). */
+    std::uint64_t linesLost = 0;
+    /** 64-bit stores persisted half-way (torn mode). */
+    std::uint64_t tornWords = 0;
+};
+
 /**
  * NVM backing store with cache-residency-aware durability.
  *
  * writeVolatile() models a CPU store that is still sitting in some
- * cache; commitLine() models the line reaching the NVM device (via
- * writeback or clwb).  writeDurable() bypasses the overlay for
- * transfers that are architecturally uncached (e.g. a flushed page
- * copy performed by the OS).
+ * cache; commitLine(addr, now, drain_at) models the line entering the
+ * controller's posted-write buffer with a known drain-completion tick;
+ * commitLineImmediate() models a device-confirmed flush (a clwb of a
+ * line that was already clean everywhere).  writeDurable() bypasses
+ * the overlay for transfers that are architecturally uncached (e.g. a
+ * flushed page copy performed by the OS).
  */
 class DurableStore
 {
@@ -118,14 +146,40 @@ class DurableStore
         durable.read(addr, dst, size);
     }
 
-    /** Make one cache line durable (writeback / clwb reached device). */
-    void commitLine(Addr line_addr);
+    /**
+     * A writeback/clwb of this line was accepted by the controller at
+     * @p now; the device drain completes at @p drain_at.  The line
+     * leaves the volatile overlay but only survives a crash whose tick
+     * is >= @p drain_at (or an intervening drainTo / fence).
+     */
+    void commitLine(Addr line_addr, Tick now, Tick drain_at);
 
-    /** Make every pending line durable (e.g. ordered full flush). */
+    /** Make one cache line durable immediately (device confirmed). */
+    void commitLineImmediate(Addr line_addr);
+
+    /** Retire every buffered line whose drain completed by @p now. */
+    void drainTo(Tick now);
+
+    /** Make every pending/buffered line durable (ordered full flush). */
     void commitAll();
 
-    /** Power loss: pending overlay lines are gone. */
-    void crash() { pending.clear(); }
+    /**
+     * Power loss at @p now: overlay lines are gone; buffered lines
+     * drained by @p now survive, the rest are lost — except that torn
+     * mode half-persists one lost 64-bit store (seeded, deterministic).
+     */
+    CrashOutcome crash(Tick now, const PowerLossModel &model);
+
+    /**
+     * Legacy wholesale crash: the controller buffer is treated as
+     * drained (pre-buffer-model behaviour); only overlay lines die.
+     */
+    void
+    crash()
+    {
+        drainTo(~Tick{0});
+        pending.clear();
+    }
 
     /** Typed helpers. */
     template <typename T>
@@ -154,12 +208,23 @@ class DurableStore
     /** Lines currently volatile (not yet crash-safe). */
     std::size_t pendingLines() const { return pending.size(); }
 
+    /** Lines sitting in the controller's posted-write buffer. */
+    std::size_t inflightLines() const { return inflight.size(); }
+
   private:
     using Line = std::array<std::uint8_t, lineSize>;
+
+    /** A buffered line draining toward the device. */
+    struct Inflight
+    {
+        Line data{};
+        Tick drainAt = 0;
+    };
 
     BackingStore durable;
     AddrRange _range;
     std::unordered_map<Addr, Line> pending;
+    std::unordered_map<Addr, Inflight> inflight;
 };
 
 } // namespace kindle::mem

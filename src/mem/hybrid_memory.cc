@@ -1,6 +1,7 @@
 #include "mem/hybrid_memory.hh"
 
 #include "base/logging.hh"
+#include "fault/fault.hh"
 
 namespace kindle::mem
 {
@@ -17,7 +18,12 @@ HybridMemory::HybridMemory(const HybridMemoryParams &params)
       _nvmCtrl(std::make_unique<MemCtrl>(params.nvmCtrl,
                                          params.nvmTiming, _nvmRange)),
       statGroup("hybridMem", "hybrid DRAM+NVM physical memory"),
-      crashes(statGroup.addScalar("crashes", "simulated power failures"))
+      crashes(statGroup.addScalar("crashes", "simulated power failures")),
+      crashLinesLost(statGroup.addScalar(
+          "crashLinesLost",
+          "NVM lines lost from the write buffer across crashes")),
+      crashTornWords(statGroup.addScalar(
+          "crashTornWords", "64-bit stores torn by power loss"))
 {
     kindle_assert(params.dramBytes >= 16 * oneMiB,
                   "DRAM capacity too small to boot the simulated OS");
@@ -38,12 +44,20 @@ HybridMemory::ctrlFor(Addr addr)
 Tick
 HybridMemory::submit(const MemRequest &req, Tick now)
 {
-    const Tick latency = ctrlFor(req.paddr).submit(req, now);
-    // A line-granular write command reaching the NVM device makes the
-    // line durable.
-    if (_nvmRange.contains(req.paddr) &&
-        (req.cmd == MemCmd::write || req.cmd == MemCmd::writeback)) {
-        nvmStore.commitLine(req.paddr);
+    MemCtrl &ctrl = ctrlFor(req.paddr);
+    const Tick latency = ctrl.submit(req, now);
+    if (_nvmRange.contains(req.paddr)) {
+        // A line-granular write command enters the controller's posted
+        // write buffer; the line is on media once its drain completes.
+        if (req.cmd == MemCmd::write || req.cmd == MemCmd::writeback) {
+            nvmStore.commitLine(req.paddr, now,
+                                ctrl.lastAcceptedWriteDrain());
+            fault::onDurableNvmWrite(now);
+        } else if (req.cmd == MemCmd::bulkWrite) {
+            // Bulk transfers bypass the buffer (device-level DMA); the
+            // matching writeDataDurable() call moves the bytes.
+            fault::onDurableNvmWrite(now);
+        }
     }
     return latency;
 }
@@ -90,7 +104,20 @@ void
 HybridMemory::commitNvmLine(Addr line_addr)
 {
     if (_nvmRange.contains(line_addr))
-        nvmStore.commitLine(line_addr);
+        nvmStore.commitLineImmediate(line_addr);
+}
+
+CrashOutcome
+HybridMemory::crash(Tick now, const PowerLossModel &loss)
+{
+    ++crashes;
+    const CrashOutcome out = nvmStore.crash(now, loss);
+    crashLinesLost += static_cast<double>(out.linesLost);
+    crashTornWords += static_cast<double>(out.tornWords);
+    dramStore.clear();
+    _dramCtrl->reset();
+    _nvmCtrl->reset();
+    return out;
 }
 
 void

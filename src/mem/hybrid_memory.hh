@@ -87,16 +87,34 @@ class HybridMemory
     }
     /// @}
 
-    /** Mark one NVM line durable (cache writeback / clwb completion). */
+    /** Mark one NVM line durable (device-confirmed clwb completion). */
     void commitNvmLine(Addr line_addr);
 
     /** NVM lines still volatile (would be lost on crash). */
     std::size_t nvmPendingLines() const { return nvmStore.pendingLines(); }
 
+    /** NVM lines buffered in the controller, drain still pending. */
+    std::size_t
+    nvmInflightLines() const
+    {
+        return nvmStore.inflightLines();
+    }
+
     /**
-     * Power failure: DRAM contents and un-flushed NVM lines vanish;
+     * Retire every buffered NVM write whose device drain completed by
+     * @p now.  Called after a store fence has waited out the drains.
+     */
+    void drainWrites(Tick now) { nvmStore.drainTo(now); }
+
+    /**
+     * Power failure at @p now: DRAM contents, un-flushed NVM lines and
+     * still-draining controller-buffer writes vanish (the latter per
+     * @p loss — optionally tearing one in-flight 64-bit store);
      * controller state resets.
      */
+    CrashOutcome crash(Tick now, const PowerLossModel &loss);
+
+    /** Legacy wholesale crash: write buffer treated as drained. */
     void crash();
 
     MemCtrl &dramCtrl() { return *_dramCtrl; }
@@ -122,6 +140,8 @@ class HybridMemory
 
     statistics::StatGroup statGroup;
     statistics::Scalar &crashes;
+    statistics::Scalar &crashLinesLost;
+    statistics::Scalar &crashTornWords;
 };
 
 } // namespace kindle::mem

@@ -69,6 +69,7 @@ MemCtrl::submit(const MemRequest &req, Tick now)
         const Tick drained = iface->access(req.cmd, req.paddr, accepted);
         writeQueue.push(drained);
         lastWriteDrain = std::max(lastWriteDrain, drained);
+        lastAcceptedDrain = drained;
         return accepted - now;
       }
 
@@ -99,6 +100,7 @@ MemCtrl::reset()
     while (!writeQueue.empty())
         writeQueue.pop();
     lastWriteDrain = 0;
+    lastAcceptedDrain = 0;
     iface->reset();
 }
 

@@ -61,6 +61,13 @@ class MemCtrl
      */
     Tick writesDrainedAt() const { return lastWriteDrain; }
 
+    /**
+     * Drain-completion tick of the most recently accepted posted
+     * write.  The durability layer uses this to decide whether that
+     * specific write survives a power cut before the buffer drains.
+     */
+    Tick lastAcceptedWriteDrain() const { return lastAcceptedDrain; }
+
     /** Forget queued state (reboot). */
     void reset();
 
@@ -81,6 +88,7 @@ class MemCtrl
     std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>>
         writeQueue;
     Tick lastWriteDrain = 0;
+    Tick lastAcceptedDrain = 0;
 
     statistics::StatGroup statGroup;
     statistics::Scalar &readStallTicks;

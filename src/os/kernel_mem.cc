@@ -4,6 +4,7 @@
 
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "fault/fault.hh"
 
 namespace kindle::os
 {
@@ -26,7 +27,8 @@ KernelMem::readBuf(Addr paddr, void *dst, std::uint64_t size)
 
 void
 KernelMem::writeBufDurable(Addr paddr, const void *src,
-                           std::uint64_t size)
+                           std::uint64_t size,
+                           const char *pre_fence_site)
 {
     memory.writeData(paddr, src, size);
     sim.bump(caches.access(mem::MemCmd::write, paddr, size, sim.now())
@@ -35,6 +37,8 @@ KernelMem::writeBufDurable(Addr paddr, const void *src,
     const Addr last = roundDown(paddr + size - 1, lineSize);
     for (Addr line = first; line <= last; line += lineSize)
         clwb(line);
+    if (pre_fence_site)
+        KINDLE_CRASH_SITE(pre_fence_site);
     sfence();
 }
 

@@ -80,10 +80,13 @@ class KernelMem
 
     /**
      * Durable buffer write: write + clwb each line + one fence.
-     * The data is guaranteed crash-safe when the call returns.
+     * The data is guaranteed crash-safe when the call returns.  When
+     * @p pre_fence_site is non-null a crash-site probe fires between
+     * the clwbs and the fence — the window where the lines sit in the
+     * controller's write buffer and a power cut loses them.
      */
-    void writeBufDurable(Addr paddr, const void *src,
-                         std::uint64_t size);
+    void writeBufDurable(Addr paddr, const void *src, std::uint64_t size,
+                         const char *pre_fence_site = nullptr);
 
     /** Read the crash-surviving NVM image (recovery path). */
     void
@@ -104,11 +107,16 @@ class KernelMem
         sim.bump(caches.clwb(paddr, sim.now()));
     }
 
-    /** Store fence. */
+    /**
+     * Store fence.  After the fence has waited out the controller
+     * drains, every previously buffered NVM write is on media — tell
+     * the durability model so a later crash cannot lose them.
+     */
     void
     sfence()
     {
         sim.bump(caches.sfence(sim.now()));
+        memory.drainWrites(sim.now());
     }
 
     /**

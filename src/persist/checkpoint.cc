@@ -3,6 +3,7 @@
 #include "base/logging.hh"
 #include "base/trace_flags.hh"
 #include "cpu/pagetable_defs.hh"
+#include "fault/fault.hh"
 
 namespace kindle::persist
 {
@@ -98,6 +99,11 @@ PersistDomain::stop()
 void
 PersistDomain::scheduleNext()
 {
+    if (!started) {
+        kindle_fatal("arming the checkpoint timer on a stopped "
+                     "persistence domain — the system crashed (or the "
+                     "domain was stopped) without a reboot()");
+    }
     kernel.simulation().eventq().schedule(
         &event,
         kernel.simulation().now() + _params.checkpointInterval);
@@ -194,6 +200,7 @@ PersistDomain::checkpointProcess(os::Process &proc)
     // Serialize and durably write the working copy.
     const SavedContext ctx = SavedStateSlot::snapshot(proc, regs);
     slot.writeWorkingContext(ctx);
+    KINDLE_CRASH_SITE("ckpt.after_working_write");
 
     if (_params.scheme == PtScheme::rebuild) {
         if (_params.incrementalMappingList)
@@ -203,9 +210,11 @@ PersistDomain::checkpointProcess(os::Process &proc)
     } else {
         slot.setPtRoot(proc.ptRoot);
     }
+    KINDLE_CRASH_SITE("ckpt.after_mapping_update");
 
     // Publish: flip the consistent index.
     slot.commit();
+    KINDLE_CRASH_SITE("ckpt.after_commit");
 }
 
 void
@@ -321,6 +330,7 @@ PersistDomain::checkpointNow()
 
     // Log the CPU state of every live process, then apply the full
     // redo log once (the working copies absorb all interval changes).
+    KINDLE_CRASH_SITE("ckpt.before_cpu_log");
     for (const auto &proc : kernel.processes()) {
         if (proc->state == os::ProcState::zombie)
             continue;
@@ -331,7 +341,9 @@ PersistDomain::checkpointNow()
         metaLog->append(rec);
         ++redoRecords;
     }
+    KINDLE_CRASH_SITE("ckpt.after_log_append");
     metaLog->replay([](const RedoRecord &) {});
+    KINDLE_CRASH_SITE("ckpt.after_replay");
 
     for (const auto &proc : kernel.processes()) {
         if (proc->state == os::ProcState::zombie)
@@ -343,6 +355,7 @@ PersistDomain::checkpointNow()
     if (ptPolicy)
         ptPolicy->retireAll();
     ++checkpoints;
+    KINDLE_CRASH_SITE("ckpt.complete");
     ckptTicks.sample(static_cast<double>(sim.now() - t0));
     trace::dprintf(trace::Flag::checkpoint, sim.now(),
                    "checkpoint complete in {} us",

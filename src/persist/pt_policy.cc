@@ -3,7 +3,9 @@
 #include <map>
 #include <vector>
 
+#include "base/checksum.hh"
 #include "base/logging.hh"
+#include "fault/fault.hh"
 
 namespace kindle::persist
 {
@@ -19,6 +21,13 @@ struct UndoHeader
 
     static constexpr std::uint32_t magicValue = 0x50544844;  // "PTHD"
 };
+
+std::uint32_t
+undoChecksum(PtUndoRecord rec)
+{
+    rec.checksum = 0;
+    return checksum32(&rec, sizeof(rec));
+}
 
 } // namespace
 
@@ -77,15 +86,22 @@ ConsistentPtWrite::writeEntry(Addr entry_addr, std::uint64_t value)
     rec.oldValue = old_value;
     rec.newValue = value;
     rec.seq = nextSeq;
+    rec.checksum = undoChecksum(rec);
     const Addr rec_addr =
         logBase + lineSize +
         (nextSeq % logRecords) * sizeof(PtUndoRecord);
     ++nextSeq;
     kmem.writeBufDurable(rec_addr, &rec, sizeof(rec));
+    KINDLE_CRASH_SITE("pt.after_undo_append");
 
-    // 3. The store itself, written back and fenced.
+    // 3. The store itself, written back and fenced.  A crash between
+    //    the clwb and the fence can lose — or tear — the store in the
+    //    controller's write buffer; that is exactly the window the
+    //    undo log exists for.
     kmem.write64(entry_addr, value);
+    KINDLE_CRASH_SITE("pt.after_store");
     kmem.clwb(entry_addr);
+    KINDLE_CRASH_SITE("pt.after_clwb");
     kmem.sfence();
 
     // Records are retired wholesale: the periodic checkpoint bumps
@@ -118,6 +134,14 @@ recoverPtUndoLog(os::KernelMem &kmem, Addr log_base,
                                   &rec, sizeof(rec));
         if (rec.magic != PtUndoRecord::magicValue ||
             rec.epoch != hdr.epoch) {
+            continue;
+        }
+        // A record can itself be torn (the crash can land mid-append):
+        // never trust its payload without the checksum, and never
+        // dereference an entry address outside the NVM page tables.
+        if (rec.checksum != undoChecksum(rec) ||
+            !kmem.mem().nvmRange().contains(rec.entryAddr) ||
+            rec.entryAddr % sizeof(std::uint64_t) != 0) {
             continue;
         }
         ++report.recordsExamined;

@@ -30,7 +30,8 @@ struct PtUndoRecord
     std::uint64_t oldValue = 0;
     std::uint64_t newValue = 0;
     std::uint64_t seq = 0;
-    std::uint8_t tail[24] = {};
+    std::uint32_t checksum = 0;  ///< FNV-1a with this field zeroed
+    std::uint8_t tail[20] = {};
 
     static constexpr std::uint32_t magicValue = 0x5054554e;  // "PTUN"
 };

@@ -3,9 +3,11 @@
 #include <unordered_set>
 
 #include "base/logging.hh"
+#include "base/str.hh"
 #include "base/trace_flags.hh"
 #include "cpu/pagetable_defs.hh"
 #include "persist/pt_policy.hh"
+#include "persist/redo_log.hh"
 
 namespace kindle::persist
 {
@@ -13,12 +15,22 @@ namespace kindle::persist
 namespace
 {
 
-/** Collect all NVM frames reachable from a persistent page table. */
+/**
+ * Collect all NVM frames reachable from a persistent page table.
+ * Never trusts a durable pointer: a frame address outside the NVM
+ * range (or already visited) counts as dangling instead of being
+ * dereferenced.
+ */
 void
 collectPtFrames(os::Kernel &kernel, Addr table, unsigned level,
-                std::unordered_set<Addr> &live)
+                std::unordered_set<Addr> &live,
+                std::uint64_t &dangling)
 {
-    live.insert(table);
+    if (!kernel.kmem().mem().nvmRange().contains(table) ||
+        !live.insert(table).second) {
+        ++dangling;
+        return;
+    }
     auto &mem = kernel.kmem().mem();
     for (unsigned i = 0; i < cpu::ptEntriesPerPage; ++i) {
         const cpu::Pte pte{mem.readT<std::uint64_t>(
@@ -26,15 +38,44 @@ collectPtFrames(os::Kernel &kernel, Addr table, unsigned level,
         if (!pte.present())
             continue;
         if (level == 0) {
-            if (pte.nvmBacked())
-                live.insert(pte.frameAddr());
+            if (pte.nvmBacked()) {
+                if (mem.nvmRange().contains(pte.frameAddr()))
+                    live.insert(pte.frameAddr());
+                else
+                    ++dangling;
+            }
         } else {
-            collectPtFrames(kernel, pte.frameAddr(), level - 1, live);
+            collectPtFrames(kernel, pte.frameAddr(), level - 1, live,
+                            dangling);
         }
     }
 }
 
 } // namespace
+
+const char *
+recoveryErrorName(RecoveryErrorCode code)
+{
+    switch (code) {
+      case RecoveryErrorCode::headerChecksumMismatch:
+        return "headerChecksumMismatch";
+      case RecoveryErrorCode::contextChecksumMismatch:
+        return "contextChecksumMismatch";
+      case RecoveryErrorCode::contextBadCount:
+        return "contextBadCount";
+      case RecoveryErrorCode::mappingListBadCount:
+        return "mappingListBadCount";
+      case RecoveryErrorCode::danglingMapping:
+        return "danglingMapping";
+      case RecoveryErrorCode::schemeMismatch:
+        return "schemeMismatch";
+      case RecoveryErrorCode::redoLogHeaderCorrupt:
+        return "redoLogHeaderCorrupt";
+      case RecoveryErrorCode::redoLogTruncatedTail:
+        return "redoLogTruncatedTail";
+    }
+    return "?";
+}
 
 RecoveryReport
 recover(os::Kernel &kernel, PtScheme scheme)
@@ -42,9 +83,37 @@ recover(os::Kernel &kernel, PtScheme scheme)
     RecoveryReport report;
     sim::Simulation &sim = kernel.simulation();
     const Tick t0 = sim.now();
+    constexpr unsigned noSlot = ~0u;
+
+    const auto fail = [&report](RecoveryErrorCode code, unsigned slot,
+                                std::string detail) {
+        report.errors.push_back(
+            RecoveryError{code, slot, std::move(detail)});
+    };
 
     // 1. Frame allocator state survives in the durable bitmap.
     kernel.nvmAllocator().recoverFromBitmap();
+    std::unordered_set<Addr> allocated;
+    kernel.nvmAllocator().forEachAllocated(
+        [&](Addr frame) { allocated.insert(frame); });
+
+    // 1a. Audit the surviving metadata redo log.  The consistent
+    //     checkpoint copies make replay unnecessary, but a torn tail
+    //     or unreadable header is damage worth classifying.
+    {
+        const os::NvmLayout &layout = kernel.nvmLayout();
+        const RedoScan scan = RedoLog::audit(
+            kernel.kmem(), layout.redoLog, layout.redoLogBytes / 2);
+        report.redoRecordsSurvived = scan.records.size();
+        if (scan.headerCorrupt) {
+            fail(RecoveryErrorCode::redoLogHeaderCorrupt, noSlot,
+                 "metadata log header failed validation");
+        } else if (scan.truncatedTail) {
+            fail(RecoveryErrorCode::redoLogTruncatedTail, noSlot,
+                 csprintf("log tail torn after {} valid records",
+                        scan.records.size()));
+        }
+    }
 
     // 1b. Persistent scheme: repair any wrapped page-table store the
     //     crash tore mid-writeback, before the tables are trusted.
@@ -58,23 +127,77 @@ recover(os::Kernel &kernel, PtScheme scheme)
 
     std::unordered_set<Addr> live_frames;
 
-    // 2-3. Scan the directory.
+    // 2-3. Scan the directory in salvage mode: validate every durable
+    // byte of a slot before acting on it; quarantine what fails.
     for (unsigned idx = 0; idx < os::maxProcs; ++idx) {
         SavedStateSlot slot(kernel.kmem(), kernel.nvmLayout(), idx);
         const SlotHeader hdr = slot.readHeader();
-        if (!hdr.valid)
+
+        const ImageStatus hdr_status = SavedStateSlot::verifyHeader(hdr);
+        if (hdr_status == ImageStatus::empty ||
+            hdr_status == ImageStatus::quarantined) {
             continue;
-        kindle_assert(hdr.scheme == static_cast<std::uint32_t>(scheme),
-                      "slot {} was checkpointed under the {} scheme",
-                      idx,
-                      ptSchemeName(static_cast<PtScheme>(hdr.scheme)));
+        }
+
+        const auto quarantine = [&](RecoveryErrorCode code,
+                                    std::string detail) {
+            fail(code, idx, std::move(detail));
+            slot.quarantine();
+            ++report.processesQuarantined;
+        };
+
+        if (hdr_status != ImageStatus::ok) {
+            quarantine(RecoveryErrorCode::headerChecksumMismatch,
+                       csprintf("header status {}",
+                              imageStatusName(hdr_status)));
+            continue;
+        }
+        if (hdr.scheme != static_cast<std::uint32_t>(scheme)) {
+            quarantine(
+                RecoveryErrorCode::schemeMismatch,
+                csprintf("slot checkpointed under the {} scheme",
+                       ptSchemeName(static_cast<PtScheme>(hdr.scheme))));
+            continue;
+        }
+
+        SavedContext ctx;
+        const ImageStatus ctx_status =
+            slot.readConsistentContext(hdr, ctx);
+        if (ctx_status == ImageStatus::badCount) {
+            quarantine(RecoveryErrorCode::contextBadCount,
+                       csprintf("context claims {} VMAs", ctx.vmaCount));
+            continue;
+        }
+        if (ctx_status != ImageStatus::ok) {
+            quarantine(RecoveryErrorCode::contextChecksumMismatch,
+                       "consistent context failed its checksum");
+            continue;
+        }
 
         const bool persistent = scheme == PtScheme::persistent;
+
+        std::vector<MappingEntry> mappings;
+        if (!persistent) {
+            const ImageStatus map_status =
+                slot.readMappingList(hdr, mappings);
+            if (map_status != ImageStatus::ok) {
+                quarantine(
+                    RecoveryErrorCode::mappingListBadCount,
+                    csprintf("mapping list claims {} entries",
+                           hdr.mappingCount));
+                continue;
+            }
+        } else if (!kernel.kmem().mem().nvmRange().contains(
+                       hdr.ptRoot)) {
+            quarantine(RecoveryErrorCode::danglingMapping,
+                       csprintf("pt root {} outside NVM", hdr.ptRoot));
+            continue;
+        }
+
+        // The durable image validates: bring the process back.
         os::Process &proc = kernel.spawnShell(
             std::string(hdr.name), idx, /*create_pt=*/!persistent);
         proc.restored = true;
-
-        const SavedContext ctx = slot.readConsistentContext(hdr);
         proc.context = ctx.regs;
         SavedStateSlot::restoreAspace(proc, ctx);
 
@@ -83,19 +206,34 @@ recover(os::Kernel &kernel, PtScheme scheme)
             // (the "set PTBR" step of the paper).
             proc.ptRoot = hdr.ptRoot;
             kernel.pageTables().adopt(proc.ptRoot);
+            std::uint64_t dangling = 0;
             collectPtFrames(kernel, proc.ptRoot, cpu::ptLevels - 1,
-                            live_frames);
-        } else {
-            // Rebuild the DRAM page table from the mapping list.
-            const auto mappings = slot.readMappingList(hdr);
-            for (const MappingEntry &m : mappings) {
-                kernel.pageTables().map(
-                    proc.ptRoot, m.vpn << pageShift,
-                    m.pfn << pageShift, /*writable=*/true,
-                    /*nvm_backed=*/true);
-                live_frames.insert(m.pfn << pageShift);
+                            live_frames, dangling);
+            if (dangling > 0) {
+                fail(RecoveryErrorCode::danglingMapping, idx,
+                     csprintf("{} dangling page-table pointers",
+                            dangling));
             }
-            report.mappingsRestored += mappings.size();
+        } else {
+            // Rebuild the DRAM page table from the mapping list,
+            // dropping entries that reference bogus or free frames.
+            constexpr std::uint64_t maxVpn =
+                std::uint64_t{1} << (48 - pageShift);
+            for (const MappingEntry &m : mappings) {
+                const Addr frame = m.pfn << pageShift;
+                if (m.vpn >= maxVpn || !allocated.count(frame)) {
+                    fail(RecoveryErrorCode::danglingMapping, idx,
+                         csprintf("vpn {} -> pfn {}", m.vpn,
+                                m.pfn));
+                    ++report.mappingsDropped;
+                    continue;
+                }
+                kernel.pageTables().map(
+                    proc.ptRoot, m.vpn << pageShift, frame,
+                    /*writable=*/true, /*nvm_backed=*/true);
+                live_frames.insert(frame);
+                ++report.mappingsRestored;
+            }
         }
 
         proc.state = os::ProcState::ready;
@@ -107,6 +245,8 @@ recover(os::Kernel &kernel, PtScheme scheme)
 
     // 4. Reclaim NVM frames that were allocated after the last
     //    checkpoint (present in the bitmap, reachable from nothing).
+    //    Quarantined slots contribute here too: their frames are no
+    //    longer reachable and return to the allocator.
     std::vector<Addr> leaked;
     kernel.nvmAllocator().forEachAllocated([&](Addr frame) {
         if (!live_frames.count(frame))

@@ -15,10 +15,20 @@
  *   4. reclaims NVM frames that were allocated after the last
  *      checkpoint and are no longer reachable,
  *   5. marks each recovered process ready for execution.
+ *
+ * Recovery runs in *salvage mode*: instead of panicking on the first
+ * untrustworthy durable byte, it classifies each problem into the
+ * RecoveryError taxonomy, quarantines the affected slot (durably, so
+ * a second reboot does not retry it), recovers every process whose
+ * image validates, and still reclaims leaked frames — graceful
+ * degradation rather than a dead system.
  */
 
 #ifndef KINDLE_PERSIST_RECOVERY_HH
 #define KINDLE_PERSIST_RECOVERY_HH
+
+#include <string>
+#include <vector>
 
 #include "os/kernel.hh"
 #include "persist/saved_state.hh"
@@ -26,14 +36,44 @@
 namespace kindle::persist
 {
 
+/** Classes of damage the salvage pass can meet. */
+enum class RecoveryErrorCode
+{
+    headerChecksumMismatch,   ///< slot header fails its checksum
+    contextChecksumMismatch,  ///< consistent context fails its checksum
+    contextBadCount,          ///< context VMA count exceeds capacity
+    mappingListBadCount,      ///< mapping count exceeds its region
+    danglingMapping,          ///< mapping references a bogus/free frame
+    schemeMismatch,           ///< slot checkpointed under another scheme
+    redoLogHeaderCorrupt,     ///< metadata log header unreadable
+    redoLogTruncatedTail,     ///< metadata log ends in a torn record
+};
+
+const char *recoveryErrorName(RecoveryErrorCode code);
+
+/** One classified problem met during recovery. */
+struct RecoveryError
+{
+    RecoveryErrorCode code;
+    unsigned slot;      ///< affected slot, or ~0u for log-wide errors
+    std::string detail;
+};
+
 /** What recovery accomplished. */
 struct RecoveryReport
 {
     unsigned processesRecovered = 0;
+    unsigned processesQuarantined = 0;   ///< fenced off this recovery
     std::uint64_t mappingsRestored = 0;  ///< rebuild-scheme PT entries
+    std::uint64_t mappingsDropped = 0;   ///< dangling entries skipped
     std::uint64_t framesReclaimed = 0;   ///< post-checkpoint leaks
     std::uint64_t tornPtStoresRolledBack = 0;  ///< persistent scheme
+    std::uint64_t redoRecordsSurvived = 0;     ///< validated log tail
     Tick recoveryTicks = 0;              ///< simulated recovery time
+    std::vector<RecoveryError> errors;   ///< full taxonomy
+
+    /** No damage met: every valid slot recovered verbatim. */
+    bool clean() const { return errors.empty(); }
 };
 
 /**

@@ -1,6 +1,8 @@
 #include "persist/redo_log.hh"
 
+#include "base/checksum.hh"
 #include "base/logging.hh"
+#include "fault/fault.hh"
 
 namespace kindle::persist
 {
@@ -13,9 +15,25 @@ struct LogHeader
 {
     std::uint32_t magic;
     std::uint32_t epoch;
+    std::uint32_t checksum;
+    std::uint32_t pad;
 
     static constexpr std::uint32_t magicValue = 0x4c474844;  // "LGHD"
 };
+
+std::uint32_t
+logHeaderChecksum(LogHeader hdr)
+{
+    hdr.checksum = 0;
+    return checksum32(&hdr, sizeof(hdr));
+}
+
+std::uint32_t
+recordChecksum(RedoRecord rec)
+{
+    rec.checksum = 0;
+    return checksum32(&rec, sizeof(rec));
+}
 
 } // namespace
 
@@ -34,11 +52,14 @@ RedoLog::RedoLog(os::KernelMem &kmem_arg, Addr base_arg,
     // Establish the durable header (idempotent if already present).
     LogHeader hdr{};
     kmem.mem().readNvmDurable(base, &hdr, sizeof(hdr));
-    if (hdr.magic == LogHeader::magicValue) {
+    if (hdr.magic == LogHeader::magicValue &&
+        hdr.checksum == logHeaderChecksum(hdr)) {
         epoch = hdr.epoch;
     } else {
+        hdr = LogHeader{};
         hdr.magic = LogHeader::magicValue;
         hdr.epoch = epoch;
+        hdr.checksum = logHeaderChecksum(hdr);
         kmem.writeBufDurable(base, &hdr, sizeof(hdr));
     }
 }
@@ -57,9 +78,13 @@ RedoLog::append(RedoRecord rec)
     rec.magic = RedoRecord::magicValue;
     rec.epoch = epoch;
     rec.seq = seq;
-    kmem.writeBufDurable(recordAddr(seq), &rec, sizeof(rec));
+    rec.checksum = 0;
+    rec.checksum = recordChecksum(rec);
+    kmem.writeBufDurable(recordAddr(seq), &rec, sizeof(rec),
+                         "redo.append_pre_fence");
     ++seq;
     ++appends;
+    KINDLE_CRASH_SITE("redo.after_append");
 }
 
 void
@@ -82,30 +107,94 @@ RedoLog::reset()
     ++epoch;
     seq = 0;
     ++resets;
-    LogHeader hdr{LogHeader::magicValue, epoch};
+    LogHeader hdr{LogHeader::magicValue, epoch, 0, 0};
+    hdr.checksum = logHeaderChecksum(hdr);
     kmem.writeBufDurable(base, &hdr, sizeof(hdr));
+}
+
+RedoScan
+RedoLog::recoverScan()
+{
+    RedoScan scan;
+    LogHeader hdr{};
+    kmem.readDurableBuf(base, &hdr, sizeof(hdr));
+    if (hdr.magic != LogHeader::magicValue ||
+        hdr.checksum != logHeaderChecksum(hdr)) {
+        // Without a trustworthy epoch the whole log is unreadable;
+        // recovery falls back to the last consistent checkpoint.
+        scan.headerCorrupt = true;
+        seq = 0;
+        return scan;
+    }
+    epoch = hdr.epoch;
+    for (std::uint64_t i = 0; i < maxRecords; ++i) {
+        RedoRecord rec{};
+        kmem.mem().readNvmDurable(recordAddr(i), &rec, sizeof(rec));
+        ++scan.scanned;
+        if (rec.magic != RedoRecord::magicValue) {
+            // Zeroed (never written) or stale lines end the scan
+            // cleanly; any other bit pattern is a corrupt tail.
+            scan.truncatedTail = rec.magic != 0;
+            break;
+        }
+        if (rec.epoch != epoch) {
+            // A record from an earlier epoch: clean logical end.
+            break;
+        }
+        if (rec.seq != i || rec.checksum != recordChecksum(rec)) {
+            // In-epoch record that fails its own validation: a torn
+            // append or scribbled line.  Stop before it.
+            scan.truncatedTail = true;
+            break;
+        }
+        scan.records.push_back(rec);
+    }
+    seq = scan.records.size();
+    return scan;
 }
 
 std::vector<RedoRecord>
 RedoLog::recoverRecords()
 {
-    LogHeader hdr{};
-    kmem.readDurableBuf(base, &hdr, sizeof(hdr));
-    kindle_assert(hdr.magic == LogHeader::magicValue,
+    RedoScan scan = recoverScan();
+    kindle_assert(!scan.headerCorrupt,
                   "redo log header corrupt after crash");
-    epoch = hdr.epoch;
-    std::vector<RedoRecord> out;
-    for (std::uint64_t i = 0; i < maxRecords; ++i) {
+    return std::move(scan.records);
+}
+
+RedoScan
+RedoLog::audit(os::KernelMem &kmem, Addr base, std::uint64_t capacity)
+{
+    RedoScan scan;
+    const std::uint64_t max_records =
+        (capacity - lineSize) / sizeof(RedoRecord);
+
+    LogHeader hdr{};
+    kmem.mem().readNvmDurable(base, &hdr, sizeof(hdr));
+    if (hdr.magic != LogHeader::magicValue ||
+        hdr.checksum != logHeaderChecksum(hdr)) {
+        scan.headerCorrupt = true;
+        return scan;
+    }
+    for (std::uint64_t i = 0; i < max_records; ++i) {
         RedoRecord rec{};
-        kmem.mem().readNvmDurable(recordAddr(i), &rec, sizeof(rec));
-        if (rec.magic != RedoRecord::magicValue || rec.epoch != epoch ||
-            rec.seq != i) {
+        kmem.mem().readNvmDurable(base + lineSize +
+                                      i * sizeof(RedoRecord),
+                                  &rec, sizeof(rec));
+        ++scan.scanned;
+        if (rec.magic != RedoRecord::magicValue) {
+            scan.truncatedTail = rec.magic != 0;
             break;
         }
-        out.push_back(rec);
+        if (rec.epoch != hdr.epoch)
+            break;
+        if (rec.seq != i || rec.checksum != recordChecksum(rec)) {
+            scan.truncatedTail = true;
+            break;
+        }
+        scan.records.push_back(rec);
     }
-    seq = out.size();
-    return out;
+    return scan;
 }
 
 } // namespace kindle::persist

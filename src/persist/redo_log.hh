@@ -50,12 +50,31 @@ struct RedoRecord
     std::uint64_t b = 0;
     std::uint64_t c = 0;
     std::uint64_t d = 0;
-    std::uint64_t pad = 0;
+    std::uint32_t checksum = 0;   ///< FNV-1a with this field zeroed
+    std::uint32_t pad = 0;
 
     static constexpr std::uint32_t magicValue = 0x52444c47;  // "RDLG"
 };
 
 static_assert(sizeof(RedoRecord) == 64, "records must be line sized");
+
+/**
+ * Result of the crash-time log scan.  The scan never trusts a durable
+ * byte: record headers are bounds-checked and checksummed, so a torn
+ * append or a garbage tail classifies as a truncation instead of
+ * feeding corrupt mutations into recovery (or walking into UB).
+ */
+struct RedoScan
+{
+    /** Records that validated, in append order. */
+    std::vector<RedoRecord> records;
+    /** Durable log header failed its magic/checksum validation. */
+    bool headerCorrupt = false;
+    /** Scan stopped at a corrupt record (vs a clean end-of-log). */
+    bool truncatedTail = false;
+    /** Record slots examined (including the one that stopped us). */
+    std::uint64_t scanned = 0;
+};
 
 /** The log itself. */
 class RedoLog
@@ -87,9 +106,22 @@ class RedoLog
 
     /**
      * Crash recovery: re-learn epoch from the durable header and
-     * return the records that were durable at crash time.
+     * return the records that were durable at crash time, plus a
+     * taxonomy of anything untrustworthy met along the way.
      */
+    RedoScan recoverScan();
+
+    /** Legacy wrapper: fatal on a corrupt header, records only. */
     std::vector<RedoRecord> recoverRecords();
+
+    /**
+     * Read-only audit of a durable log region (no repair, no epoch
+     * adoption) — what recovery uses to classify the surviving log
+     * without constructing a RedoLog (whose constructor would quietly
+     * re-establish a corrupt header).
+     */
+    static RedoScan audit(os::KernelMem &kmem, Addr base,
+                          std::uint64_t capacity);
 
     /** Capacity in records. */
     std::uint64_t capacityRecords() const { return maxRecords; }

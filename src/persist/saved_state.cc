@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "base/checksum.hh"
 #include "base/logging.hh"
+#include "fault/fault.hh"
 
 namespace kindle::persist
 {
@@ -13,12 +15,41 @@ namespace
 /** Byte offsets of the two contexts inside a slot. */
 constexpr std::uint64_t contextOffset[2] = {256, 8192};
 
+/** Serialized length of a context's populated prefix. */
+std::uint64_t
+serializedBytes(const SavedContext &ctx)
+{
+    return offsetof(SavedContext, vmas) +
+           std::uint64_t(ctx.vmaCount) * sizeof(SerializedVma);
+}
+
+/** Header checksum: FNV-1a with the checksum field zeroed. */
+std::uint32_t
+headerChecksum(SlotHeader hdr)
+{
+    hdr.checksum = 0;
+    return checksum32(&hdr, sizeof(hdr));
+}
+
 } // namespace
 
 const char *
 ptSchemeName(PtScheme s)
 {
     return s == PtScheme::rebuild ? "rebuild" : "persistent";
+}
+
+const char *
+imageStatusName(ImageStatus s)
+{
+    switch (s) {
+      case ImageStatus::ok: return "ok";
+      case ImageStatus::empty: return "empty";
+      case ImageStatus::quarantined: return "quarantined";
+      case ImageStatus::badChecksum: return "badChecksum";
+      case ImageStatus::badCount: return "badCount";
+    }
+    return "?";
 }
 
 SavedStateSlot::SavedStateSlot(os::KernelMem &kmem_arg,
@@ -54,49 +85,85 @@ SavedStateSlot::mappingBase() const
 }
 
 void
+SavedStateSlot::writeHeader(const char *pre_fence_site)
+{
+    shadow.checksum = 0;
+    shadow.checksum = checksum32(&shadow, sizeof(shadow));
+    kmem.writeBufDurable(headerAddr(), &shadow, sizeof(shadow),
+                         pre_fence_site);
+}
+
+void
 SavedStateSlot::initialize(Pid pid, const std::string &name,
                            PtScheme scheme)
 {
     shadow = SlotHeader{};
     shadow.magic = SlotHeader::magicValue;
-    shadow.valid = 1;
+    shadow.valid = SlotHeader::validLive;
     shadow.pid = pid;
     shadow.consistentIdx = 0;
     shadow.scheme = static_cast<std::uint32_t>(scheme);
     std::strncpy(shadow.name, name.c_str(), sizeof(shadow.name) - 1);
-    kmem.writeBufDurable(headerAddr(), &shadow, sizeof(shadow));
+    writeHeader();
 }
 
 void
-SavedStateSlot::writeWorkingContext(const SavedContext &ctx)
+SavedStateSlot::writeWorkingContext(const SavedContext &ctx_in)
 {
     const unsigned working = shadow.consistentIdx ^ 1u;
+    SavedContext ctx = ctx_in;
+    ctx.checksum = 0;
     // Only the populated prefix of the VMA array needs to travel.
-    const std::uint64_t bytes =
-        offsetof(SavedContext, vmas) +
-        std::uint64_t(ctx.vmaCount) * sizeof(SerializedVma);
-    kmem.writeBufDurable(contextAddr(working), &ctx, bytes);
+    const std::uint64_t bytes = serializedBytes(ctx);
+    ctx.checksum = checksum32(&ctx, bytes);
+
+    // Same timing as one writeBufDurable (write + per-line clwb + one
+    // fence), but with a crash site between the two halves of the
+    // flush — the working copy is the component most likely to be
+    // caught half-written by a real power cut.
+    const Addr addr = contextAddr(working);
+    kmem.writeBuf(addr, &ctx, bytes);
+    const Addr first = roundDown(addr, lineSize);
+    const Addr last = roundDown(addr + bytes - 1, lineSize);
+    const Addr mid = roundDown(first + (last - first) / 2, lineSize);
+    for (Addr line = first; line <= mid; line += lineSize)
+        kmem.clwb(line);
+    KINDLE_CRASH_SITE("slot.mid_working_write");
+    for (Addr line = mid + lineSize; line <= last; line += lineSize)
+        kmem.clwb(line);
+    kmem.sfence();
 }
 
 void
 SavedStateSlot::commit()
 {
     shadow.consistentIdx ^= 1u;
-    kmem.writeBufDurable(headerAddr(), &shadow, sizeof(shadow));
+    ++shadow.generation;
+    writeHeader("slot.commit_pre_fence");
 }
 
 void
 SavedStateSlot::setPtRoot(Addr root)
 {
     shadow.ptRoot = root;
-    kmem.writeBufDurable(headerAddr(), &shadow, sizeof(shadow));
+    writeHeader();
 }
 
 void
 SavedStateSlot::invalidate()
 {
-    shadow.valid = 0;
-    kmem.writeBufDurable(headerAddr(), &shadow, sizeof(shadow));
+    shadow.valid = SlotHeader::validDead;
+    writeHeader();
+}
+
+void
+SavedStateSlot::quarantine()
+{
+    // Force a well-formed quarantine marker even when the durable
+    // header bytes were garbage — the fence must stick across reboots.
+    shadow.magic = SlotHeader::magicValue;
+    shadow.valid = SlotHeader::validQuarantined;
+    writeHeader();
 }
 
 void
@@ -137,31 +204,76 @@ SavedStateSlot::readHeader()
 {
     SlotHeader hdr{};
     kmem.readDurableBuf(headerAddr(), &hdr, sizeof(hdr));
-    if (hdr.magic != SlotHeader::magicValue)
-        hdr.valid = 0;
     shadow = hdr;
     return hdr;
+}
+
+ImageStatus
+SavedStateSlot::verifyHeader(const SlotHeader &hdr)
+{
+    if (hdr.magic != SlotHeader::magicValue ||
+        hdr.valid == SlotHeader::validDead) {
+        return ImageStatus::empty;
+    }
+    if (hdr.checksum != headerChecksum(hdr))
+        return ImageStatus::badChecksum;
+    if (hdr.valid == SlotHeader::validQuarantined)
+        return ImageStatus::quarantined;
+    if (hdr.consistentIdx > 1 || hdr.valid != SlotHeader::validLive)
+        return ImageStatus::badCount;
+    return ImageStatus::ok;
+}
+
+ImageStatus
+SavedStateSlot::readConsistentContext(const SlotHeader &hdr,
+                                      SavedContext &out)
+{
+    out = SavedContext{};
+    kmem.readDurableBuf(contextAddr(hdr.consistentIdx & 1u), &out,
+                        sizeof(out));
+    if (out.vmaCount > maxVmasPerContext)
+        return ImageStatus::badCount;
+    SavedContext probe = out;
+    probe.checksum = 0;
+    if (out.checksum != checksum32(&probe, serializedBytes(probe)))
+        return ImageStatus::badChecksum;
+    return ImageStatus::ok;
 }
 
 SavedContext
 SavedStateSlot::readConsistentContext(const SlotHeader &hdr)
 {
     SavedContext ctx;
-    kmem.readDurableBuf(contextAddr(hdr.consistentIdx), &ctx,
-                        sizeof(ctx));
-    kindle_assert(ctx.vmaCount <= maxVmasPerContext,
-                  "corrupt saved context: {} VMAs", ctx.vmaCount);
+    const ImageStatus st = readConsistentContext(hdr, ctx);
+    kindle_assert(st == ImageStatus::ok,
+                  "corrupt saved context in slot {}: {}", slotIdx,
+                  imageStatusName(st));
     return ctx;
+}
+
+ImageStatus
+SavedStateSlot::readMappingList(const SlotHeader &hdr,
+                                std::vector<MappingEntry> &out)
+{
+    out.clear();
+    if (hdr.mappingCount > maxMappingEntries())
+        return ImageStatus::badCount;
+    out.resize(hdr.mappingCount);
+    if (hdr.mappingCount > 0) {
+        kmem.readDurableBuf(mappingBase(), out.data(),
+                            out.size() * sizeof(MappingEntry));
+    }
+    return ImageStatus::ok;
 }
 
 std::vector<MappingEntry>
 SavedStateSlot::readMappingList(const SlotHeader &hdr)
 {
-    std::vector<MappingEntry> out(hdr.mappingCount);
-    if (hdr.mappingCount > 0) {
-        kmem.readDurableBuf(mappingBase(), out.data(),
-                            out.size() * sizeof(MappingEntry));
-    }
+    std::vector<MappingEntry> out;
+    const ImageStatus st = readMappingList(hdr, out);
+    kindle_assert(st == ImageStatus::ok,
+                  "corrupt mapping list in slot {}: {}", slotIdx,
+                  imageStatusName(st));
     return out;
 }
 

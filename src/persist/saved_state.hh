@@ -52,16 +52,27 @@ static_assert(sizeof(SerializedVma) == 32);
 /** VMAs representable per context (gemOS processes are small). */
 constexpr unsigned maxVmasPerContext = 96;
 
-/** One serialized execution context. */
+/**
+ * One serialized execution context.  The checksum covers the populated
+ * serialized prefix (with the checksum field itself zeroed) so recovery
+ * can tell a half-written working copy from a trustworthy one.
+ */
 struct SavedContext
 {
     cpu::CpuState regs;
     std::uint32_t vmaCount = 0;
     std::uint32_t faseActive = 0;
+    std::uint32_t checksum = 0;
+    std::uint32_t pad = 0;
     std::array<SerializedVma, maxVmasPerContext> vmas{};
 };
 
-/** Slot header; one durable line. */
+/**
+ * Slot header; one durable line.  checksum is FNV-1a over the header
+ * with the checksum field zeroed; generation counts commits so an
+ * oracle (or operator) can tell *which* checkpoint a recovered image
+ * corresponds to.
+ */
 struct SlotHeader
 {
     std::uint32_t magic = 0;
@@ -71,13 +82,30 @@ struct SlotHeader
     std::uint64_t ptRoot = 0;        ///< persistent scheme only
     std::uint64_t mappingCount = 0;  ///< rebuild scheme only
     std::uint32_t scheme = 0;
-    std::uint32_t pad = 0;
-    char name[24] = {};
+    std::uint32_t checksum = 0;
+    std::uint64_t generation = 0;    ///< committed checkpoints
+    char name[16] = {};
 
     static constexpr std::uint32_t magicValue = 0x534c4f54;  // "SLOT"
+    static constexpr std::uint32_t validDead = 0;
+    static constexpr std::uint32_t validLive = 1;
+    /** Recovery found the image untrustworthy and fenced it off. */
+    static constexpr std::uint32_t validQuarantined = 2;
 };
 
 static_assert(sizeof(SlotHeader) == 64, "header must be line sized");
+
+/** Verdict on one durable image component (header/context/mappings). */
+enum class ImageStatus
+{
+    ok,            ///< validates; safe to act on
+    empty,         ///< never initialized / cleanly invalidated
+    quarantined,   ///< fenced off by an earlier salvage pass
+    badChecksum,   ///< stored checksum does not match the bytes
+    badCount,      ///< an embedded count exceeds its container
+};
+
+const char *imageStatusName(ImageStatus s);
 
 /** One (vpn → NVM pfn) association in the mapping list. */
 struct MappingEntry
@@ -118,6 +146,9 @@ class SavedStateSlot
     /** Mark the slot dead (process exited cleanly). */
     void invalidate();
 
+    /** Fence off an untrustworthy image (salvage-mode recovery). */
+    void quarantine();
+
     /**
      * Append one mapping entry during the rebuild-scheme traversal.
      * The caller finishes with finalizeMappingList().
@@ -134,14 +165,38 @@ class SavedStateSlot
 
     /** @name Recovery-side (durable reads, timed). */
     /// @{
-    /** Read the durable header; valid()==false for dead slots. */
+    /** Read the raw durable header (also refreshes the shadow). */
     SlotHeader readHeader();
 
-    /** Read the consistent context named by the header. */
+    /** Classify a header read from the durable image. */
+    static ImageStatus verifyHeader(const SlotHeader &hdr);
+
+    /**
+     * Read + validate the consistent context named by the header.
+     * @p out is only meaningful when the result is ImageStatus::ok.
+     */
+    ImageStatus readConsistentContext(const SlotHeader &hdr,
+                                      SavedContext &out);
+
+    /** Convenience wrapper that fatals on a non-ok context. */
     SavedContext readConsistentContext(const SlotHeader &hdr);
 
-    /** Read the durable mapping list. */
+    /**
+     * Read + bounds-check the durable mapping list.  @p out is only
+     * meaningful when the result is ImageStatus::ok.
+     */
+    ImageStatus readMappingList(const SlotHeader &hdr,
+                                std::vector<MappingEntry> &out);
+
+    /** Convenience wrapper that fatals on a non-ok list. */
     std::vector<MappingEntry> readMappingList(const SlotHeader &hdr);
+
+    /** Largest mapping count the per-process list region can hold. */
+    std::uint64_t
+    maxMappingEntries() const
+    {
+        return layout.mappingListBytesPerProc / sizeof(MappingEntry);
+    }
     /// @}
 
     /** Serialize a live process into a SavedContext. */
@@ -156,6 +211,12 @@ class SavedStateSlot
     Addr contextAddr(unsigned idx) const;
     Addr headerAddr() const;
     Addr mappingBase() const;
+
+    /**
+     * Recompute the shadow checksum and write the header durably; an
+     * optional crash site fires between the clwb and the fence.
+     */
+    void writeHeader(const char *pre_fence_site = nullptr);
 
     os::KernelMem &kmem;
     const os::NvmLayout &layout;

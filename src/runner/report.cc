@@ -66,7 +66,8 @@ BenchReport::writeJson(std::ostream &os) const
         if (!p.ok)
             w.keyValue("error", p.error);
         w.keyValue("ticks", static_cast<std::uint64_t>(p.ticks));
-        w.keyValue("wall_ms", p.wallMs);
+        if (includeWallMs)
+            w.keyValue("wall_ms", p.wallMs);
         w.key("stats");
         w.beginObject();
         for (const auto &[path, value] : p.stats.entries()) {

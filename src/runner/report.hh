@@ -61,6 +61,13 @@ class BenchReport
      */
     void keepStatPrefixes(std::vector<std::string> prefixes);
 
+    /**
+     * Drop the per-point "wall_ms" field — the only nondeterministic
+     * entry — so the full output file is byte-identical across runs
+     * (what the fuzz harness's determinism guarantee rests on).
+     */
+    void omitWallClock() { includeWallMs = false; }
+
     /** Serialize the record to @p os. */
     void writeJson(std::ostream &os) const;
 
@@ -78,6 +85,7 @@ class BenchReport
 
     std::string benchName;
     unsigned jobs;
+    bool includeWallMs = true;
     std::vector<std::string> statPrefixes;
     std::vector<RunResult> points;
 };

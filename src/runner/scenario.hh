@@ -47,6 +47,18 @@ struct Scenario
      * --jobs 4 determinism checks).
      */
     std::function<std::unique_ptr<cpu::OpStream>()> program;
+
+    /**
+     * Custom driver replacing the default spawn-and-run.  When set,
+     * the runner calls it instead of KindleSystem::run() — this is how
+     * multi-phase harnesses (crash + reboot + verify) run under the
+     * sweep machinery.  Returns the simulated ticks consumed; entries
+     * added to @p extra are merged into the exported stat snapshot
+     * after capture (and may overwrite captured paths).
+     */
+    std::function<Tick(KindleSystem &sys,
+                       statistics::StatSnapshot &extra)>
+        drive;
 };
 
 } // namespace kindle::runner

@@ -27,8 +27,14 @@ SweepRunner::runOne(const Scenario &scenario)
     const auto wall_start = std::chrono::steady_clock::now();
     try {
         KindleSystem sys(scenario.config);
-        result.ticks = sys.run(scenario.program(), scenario.name);
+        statistics::StatSnapshot extra;
+        if (scenario.drive)
+            result.ticks = scenario.drive(sys, extra);
+        else
+            result.ticks = sys.run(scenario.program(), scenario.name);
         result.stats = sys.snapshotStats();
+        for (const auto &[path, value] : extra.entries())
+            result.stats.set(path, value);
         result.ok = true;
     } catch (const SimError &e) {
         result.error = e.message();

@@ -81,6 +81,9 @@ TEST(HierarchyTest, ClwbMakesNvmLineDurable)
 
     rig.hier.clwb(nvm, 0);
     EXPECT_EQ(rig.memory.nvmPendingLines(), 0u);
+    // The flushed line sits in the controller buffer until the device
+    // drain completes; a fence (or time) makes it durable.
+    rig.memory.drainWrites(rig.memory.nvmCtrl().writesDrainedAt());
     std::uint64_t v = 0;
     rig.memory.readNvmDurable(nvm, &v, 8);
     EXPECT_EQ(v, 42u);
@@ -108,6 +111,7 @@ TEST(HierarchyTest, DirtyLineOnlyInL1StillReachesMemoryOnClwb)
     // Dirty copy lives in L1 (L2/LLC hold clean fill copies); the
     // chained flush must push the newest copy to the device.
     rig.hier.clwb(nvm, 0);
+    rig.memory.drainWrites(rig.memory.nvmCtrl().writesDrainedAt());
     std::uint64_t v = 0;
     rig.memory.readNvmDurable(nvm, &v, 8);
     EXPECT_EQ(v, 7u);

@@ -104,16 +104,26 @@ TEST(CrashRecoveryTest, UnflushedCacheLinesDieWithTheCrash)
     // A volatile (cached, un-flushed) NVM store...
     sys.memory().writeT<std::uint64_t>(nvm, 0xbad);
     sys.caches().access(mem::MemCmd::write, nvm, 8, sys.now());
-    // ...and a properly flushed one.
+    // ...a properly flushed *and* drained (fenced) one...
+    const Addr nvm3 = nvm + 2 * pageSize;
+    sys.memory().writeT<std::uint64_t>(nvm3, 0x600d);
+    sys.caches().access(mem::MemCmd::write, nvm3, 8, sys.now());
+    sys.caches().clwb(nvm3, sys.now());
+    sys.memory().drainWrites(
+        sys.memory().nvmCtrl().writesDrainedAt());
+    // ...and one flushed but not fenced: still queued in the
+    // controller write buffer when the power fails.
     const Addr nvm2 = nvm + pageSize;
-    sys.memory().writeT<std::uint64_t>(nvm2, 0x600d);
+    sys.memory().writeT<std::uint64_t>(nvm2, 0xbadb0f);
     sys.caches().access(mem::MemCmd::write, nvm2, 8, sys.now());
     sys.caches().clwb(nvm2, sys.now());
 
     sys.crash();
     sys.reboot();
     EXPECT_EQ(sys.memory().readT<std::uint64_t>(nvm), 0u);
-    EXPECT_EQ(sys.memory().readT<std::uint64_t>(nvm2), 0x600du);
+    EXPECT_EQ(sys.memory().readT<std::uint64_t>(nvm2), 0u);
+    EXPECT_EQ(sys.memory().readT<std::uint64_t>(nvm3), 0x600du);
+    EXPECT_EQ(sys.lastCrashOutcome().linesLost, 1u);
 }
 
 TEST(CrashRecoveryTest, RecoveredProcessCanResumeExecution)

@@ -38,19 +38,45 @@ TEST(HybridMemoryTest, RoutingByAddress)
               1);
 }
 
-TEST(HybridMemoryTest, NvmWritebackCommitsOverlayLine)
+TEST(HybridMemoryTest, NvmWritebackBuffersLineUntilDrain)
 {
     HybridMemory mem(smallParams());
     const Addr nvm_addr = 64 * oneMiB + 0x2000;
     mem.writeT<std::uint64_t>(nvm_addr, 77);
     EXPECT_EQ(mem.nvmPendingLines(), 1u);
 
+    // The writeback moves the line from the volatile overlay into the
+    // controller's posted-write buffer ...
     mem.submit({MemCmd::writeback, nvm_addr, lineSize}, 0);
     EXPECT_EQ(mem.nvmPendingLines(), 0u);
+    EXPECT_EQ(mem.nvmInflightLines(), 1u);
 
-    std::uint64_t v = 0;
+    // ... which is not yet crash-safe ...
+    std::uint64_t v = 1;
+    mem.readNvmDurable(nvm_addr, &v, 8);
+    EXPECT_EQ(v, 0u);
+
+    // ... until the device drain completes (what a fence waits for).
+    mem.drainWrites(mem.nvmCtrl().writesDrainedAt());
+    EXPECT_EQ(mem.nvmInflightLines(), 0u);
     mem.readNvmDurable(nvm_addr, &v, 8);
     EXPECT_EQ(v, 77u);
+}
+
+TEST(HybridMemoryTest, CrashLosesUndrainedBufferedWrites)
+{
+    HybridMemory mem(smallParams());
+    const Addr nvm_addr = 64 * oneMiB + 0x4000;
+    mem.writeT<std::uint64_t>(nvm_addr, 55);
+    mem.submit({MemCmd::writeback, nvm_addr, lineSize}, 0);
+    const Tick drain = mem.nvmCtrl().writesDrainedAt();
+
+    // Power cut one tick before the drain completes: line is lost.
+    const CrashOutcome out = mem.crash(drain - 1, {});
+    EXPECT_EQ(out.linesLost, 1u);
+    std::uint64_t v = 1;
+    mem.readNvmDurable(nvm_addr, &v, 8);
+    EXPECT_EQ(v, 0u);
 }
 
 TEST(HybridMemoryTest, DramContentsVanishOnCrash)

@@ -122,6 +122,71 @@ TEST(RedoLogTest, AppendsContinueAfterRecovery)
     EXPECT_EQ(fresh.pending(), 2u);
 }
 
+TEST(RedoLogTest, RecoverScanTruncatesAtACorruptTailRecord)
+{
+    Rig rig;
+    {
+        RedoLog log(rig.kmem, rig.layout.redoLog, oneMiB, "log");
+        for (std::uint32_t i = 0; i < 5; ++i) {
+            RedoRecord rec;
+            rec.type = RedoType::vmaAdded;
+            rec.pid = i;
+            log.append(rec);
+        }
+    }
+    rig.memory.crash();
+
+    // Scribble over record 3's payload — a torn append: magic and
+    // epoch still match but the record no longer checksums.
+    const Addr rec3_payload =
+        rig.layout.redoLog + lineSize + 3 * sizeof(RedoRecord) + 24;
+    const std::uint64_t junk = 0xdeadbeefdeadbeefull;
+    rig.memory.writeDataDurable(rec3_payload, &junk, sizeof(junk));
+
+    const RedoScan scan =
+        RedoLog::audit(rig.kmem, rig.layout.redoLog, oneMiB);
+    EXPECT_FALSE(scan.headerCorrupt);
+    EXPECT_TRUE(scan.truncatedTail);
+    ASSERT_EQ(scan.records.size(), 3u);  // the valid prefix survives
+    for (std::uint32_t i = 0; i < 3; ++i)
+        EXPECT_EQ(scan.records[i].pid, i);
+
+    // recoverScan agrees and leaves the log positioned to append
+    // after the surviving prefix.
+    RedoLog fresh(rig.kmem, rig.layout.redoLog, oneMiB, "log");
+    const RedoScan rescan = fresh.recoverScan();
+    EXPECT_TRUE(rescan.truncatedTail);
+    EXPECT_EQ(rescan.records.size(), 3u);
+    EXPECT_EQ(fresh.pending(), 3u);
+}
+
+TEST(RedoLogTest, RecoverScanReportsACorruptHeader)
+{
+    Rig rig;
+    {
+        RedoLog log(rig.kmem, rig.layout.redoLog, oneMiB, "log");
+        log.append(RedoRecord{});
+    }
+    rig.memory.crash();
+
+    const std::uint64_t junk = 0x6a756e6b6a756e6bull;
+    rig.memory.writeDataDurable(rig.layout.redoLog, &junk,
+                                sizeof(junk));
+
+    const RedoScan scan =
+        RedoLog::audit(rig.kmem, rig.layout.redoLog, oneMiB);
+    EXPECT_TRUE(scan.headerCorrupt);
+    EXPECT_TRUE(scan.records.empty());
+
+    // The legacy strict path refuses a corrupt header outright.
+    RedoLog fresh(rig.kmem, rig.layout.redoLog, oneMiB, "log");
+    rig.memory.writeDataDurable(rig.layout.redoLog, &junk,
+                                sizeof(junk));
+    setErrorsThrow(true);
+    EXPECT_THROW(fresh.recoverRecords(), SimError);
+    setErrorsThrow(false);
+}
+
 TEST(RedoLogTest, WrapAroundIsCountedNotFatal)
 {
     Rig rig;

@@ -177,6 +177,87 @@ TEST(SavedStateTest, SnapshotCapturesProcessLayout)
     EXPECT_TRUE(clone.faseActive);
 }
 
+TEST(SavedStateTest, VerifyHeaderClassifiesDamage)
+{
+    Rig rig;
+    SavedStateSlot slot(rig.kmem, rig.layout, 0);
+    slot.initialize(7, "probe", PtScheme::rebuild);
+    const SlotHeader hdr = slot.readHeader();
+    EXPECT_EQ(SavedStateSlot::verifyHeader(hdr), ImageStatus::ok);
+
+    EXPECT_EQ(SavedStateSlot::verifyHeader(SlotHeader{}),
+              ImageStatus::empty);
+
+    SlotHeader scribbled = hdr;
+    scribbled.pid ^= 0x5a;  // any bit flip breaks the checksum
+    EXPECT_EQ(SavedStateSlot::verifyHeader(scribbled),
+              ImageStatus::badChecksum);
+}
+
+TEST(SavedStateTest, QuarantineIsDurableAcrossAnotherCrash)
+{
+    Rig rig;
+    {
+        SavedStateSlot slot(rig.kmem, rig.layout, 2);
+        slot.initialize(9, "victim", PtScheme::rebuild);
+        slot.quarantine();
+    }
+    rig.memory.crash();
+
+    // A second reboot must still see the fence, not retry the slot.
+    SavedStateSlot slot(rig.kmem, rig.layout, 2);
+    EXPECT_EQ(SavedStateSlot::verifyHeader(slot.readHeader()),
+              ImageStatus::quarantined);
+}
+
+TEST(SavedStateTest, CorruptConsistentContextIsClassified)
+{
+    Rig rig;
+    SavedStateSlot slot(rig.kmem, rig.layout, 1);
+    slot.initialize(5, "ctx", PtScheme::rebuild);
+    slot.writeWorkingContext(sampleContext());
+    slot.commit();
+    const SlotHeader hdr = slot.readHeader();
+
+    // The consistent copy's durable address (contextOffset[] in
+    // saved_state.cc: 256 and 8192 bytes into the slot).
+    const Addr consistent =
+        rig.layout.slotAddr(1) + (hdr.consistentIdx ? 8192 : 256);
+
+    // Flip a payload byte: the context no longer checksums.
+    const std::uint8_t junk = 0xa5;
+    rig.memory.writeDataDurable(
+        consistent + offsetof(SavedContext, vmas), &junk, 1);
+    SavedContext out;
+    EXPECT_EQ(slot.readConsistentContext(hdr, out),
+              ImageStatus::badChecksum);
+
+    // An absurd embedded count classifies before any checksum math
+    // touches out-of-range bytes.
+    const std::uint32_t huge = 10000;
+    rig.memory.writeDataDurable(
+        consistent + offsetof(SavedContext, vmaCount), &huge,
+        sizeof(huge));
+    EXPECT_EQ(slot.readConsistentContext(hdr, out),
+              ImageStatus::badCount);
+
+    // The strict wrapper refuses the image outright.
+    setErrorsThrow(true);
+    EXPECT_THROW(slot.readConsistentContext(hdr), SimError);
+    setErrorsThrow(false);
+}
+
+TEST(SavedStateTest, MappingListBadCountIsClassified)
+{
+    Rig rig;
+    SavedStateSlot slot(rig.kmem, rig.layout, 4);
+    slot.initialize(8, "maps", PtScheme::rebuild);
+    SlotHeader hdr = slot.readHeader();
+    hdr.mappingCount = slot.maxMappingEntries() + 1;
+    std::vector<MappingEntry> out;
+    EXPECT_EQ(slot.readMappingList(hdr, out), ImageStatus::badCount);
+}
+
 TEST(SavedStateTest, DurableWritesChargeTime)
 {
     Rig rig;
