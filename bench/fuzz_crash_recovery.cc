@@ -24,11 +24,27 @@
  *     when it classified damage (quarantined slots, torn log tails)
  *     but every surviving process validated.
  *
+ * With --media-faults the sweep additionally arms the NVM media model
+ * (seeded transient bit flips on line writes) plus the patrol
+ * scrubber on *both* the golden run and every crash point: the oracle
+ * must hold even while ECC is correcting single-bit upsets underneath
+ * the persistence protocols.
+ *
  * Everything is deterministic: a fixed seed reproduces the same sweep
  * and byte-identical BENCH_fuzz_crash_recovery.json (wall-clock is
  * omitted from the export for exactly this reason).
+ *
+ * Flags (besides the common runner set):
+ *   --points N       crash points per scheme (KINDLE_FUZZ_POINTS)
+ *   --seed N         sweep seed (KINDLE_FUZZ_SEED)
+ *   --media-faults   arm the media error model + scrubber
+ *   --filter STR     run only points whose name contains STR
+ *
+ * Every FAILED point prints a one-line `repro:` command that re-runs
+ * just that point single-threaded.
  */
 
+#include <cstring>
 #include <map>
 #include <set>
 #include <utility>
@@ -44,6 +60,16 @@ namespace
 {
 
 using namespace kindle;
+
+/** Harness-local flags, pre-parsed before runner::parseOptions (which
+ *  is fatal on anything it does not recognize). */
+struct FuzzOptions
+{
+    std::uint64_t points;
+    std::uint64_t seed;
+    bool mediaFaults = false;
+    std::string filter;
+};
 
 /** Committed states a recovered process may legally resume from. */
 using Oracle = std::set<std::pair<std::uint64_t, std::uint64_t>>;
@@ -88,13 +114,29 @@ makeWorkload()
     return b.build();
 }
 
+/** The media plan shared by golden run and every crash point: the
+ *  oracle is only meaningful if both run over the same medium. */
+fault::MediaFaultPlan
+mediaPlan()
+{
+    fault::MediaFaultPlan media;
+    media.bitFlipRate = 1e-3;  // per line write; SECDED-correctable
+    media.seed = 99;           // fixed: independent of the sweep seed
+    return media;
+}
+
 KindleConfig
-baseConfig(persist::PtScheme scheme)
+baseConfig(persist::PtScheme scheme, bool media_faults)
 {
     KindleConfig cfg;
     cfg.memory.dramBytes = 128 * oneMiB;
     cfg.memory.nvmBytes = 256 * oneMiB;
     cfg.persistence = persist::PersistParams{scheme, oneMs / 4};
+    if (media_faults) {
+        cfg.fault = fault::FaultPlan{};  // unarmed: media config only
+        cfg.fault->media = mediaPlan();
+        cfg.scrub = mem::ScrubParams{oneMs / 4, 16 * oneMiB};
+    }
     return cfg;
 }
 
@@ -112,10 +154,10 @@ committedState(KindleSystem &sys, const os::Process &proc)
 }
 
 Golden
-goldenRun(persist::PtScheme scheme)
+goldenRun(persist::PtScheme scheme, bool media_faults)
 {
     Golden g;
-    KindleSystem sys(baseConfig(scheme));
+    KindleSystem sys(baseConfig(scheme, media_faults));
     sys.injector().setObserver(
         [&](const std::string &name, std::uint64_t) {
             if (name != "ckpt.after_commit")
@@ -181,7 +223,7 @@ makePoints(const Golden &g, std::uint64_t total, std::uint64_t seed)
 
 runner::Scenario
 makeScenario(persist::PtScheme scheme, const Point &point,
-             const Golden &golden)
+             const Golden &golden, bool media_faults)
 {
     const std::string scheme_name = persist::ptSchemeName(scheme);
     runner::Scenario sc;
@@ -190,8 +232,10 @@ makeScenario(persist::PtScheme scheme, const Point &point,
                {"site", point.plan.site.empty() ? "durable_write"
                                                 : point.plan.site},
                {"trigger", point.label}};
-    sc.config = baseConfig(scheme);
+    sc.config = baseConfig(scheme, media_faults);
     sc.config.fault = point.plan;
+    if (media_faults)
+        sc.config.fault->media = mediaPlan();
     sc.drive = [oracle = &golden.committed](
                    KindleSystem &sys,
                    statistics::StatSnapshot &extra) -> Tick {
@@ -246,6 +290,58 @@ makeScenario(persist::PtScheme scheme, const Point &point,
     return sc;
 }
 
+/**
+ * Split harness-local flags from the common runner ones.  The runner
+ * parser is deliberately fatal on unknown flags, so everything it must
+ * not see is consumed here and the remainder handed down via
+ * @p pass_argv (which stays valid as views into the original argv).
+ */
+FuzzOptions
+parseFuzzOptions(int argc, char **argv, std::vector<char *> &pass_argv)
+{
+    FuzzOptions fz;
+    fz.points = envCount("KINDLE_FUZZ_POINTS", 128);
+    fz.seed = envCount("KINDLE_FUZZ_SEED", 12345);
+    pass_argv.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const auto numeric = [&](const char *flag) -> std::uint64_t {
+            if (i + 1 >= argc)
+                kindle_fatal("{} needs a value", flag);
+            return std::strtoull(argv[++i], nullptr, 10);
+        };
+        if (std::strcmp(argv[i], "--points") == 0) {
+            fz.points = numeric("--points");
+            if (fz.points == 0)
+                kindle_fatal("--points must be positive");
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            fz.seed = numeric("--seed");
+        } else if (std::strcmp(argv[i], "--media-faults") == 0) {
+            fz.mediaFaults = true;
+        } else if (std::strcmp(argv[i], "--filter") == 0) {
+            if (i + 1 >= argc)
+                kindle_fatal("--filter needs a value");
+            fz.filter = argv[++i];
+        } else {
+            pass_argv.push_back(argv[i]);
+        }
+    }
+    return fz;
+}
+
+/** The exact command line that re-runs one point alone. */
+std::string
+reproCommand(const char *argv0, const FuzzOptions &fz,
+             const std::string &point_name)
+{
+    std::string cmd = argv0;
+    cmd += " --points " + std::to_string(fz.points);
+    cmd += " --seed " + std::to_string(fz.seed);
+    if (fz.mediaFaults)
+        cmd += " --media-faults";
+    cmd += " --filter '" + point_name + "' --jobs 1";
+    return cmd;
+}
+
 } // namespace
 
 int
@@ -253,36 +349,52 @@ main(int argc, char **argv)
 {
     using namespace kindle::bench;
 
-    const auto opts = runner::parseOptions(argc, argv);
-    const std::uint64_t total = envCount("KINDLE_FUZZ_POINTS", 128);
-    const std::uint64_t seed = envCount("KINDLE_FUZZ_SEED", 12345);
-    printHeader("Crash-recovery fuzz",
-                "crash-point exploration, " + std::to_string(total) +
-                    " points/scheme, seed " + std::to_string(seed));
+    std::vector<char *> pass_argv;
+    const FuzzOptions fz = parseFuzzOptions(argc, argv, pass_argv);
+    const auto opts = runner::parseOptions(
+        static_cast<int>(pass_argv.size()), pass_argv.data());
+    const std::uint64_t total = fz.points;
+    const std::uint64_t seed = fz.seed;
+    printHeader(
+        "Crash-recovery fuzz",
+        "crash-point exploration, " + std::to_string(total) +
+            " points/scheme, seed " + std::to_string(seed) +
+            (fz.mediaFaults ? ", media faults + scrubber armed" : ""));
 
     const std::vector<persist::PtScheme> schemes = {
         persist::PtScheme::rebuild, persist::PtScheme::persistent};
 
     runner::BenchReport report("fuzz_crash_recovery", opts.jobs);
     report.omitWallClock();
-    report.keepStatPrefixes(
-        {"fuzz.", "fault.", "recovery.", "persist.checkpoints"});
+    report.keepStatPrefixes({"fuzz.", "fault.", "recovery.",
+                             "persist.checkpoints",
+                             "hybridMem.nvmMedia.", "scrubber.",
+                             "kernel.badFrames."});
 
     TablePrinter table({"Scheme", "Points", "Fired", "Clean",
                         "Salvaged", "Failed", "Torn PT undone"});
     bool any_failed = false;
 
     for (const auto scheme : schemes) {
-        const Golden golden = goldenRun(scheme);
+        const Golden golden = goldenRun(scheme, fz.mediaFaults);
         kindle_assert(!golden.committed.empty(),
                       "golden run took no checkpoints — workload or "
                       "interval mistuned");
+        // Points are generated *before* filtering so a point's plan
+        // (seeded by its index) is identical whether it runs inside
+        // the full sweep or alone under --filter.
         const auto points = makePoints(golden, total, seed);
 
         std::vector<runner::Scenario> scenarios;
         scenarios.reserve(points.size());
-        for (const auto &p : points)
-            scenarios.push_back(makeScenario(scheme, p, golden));
+        for (const auto &p : points) {
+            auto sc = makeScenario(scheme, p, golden, fz.mediaFaults);
+            if (!fz.filter.empty() &&
+                sc.name.find(fz.filter) == std::string::npos) {
+                continue;
+            }
+            scenarios.push_back(std::move(sc));
+        }
 
         runner::SweepRunner pool(opts.jobs);
         const auto results = pool.run(scenarios);
@@ -302,6 +414,11 @@ main(int argc, char **argv)
                 r.stats.get("fuzz.failed"));
             torn += static_cast<std::uint64_t>(
                 r.stats.get("fuzz.tornPtStoresRolledBack"));
+            if (r.stats.get("fuzz.failed") > 0) {
+                std::printf("FAILED %s\n  repro: %s\n",
+                            r.name.c_str(),
+                            reproCommand(argv[0], fz, r.name).c_str());
+            }
         }
         any_failed = any_failed || failed > 0;
         table.addRow({persist::ptSchemeName(scheme),

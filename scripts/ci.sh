@@ -25,21 +25,30 @@ echo "=== Crash-recovery fuzz smoke (ASan/UBSan) ==="
 # A reduced deterministic sweep of the crash-point fuzzer: enough
 # points to cover every named site under both schemes, small enough
 # for a CI gate.  The harness exits non-zero on any unexplained
-# recovery divergence.
-KINDLE_FUZZ_POINTS=64 ./build-asan/bench/fuzz_crash_recovery
+# recovery divergence.  Run once clean and once with the NVM media
+# error model + patrol scrubber armed underneath the protocols.
+./build-asan/bench/fuzz_crash_recovery --points 64
+./build-asan/bench/fuzz_crash_recovery --points 64 --media-faults
 rm -f BENCH_fuzz_crash_recovery.json
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-    echo "=== TSan build + SweepRunner tests ==="
+    echo "=== TSan build + SweepRunner/fault/persist tests ==="
     cmake -B build-tsan -S . -G Ninja \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread"
-    cmake --build build-tsan -j "${JOBS}" --target test_runner
+    cmake --build build-tsan -j "${JOBS}" \
+        --target test_runner test_fault test_persist
     # The runner tests exercise every cross-thread path: the work
     # queue, result placement, and the shared trace-flag/error-mode
     # globals that concurrent KindleSystem instances touch.
     ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
         -R 'SweepRunner|SweepDeterminism|BenchReport'
+    # The fault and persist suites drive crash/reboot/recovery (and
+    # with media faults, scrubber-triggered retirement) through the
+    # same thread-local injector routing SweepRunner workers use —
+    # run them whole under TSan as well.
+    ./build-tsan/tests/test_fault
+    ./build-tsan/tests/test_persist
 fi
 
 echo "ci.sh: all checks passed"

@@ -33,6 +33,17 @@ CrashInjector::CrashInjector(FaultPlan plan, std::function<Tick()> now_fn)
 }
 
 void
+CrashInjector::rearm(FaultPlan plan)
+{
+    _plan = std::move(plan);
+    _fired = false;
+    _firedSite.clear();
+    _durableWrites = 0;
+    hits.clear();
+    active = true;
+}
+
+void
 CrashInjector::fire(const std::string &name)
 {
     _fired = true;
@@ -131,6 +142,14 @@ knownCrashSites()
         "slot.commit_pre_fence",    // saved state: header clwb'd, unfenced
         "alloc.bitmap_pre_fence",   // frame alloc: bitmap clwb'd, unfenced
         "hscc.after_copy",          // hscc: page copied, PTE not remapped
+        "badframe.retire_pre_fence",// bad-frame table: bit clwb'd, unfenced
+        "recover.after_bitmap",     // recovery: allocator bitmap adopted
+        "recover.after_log_audit",  // recovery: redo log audited
+        "recover.after_pt_rollback",// recovery: torn PT stores undone
+        "recover.after_slot_restore",// recovery: one slot restored
+        "recover.after_quarantine", // recovery: one slot fenced off
+        "recover.before_reclaim",   // recovery: leak reclaim starting
+        "recover.complete",         // recovery: procedure finished
     };
     return sites;
 }

@@ -36,6 +36,46 @@
 namespace kindle::fault
 {
 
+/** One targeted media fault: stuck-at bits on a named NVM frame. */
+struct MediaFault
+{
+    /** Frame index within the NVM range (0 = first NVM frame). */
+    std::uint64_t frame = 0;
+    /** Cache-line index within the frame. */
+    std::uint64_t line = 0;
+    /** Error bits to plant (1 = ECC-correctable, >=2 = uncorrectable). */
+    unsigned bits = 1;
+    /** Stuck-at (survives rewrites) vs transient (a scrub clears it). */
+    bool sticky = true;
+};
+
+/**
+ * NVM media reliability configuration.  Orthogonal to the crash
+ * trigger: an armed media plan degrades the medium itself — seeded
+ * transient bit flips per line write, per-frame write endurance that
+ * develops stuck-at cells once exhausted, and targeted named-frame
+ * injections — while the SECDED model in src/mem decides what a read
+ * returns.  Plain data so config plumbing stays header-only.
+ */
+struct MediaFaultPlan
+{
+    /** Probability that one media line write leaves a transient flip. */
+    double bitFlipRate = 0.0;
+    /** Media writes a frame tolerates before cells stick (0 = ∞). */
+    std::uint64_t writeEndurance = 0;
+    /** Seed for flip positions and victims (deterministic). */
+    std::uint64_t seed = 7;
+    /** Targeted injections applied when the model is built. */
+    std::vector<MediaFault> faults;
+
+    bool
+    enabled() const
+    {
+        return bitFlipRate > 0.0 || writeEndurance != 0 ||
+               !faults.empty();
+    }
+};
+
 /** What to crash on.  At most one trigger should be armed. */
 struct FaultPlan
 {
@@ -51,6 +91,10 @@ struct FaultPlan
     bool tornStore = true;
     /** Seed for the deterministic torn-store victim choice. */
     std::uint64_t seed = 1;
+
+    /** Media error/wear model configuration (independent of the
+     *  crash trigger; may be enabled with no crash armed at all). */
+    MediaFaultPlan media;
 
     bool
     armed() const
@@ -96,6 +140,15 @@ class CrashInjector
      */
     void activate() { active = true; }
     void deactivate() { active = false; }
+
+    /**
+     * Swap in a fresh plan and re-activate the probes with cleared
+     * trigger state (hit counts, durable-write count, fired flag).
+     * This is how a test arms a *second* crash on an already-crashed
+     * system — e.g. inside the recovery path of the next reboot(),
+     * proving recovery survives being interrupted.
+     */
+    void rearm(FaultPlan plan);
 
     /** Probe: a named crash site was reached. */
     void site(const char *name);

@@ -31,6 +31,11 @@ KindleSystem::KindleSystem(const KindleConfig &config_arg)
             config.persistence->scheme == persist::PtScheme::persistent;
     }
 
+    // The fault plan's media sub-config rides into the memory system;
+    // the medium is hardware, so this is construction-time only.
+    if (config.fault)
+        config.memory.media = config.fault->media;
+
     // The injector exists even when no fault is configured: an unarmed
     // plan just counts probe hits (observe mode).  Registering it on
     // the thread-local routing stack also shadows any outer system's
@@ -45,7 +50,22 @@ KindleSystem::KindleSystem(const KindleConfig &config_arg)
     caches_ = std::make_unique<cache::Hierarchy>(config.caches, *mem_);
     core_ = std::make_unique<cpu::Core>(config.core, sim, *mem_,
                                         *caches_);
+
+    // The scrubber lives with the machine (stats accumulate across
+    // reboots); its retirement handler dereferences the *current*
+    // kernel, so no rebinding is needed after reboot().
+    if (mem_->media() || config.scrub) {
+        scrubber_ = std::make_unique<mem::PatrolScrubber>(
+            sim, *mem_, config.scrub.value_or(mem::ScrubParams{}));
+        scrubber_->setBadFrameHandler(
+            [this](Addr frame, const char *reason) {
+                kernel_->retireNvmFrame(frame, reason);
+            });
+    }
+
     buildOsLayer();
+    if (scrubber_)
+        scrubber_->start();
 
     // Activate only after boot so construction-time durable writes do
     // not consume trigger budget.
@@ -108,6 +128,36 @@ KindleSystem::runAll()
     kernel_->run();
 }
 
+mem::PowerLossModel
+KindleSystem::lossModel() const
+{
+    mem::PowerLossModel loss;
+    if (config.fault) {
+        loss.tornStore = config.fault->tornStore;
+        loss.seed = config.fault->seed;
+    }
+    return loss;
+}
+
+void
+KindleSystem::teardownToCrashed()
+{
+    // Volatile hardware state disappears; durable NVM survives —
+    // except the lines still queued in the controller write buffer,
+    // which are lost (and possibly torn) by the power-loss model.
+    // Media error state is physical and survives untouched.
+    if (scrubber_)
+        scrubber_->stop();
+    caches_->invalidateAll();
+    core_->reset();
+    crashOutcome = mem_->crash(sim.now(), lossModel());
+    sim.hardReset();
+
+    // The injector's job is done once the crash lands; silence the
+    // probes until the post-reboot system is whole again.
+    injector_->deactivate();
+}
+
 void
 KindleSystem::crash()
 {
@@ -127,22 +177,7 @@ KindleSystem::crash()
     persist_.reset();
     kernel_.reset();
 
-    // Volatile hardware state disappears; durable NVM survives —
-    // except the lines still queued in the controller write buffer,
-    // which are lost (and possibly torn) by the power-loss model.
-    caches_->invalidateAll();
-    core_->reset();
-    mem::PowerLossModel loss;
-    if (config.fault) {
-        loss.tornStore = config.fault->tornStore;
-        loss.seed = config.fault->seed;
-    }
-    crashOutcome = mem_->crash(sim.now(), loss);
-    sim.hardReset();
-
-    // The injector's job is done once the crash lands; silence the
-    // probes until the post-reboot system is whole again.
-    injector_->deactivate();
+    teardownToCrashed();
 }
 
 persist::RecoveryReport
@@ -157,8 +192,20 @@ KindleSystem::reboot()
 
     persist::RecoveryReport report;
     if (config.persistence) {
-        report = persist::recover(*kernel_,
-                                  config.persistence->scheme);
+        try {
+            report = persist::recover(*kernel_,
+                                      config.persistence->scheme);
+        } catch (const fault::PowerLoss &) {
+            // Power failed *during recovery* (a re-armed injector
+            // tripped one of the recover.* probes).  The half-booted
+            // machine dies exactly like any other crash; the durable
+            // image — including whatever recovery managed to persist
+            // — is what the next reboot() starts from.
+            kernel_.reset();
+            teardownToCrashed();
+            isCrashed = true;
+            throw;
+        }
         persist_ = std::make_unique<persist::PersistDomain>(
             *config.persistence, *kernel_);
         persist_->start();
@@ -172,6 +219,8 @@ KindleSystem::reboot()
                                                    *kernel_);
         hscc_->start();
     }
+    if (scrubber_)
+        scrubber_->start();
 
     // The injector stays deactivated: its one armed crash has fired
     // (or been skipped), and recovery/rerun probes must not refire it.
@@ -188,9 +237,18 @@ KindleSystem::reboot()
 }
 
 void
+KindleSystem::armFault(const fault::FaultPlan &plan)
+{
+    config.fault = plan;
+    injector_->rearm(plan);
+}
+
+void
 KindleSystem::acceptStats(statistics::StatVisitor &visitor) const
 {
     mem_->stats().accept(visitor);
+    if (scrubber_)
+        scrubber_->stats().accept(visitor);
     caches_->stats().accept(visitor);
     core_->stats().accept(visitor);
     if (kernel_)

@@ -32,6 +32,7 @@
 #include "fault/fault.hh"
 #include "hscc/hscc_engine.hh"
 #include "mem/hybrid_memory.hh"
+#include "mem/scrubber.hh"
 #include "os/kernel.hh"
 #include "persist/checkpoint.hh"
 #include "persist/recovery.hh"
@@ -61,9 +62,19 @@ struct KindleConfig
     /**
      * Arm one injected power-loss crash (see fault::FaultPlan).  An
      * unarmed plan still counts site hits and durable writes, which is
-     * how the fuzz harness sizes its crash-point space.
+     * how the fuzz harness sizes its crash-point space.  The plan's
+     * media sub-config (bit-flip rate, endurance, targeted faults) is
+     * forwarded into the memory system at construction.
      */
     std::optional<fault::FaultPlan> fault;
+
+    /**
+     * Patrol-scrubber cadence.  The scrubber is built whenever the
+     * media model is enabled (using defaults if this is unset); set
+     * this to tune the patrol interval/chunk or to run the scrubber
+     * without media faults (it then simply idles).
+     */
+    std::optional<mem::ScrubParams> scrub;
 };
 
 /** The assembled machine. */
@@ -88,6 +99,9 @@ class KindleSystem
     persist::PersistDomain *persistence() { return persist_.get(); }
     ssp::SspEngine *sspEngine() { return ssp_.get(); }
     hscc::HsccEngine *hsccEngine() { return hscc_.get(); }
+
+    /** The patrol scrubber (null unless media/scrub configured). */
+    mem::PatrolScrubber *scrubber() { return scrubber_.get(); }
 
     /** The system's crash injector (always present; may be unarmed). */
     fault::CrashInjector &injector() { return *injector_; }
@@ -121,6 +135,15 @@ class KindleSystem
      * restart the persistence domain.
      */
     persist::RecoveryReport reboot();
+
+    /**
+     * Swap in a fresh fault plan and re-arm the (possibly fired)
+     * injector.  This is how tests crash a machine a *second* time —
+     * in particular inside the next reboot()'s recovery path, which
+     * is the recovery-idempotence scenario.  The plan's media config
+     * does not rebuild the media model (the medium is hardware).
+     */
+    void armFault(const fault::FaultPlan &plan);
 
     /** True between crash() and reboot(). */
     bool crashed() const { return isCrashed; }
@@ -156,6 +179,8 @@ class KindleSystem
 
   private:
     void buildOsLayer();
+    mem::PowerLossModel lossModel() const;
+    void teardownToCrashed();
 
     KindleConfig config;
 
@@ -168,6 +193,7 @@ class KindleSystem
     std::unique_ptr<fault::InjectorScope> injectorScope_;
 
     std::unique_ptr<mem::HybridMemory> mem_;
+    std::unique_ptr<mem::PatrolScrubber> scrubber_;
     std::unique_ptr<cache::Hierarchy> caches_;
     std::unique_ptr<cpu::Core> core_;
     std::unique_ptr<os::Kernel> kernel_;

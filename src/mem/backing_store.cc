@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "base/random.hh"
+#include "mem/nvm_media.hh"
 
 namespace kindle::mem
 {
@@ -69,6 +70,22 @@ BackingStore::write(Addr addr, const void *src, std::uint64_t size)
 }
 
 void
+DurableStore::writeDurable(Addr addr, const void *src, std::uint64_t size)
+{
+    durable.write(addr, src, size);
+    if (media)
+        media->onRangeWrite(addr, size);
+}
+
+void
+DurableStore::readDurable(Addr addr, void *dst, std::uint64_t size) const
+{
+    durable.read(addr, dst, size);
+    if (media)
+        media->filterRead(addr, dst, size);
+}
+
+void
 DurableStore::writeVolatile(Addr addr, const void *src, std::uint64_t size)
 {
     const auto *in = static_cast<const std::uint8_t *>(src);
@@ -80,9 +97,13 @@ DurableStore::writeVolatile(Addr addr, const void *src, std::uint64_t size)
         if (it == pending.end()) {
             // First volatile touch of this line: seed the overlay with
             // the current durable contents so partial-line stores keep
-            // neighbouring bytes.
+            // neighbouring bytes.  The seed is what a CPU load would
+            // see, so it passes through ECC — an uncorrectable line
+            // read-modify-written here propagates its damage.
             Line seed{};
             durable.read(line_addr, seed.data(), lineSize);
+            if (media)
+                media->filterRead(line_addr, seed.data(), lineSize);
             it = pending.emplace(line_addr, seed).first;
         }
         std::memcpy(it->second.data() + in_line, in, chunk);
@@ -102,12 +123,15 @@ DurableStore::read(Addr addr, void *dst, std::uint64_t size) const
         const std::uint64_t chunk = std::min(size, lineSize - in_line);
         const auto it = pending.find(line_addr);
         const auto fit = inflight.find(line_addr);
-        if (it != pending.end())
+        if (it != pending.end()) {
             std::memcpy(out, it->second.data() + in_line, chunk);
-        else if (fit != inflight.end())
+        } else if (fit != inflight.end()) {
             std::memcpy(out, fit->second.data.data() + in_line, chunk);
-        else
+        } else {
             durable.read(addr, out, chunk);
+            if (media)
+                media->filterRead(addr, out, chunk);
+        }
         addr += chunk;
         out += chunk;
         size -= chunk;
@@ -138,10 +162,14 @@ DurableStore::commitLineImmediate(Addr line_addr)
     line_addr = roundDown(line_addr, lineSize);
     if (const auto it = pending.find(line_addr); it != pending.end()) {
         durable.write(line_addr, it->second.data(), lineSize);
+        if (media)
+            media->onLineWrite(line_addr);
         pending.erase(it);
     }
     if (const auto it = inflight.find(line_addr); it != inflight.end()) {
         durable.write(line_addr, it->second.data.data(), lineSize);
+        if (media)
+            media->onLineWrite(line_addr);
         inflight.erase(it);
     }
 }
@@ -152,6 +180,8 @@ DurableStore::drainTo(Tick now)
     for (auto it = inflight.begin(); it != inflight.end();) {
         if (it->second.drainAt <= now) {
             durable.write(it->first, it->second.data.data(), lineSize);
+            if (media)
+                media->onLineWrite(it->first);
             it = inflight.erase(it);
         } else {
             ++it;
@@ -162,8 +192,11 @@ DurableStore::drainTo(Tick now)
 void
 DurableStore::commitAll()
 {
-    for (const auto &[line_addr, data] : pending)
+    for (const auto &[line_addr, data] : pending) {
         durable.write(line_addr, data.data(), lineSize);
+        if (media)
+            media->onLineWrite(line_addr);
+    }
     pending.clear();
     drainTo(~Tick{0});
 }
@@ -180,6 +213,8 @@ DurableStore::crash(Tick now, const PowerLossModel &model)
     for (const auto &[line_addr, entry] : inflight) {
         if (entry.drainAt <= now) {
             durable.write(line_addr, entry.data.data(), lineSize);
+            if (media)
+                media->onLineWrite(line_addr);
             ++out.linesDrained;
         } else {
             lost.push_back(line_addr);
@@ -200,12 +235,12 @@ DurableStore::crash(Tick now, const PowerLossModel &model)
              k < lost.size() && out.tornWords == 0; ++k) {
             const Addr line_addr = lost[(start + k) % lost.size()];
             const Line &buffered = inflight.at(line_addr).data;
-            Line media{};
-            durable.read(line_addr, media.data(), lineSize);
+            Line settled{};
+            durable.read(line_addr, settled.data(), lineSize);
             std::vector<std::uint64_t> candidates;
             for (std::uint64_t off = 0; off + 8 <= lineSize; off += 8) {
                 if (std::memcmp(buffered.data() + off,
-                                media.data() + off, 8) != 0) {
+                                settled.data() + off, 8) != 0) {
                     candidates.push_back(off);
                 }
             }
@@ -216,6 +251,8 @@ DurableStore::crash(Tick now, const PowerLossModel &model)
             const std::uint64_t bytes = 1 + rng.uniform(7);
             durable.write(line_addr + off, buffered.data() + off,
                           bytes);
+            if (media)
+                media->onLineWrite(line_addr);
             ++out.tornWords;
         }
     }

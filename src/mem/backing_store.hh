@@ -38,6 +38,8 @@
 namespace kindle::mem
 {
 
+class NvmMediaModel;
+
 /** A sparse, frame-granular byte store over an address range. */
 class BackingStore
 {
@@ -126,25 +128,26 @@ class DurableStore
 
     const AddrRange &range() const { return _range; }
 
+    /**
+     * Attach a media reliability model.  Every byte that reaches
+     * durable media is charged as a line write (wear + drift), and
+     * every byte read back from media passes through ECC decode.
+     * Overlay and controller-buffer accesses are untouched — those
+     * bytes live in SRAM/DRAM, not in NVM cells.
+     */
+    void attachMedia(NvmMediaModel *m) { media = m; }
+
     /** Store into the volatile overlay (cacheline-tracked). */
     void writeVolatile(Addr addr, const void *src, std::uint64_t size);
 
     /** Store straight to durable media. */
-    void
-    writeDurable(Addr addr, const void *src, std::uint64_t size)
-    {
-        durable.write(addr, src, size);
-    }
+    void writeDurable(Addr addr, const void *src, std::uint64_t size);
 
     /** Read the latest value (overlay wins over durable). */
     void read(Addr addr, void *dst, std::uint64_t size) const;
 
     /** Read only what would survive a crash right now. */
-    void
-    readDurable(Addr addr, void *dst, std::uint64_t size) const
-    {
-        durable.read(addr, dst, size);
-    }
+    void readDurable(Addr addr, void *dst, std::uint64_t size) const;
 
     /**
      * A writeback/clwb of this line was accepted by the controller at
@@ -223,6 +226,7 @@ class DurableStore
 
     BackingStore durable;
     AddrRange _range;
+    NvmMediaModel *media = nullptr;
     std::unordered_map<Addr, Line> pending;
     std::unordered_map<Addr, Inflight> inflight;
 };

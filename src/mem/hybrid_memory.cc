@@ -29,6 +29,11 @@ HybridMemory::HybridMemory(const HybridMemoryParams &params)
                   "DRAM capacity too small to boot the simulated OS");
     statGroup.addChild(_dramCtrl->stats());
     statGroup.addChild(_nvmCtrl->stats());
+    if (params.media.enabled()) {
+        _media = std::make_unique<NvmMediaModel>(_nvmRange, params.media);
+        nvmStore.attachMedia(_media.get());
+        statGroup.addChild(_media->stats());
+    }
 }
 
 MemCtrl &

@@ -16,9 +16,11 @@
 #include <memory>
 
 #include "base/stats.hh"
+#include "fault/fault.hh"
 #include "mem/backing_store.hh"
 #include "mem/bios_e820.hh"
 #include "mem/mem_ctrl.hh"
+#include "mem/nvm_media.hh"
 
 namespace kindle::mem
 {
@@ -34,6 +36,8 @@ struct HybridMemoryParams
      *  technologies (§V-D of the paper). */
     MemTimingParams dramTiming = ddr4_2400Params();
     MemTimingParams nvmTiming = pcmParams();
+    /** NVM media error/wear model (disabled when not enabled()). */
+    fault::MediaFaultPlan media{};
 };
 
 /** The flat-address hybrid memory: router + stores + controllers. */
@@ -117,6 +121,10 @@ class HybridMemory
     /** Legacy wholesale crash: write buffer treated as drained. */
     void crash();
 
+    /** The media reliability model, or null when not configured. */
+    NvmMediaModel *media() { return _media.get(); }
+    const NvmMediaModel *media() const { return _media.get(); }
+
     MemCtrl &dramCtrl() { return *_dramCtrl; }
     MemCtrl &nvmCtrl() { return *_nvmCtrl; }
     const MemCtrl &dramCtrl() const { return *_dramCtrl; }
@@ -134,6 +142,7 @@ class HybridMemory
 
     BackingStore dramStore;
     DurableStore nvmStore;
+    std::unique_ptr<NvmMediaModel> _media;
 
     std::unique_ptr<MemCtrl> _dramCtrl;
     std::unique_ptr<MemCtrl> _nvmCtrl;

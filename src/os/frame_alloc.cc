@@ -4,6 +4,7 @@
 
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "os/bad_frames.hh"
 
 namespace kindle::os
 {
@@ -52,18 +53,42 @@ FrameAllocator::persistBit(std::uint64_t index)
     kmem.writeBufDurable(word_addr, &word, 8, "alloc.bitmap_pre_fence");
 }
 
+bool
+FrameAllocator::isRetiredIndex(std::uint64_t index) const
+{
+    return badFrames &&
+           badFrames->isRetired(_zone.start() + (index << pageShift));
+}
+
 Addr
 FrameAllocator::alloc()
 {
-    std::uint64_t index;
-    if (!freeStack.empty()) {
-        index = freeStack.back();
-        freeStack.pop_back();
-    } else if (bumpNext < frameCount) {
-        index = bumpNext++;
-    } else {
+    const Addr frame = tryAlloc();
+    if (frame == invalidAddr) {
         kindle_fatal("{}: out of physical frames ({} in zone)", _name,
                      frameCount);
+    }
+    return frame;
+}
+
+Addr
+FrameAllocator::tryAlloc()
+{
+    std::uint64_t index;
+    for (;;) {
+        if (!freeStack.empty()) {
+            index = freeStack.back();
+            freeStack.pop_back();
+        } else if (bumpNext < frameCount) {
+            index = bumpNext++;
+        } else {
+            return invalidAddr;
+        }
+        if (!isRetiredIndex(index))
+            break;
+        // A frame retired while sitting in the pool: drop it on the
+        // floor, permanently.
+        ++retiredOut;
     }
     kindle_assert(!used[index], "{}: double allocation", _name);
     used[index] = true;
@@ -82,7 +107,14 @@ FrameAllocator::free(Addr frame)
     used[index] = false;
     --usedCount;
     ++frees;
-    freeStack.push_back(index);
+    if (isRetiredIndex(index)) {
+        // Freed after retirement (the migration path): the bitmap bit
+        // clears so recovery sees it unallocated, but the frame never
+        // re-enters the pool.
+        ++retiredOut;
+    } else {
+        freeStack.push_back(index);
+    }
     persistBit(index);
 }
 
@@ -98,6 +130,7 @@ FrameAllocator::recoverFromBitmap()
     kindle_assert(persistent(),
                   "{}: recovery on a volatile allocator", _name);
     usedCount = 0;
+    retiredOut = 0;
     freeStack.clear();
     bumpNext = frameCount;  // everything below is governed by the bitmap
     const std::uint64_t words = divCeil(frameCount, 64);
@@ -107,10 +140,15 @@ FrameAllocator::recoverFromBitmap()
         const bool bit_set =
             (image[i / 64] >> (i % 64)) & 1;
         used[i] = bit_set;
-        if (bit_set)
+        if (bit_set) {
+            // Retired-but-allocated frames count as used until the
+            // post-recovery migration frees them.
             ++usedCount;
-        else
+        } else if (isRetiredIndex(i)) {
+            ++retiredOut;
+        } else {
             freeStack.push_back(i);
+        }
     }
     // Allocate low frames first after recovery, matching boot order.
     std::reverse(freeStack.begin(), freeStack.end());

@@ -23,6 +23,8 @@
 namespace kindle::os
 {
 
+class BadFrameTable;
+
 /** A frame-granular allocator over one physical zone. */
 class FrameAllocator
 {
@@ -37,8 +39,21 @@ class FrameAllocator
     FrameAllocator(std::string name, AddrRange zone, KernelMem &kmem,
                    Addr bitmap_addr = invalidAddr);
 
+    /**
+     * Consult @p table before handing out frames: retired frames are
+     * silently discarded from the pool as they surface.  May be null.
+     */
+    void setBadFrames(const BadFrameTable *table) { badFrames = table; }
+
     /** Allocate one frame; fatal on exhaustion. */
     Addr alloc();
+
+    /**
+     * Allocate one frame, or return invalidAddr when the zone is
+     * exhausted.  Callers with a fallback zone (the degraded MAP_NVM
+     * path) use this instead of alloc().
+     */
+    Addr tryAlloc();
 
     /** Return a frame to the pool. */
     void free(Addr frame);
@@ -48,6 +63,13 @@ class FrameAllocator
 
     std::uint64_t allocatedFrames() const { return usedCount; }
     std::uint64_t totalFrames() const { return frameCount; }
+
+    /** Frames still available for allocation (excludes retired). */
+    std::uint64_t
+    freeFrames() const
+    {
+        return frameCount - usedCount - retiredOut;
+    }
     const AddrRange &zone() const { return _zone; }
     bool persistent() const { return bitmapAddr != invalidAddr; }
 
@@ -74,16 +96,22 @@ class FrameAllocator
     std::uint64_t frameIndex(Addr frame) const;
     void persistBit(std::uint64_t index);
 
+    /** True iff frame @p index must never be handed out again. */
+    bool isRetiredIndex(std::uint64_t index) const;
+
     std::string _name;
     AddrRange _zone;
     KernelMem &kmem;
     Addr bitmapAddr;
+    const BadFrameTable *badFrames = nullptr;
 
     std::uint64_t frameCount;
     std::vector<bool> used;
     std::vector<std::uint64_t> freeStack;  ///< recycled frames
     std::uint64_t bumpNext = 0;            ///< next never-used frame
     std::uint64_t usedCount = 0;
+    /** Frames dropped from the pool because they are retired. */
+    std::uint64_t retiredOut = 0;
 
     statistics::StatGroup statGroup;
     statistics::Scalar &allocs;

@@ -5,6 +5,7 @@
 #include "base/intmath.hh"
 #include "base/logging.hh"
 #include "base/trace_flags.hh"
+#include "os/bad_frames.hh"
 
 namespace kindle::os
 {
@@ -27,7 +28,14 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
       faultsServiced(statGroup.addScalar("pageFaults",
                                          "demand-paging faults")),
       opsExecuted(statGroup.addScalar("opsExecuted",
-                                      "program ops dispatched"))
+                                      "program ops dispatched")),
+      nvmFramesRetired(statGroup.addScalar(
+          "nvmFramesRetired", "NVM frames durably retired as bad")),
+      nvmPagesMigrated(statGroup.addScalar(
+          "nvmPagesMigrated", "live pages rescued off retired frames")),
+      nvmDegradedAllocs(statGroup.addScalar(
+          "nvmDegradedAllocs",
+          "MAP_NVM allocations degraded to DRAM (zone low/exhausted)"))
 {
     // DRAM frames: everything above the kernel-image reserve.
     const AddrRange dram_zone(
@@ -43,6 +51,13 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
     nvmAlloc = std::make_unique<FrameAllocator>(
         "nvmAlloc", nvm_zone, kernelMem, layout.allocBitmap);
 
+    // The bad-frame table is adopted from durable media before any
+    // frame can be handed out: retirement is forever, crash or not.
+    badFrames_ = std::make_unique<BadFrameTable>(
+        memory.nvmRange(), kernelMem, layout.badFrameBitmap);
+    badFrames_->loadFromNvm();
+    nvmAlloc->setBadFrames(badFrames_.get());
+
     FrameAllocator &table_zone =
         params.ptInNvm ? *nvmAlloc : *dramAlloc;
     ptMgr = std::make_unique<PageTableManager>(kernelMem, table_zone,
@@ -52,6 +67,7 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
 
     statGroup.addChild(dramAlloc->stats());
     statGroup.addChild(nvmAlloc->stats());
+    statGroup.addChild(badFrames_->stats());
     statGroup.addChild(ptMgr->stats());
 }
 
@@ -509,20 +525,135 @@ Kernel::handlePageFault(Addr vaddr, bool is_write)
     if (existing.present())
         return true;
 
-    const Addr frame = (vma->nvm ? *nvmAlloc : *dramAlloc).alloc();
+    Addr frame = invalidAddr;
+    bool frame_nvm = vma->nvm;
+    if (vma->nvm) {
+        // Graceful degradation: keep a reserve of NVM frames for
+        // retirement migrations, and when the zone is low or empty
+        // fall back to DRAM rather than killing the machine.  The
+        // page loses durability (it is not entered in the mapping
+        // list), which is the honest semantics of not having NVM to
+        // put it on — the stat is the loud part.
+        if (nvmAlloc->freeFrames() > _params.nvmReserveFrames)
+            frame = nvmAlloc->tryAlloc();
+        if (frame == invalidAddr) {
+            frame = dramAlloc->alloc();
+            frame_nvm = false;
+            ++nvmDegradedAllocs;
+            trace::dprintf(trace::Flag::syscall, sim.now(),
+                           "pid {} MAP_NVM fault at {} degraded to "
+                           "DRAM ({} NVM frames free)",
+                           proc->pid, vaddr, nvmAlloc->freeFrames());
+        }
+    } else {
+        frame = dramAlloc->alloc();
+    }
     // Demand-zero the fresh frame (a streaming device write; NVM
     // frames pay NVM write bandwidth, a large part of the first-touch
     // cost on persistent-memory systems).
     sim.bump(memory.submit({mem::MemCmd::bulkWrite, frame, pageSize},
                            sim.now()));
     ptMgr->map(proc->ptRoot, page, frame,
-               (vma->prot & cpu::protWrite) != 0, vma->nvm);
+               (vma->prot & cpu::protWrite) != 0, frame_nvm);
     for (auto *l : listeners)
-        l->onFrameMapped(*proc, page, frame, vma->nvm);
+        l->onFrameMapped(*proc, page, frame, frame_nvm);
     trace::dprintf(trace::Flag::syscall, sim.now(),
                    "pid {} fault at {} -> frame {}", proc->pid, vaddr,
                    frame);
     return true;
+}
+
+void
+Kernel::retireNvmFrame(Addr frame, const char *reason)
+{
+    const Addr bad = roundDown(frame, pageSize);
+    kindle_assert(memory.nvmRange().contains(bad),
+                  "retiring non-NVM frame {}", bad);
+    if (!badFrames_->retire(bad))
+        return;  // already retired; migration already happened
+    ++nvmFramesRetired;
+    trace::dprintf(trace::Flag::vma, sim.now(),
+                   "retiring NVM frame {} ({})", bad, reason);
+
+    // Anything outside the user pool (metadata regions, PT frames in
+    // the persistent scheme) cannot be migrated here; the durable bit
+    // alone is the protection — recovery quarantines whatever durable
+    // structure sat on it.
+    if (!nvmAlloc->zone().contains(bad) || !nvmAlloc->isAllocated(bad)) {
+        for (auto *l : listeners)
+            l->onFrameRetired(nullptr, invalidAddr, bad, invalidAddr);
+        return;
+    }
+
+    // Find the live mapping (if any) and rescue it.  hscc-remapped
+    // leaves point at DRAM cache pages, never directly at NVM homes,
+    // so a plain frame match is sufficient.
+    struct Victim
+    {
+        Process *proc;
+        Addr vaddr;
+        bool writable;
+    };
+    std::vector<Victim> victims;
+    for (const auto &p : procs) {
+        if (p->state == ProcState::zombie || p->ptRoot == invalidAddr)
+            continue;
+        ptMgr->forEachLeaf(p->ptRoot,
+                           [&](Addr va, cpu::Pte pte, Addr) {
+                               if (pte.present() && pte.nvmBacked() &&
+                                   !pte.hsccRemapped() &&
+                                   pte.frameAddr() == bad) {
+                                   victims.push_back(
+                                       {p.get(), va, pte.writable()});
+                               }
+                           });
+    }
+
+    for (const Victim &v : victims) {
+        // A fresh NVM frame if one exists (the reserve is exactly for
+        // this), DRAM as the last resort.
+        Addr repl = nvmAlloc->tryAlloc();
+        bool repl_nvm = true;
+        if (repl == invalidAddr) {
+            repl = dramAlloc->alloc();
+            repl_nvm = false;
+            ++nvmDegradedAllocs;
+        }
+        // The copy reads through ECC (functional latest + correction);
+        // an NVM destination lands durably.
+        kernelMem.copyPage(repl, bad, true);
+        // Remap under the active PT-consistency scheme: the unmap and
+        // map go through the policy proxy exactly like any other PTE
+        // mutation, and the listeners keep the durable mapping list
+        // in step.
+        ptMgr->unmap(v.proc->ptRoot, v.vaddr);
+        for (auto *l : listeners)
+            l->onFrameUnmapped(*v.proc, v.vaddr, bad, true);
+        ptMgr->map(v.proc->ptRoot, v.vaddr, repl, v.writable,
+                   repl_nvm);
+        for (auto *l : listeners)
+            l->onFrameMapped(*v.proc, v.vaddr, repl, repl_nvm);
+        for (auto *l : listeners)
+            l->onFrameRetired(v.proc, v.vaddr, bad, repl);
+        cpuCore.tlb().invalidate(v.proc->pid, cpu::vpnOf(v.vaddr));
+        ++nvmPagesMigrated;
+        trace::dprintf(trace::Flag::vma, sim.now(),
+                       "pid {} page {} migrated off bad frame {} -> "
+                       "{} ({})", v.proc->pid, v.vaddr, bad, repl,
+                       repl_nvm ? "nvm" : "dram");
+    }
+
+    if (victims.empty()) {
+        // Allocated but unmapped (e.g. mid-protocol): nothing to
+        // rescue, and the owner still holds the allocation.
+        for (auto *l : listeners)
+            l->onFrameRetired(nullptr, invalidAddr, bad, invalidAddr);
+        return;
+    }
+
+    // The bitmap bit clears durably; the retired frame never returns
+    // to the free pool.
+    nvmAlloc->free(bad);
 }
 
 void

@@ -30,6 +30,8 @@
 namespace kindle::os
 {
 
+class BadFrameTable;
+
 /** Kernel configuration. */
 struct KernelParams
 {
@@ -41,6 +43,12 @@ struct KernelParams
                            ///  scheme) instead of DRAM (rebuild)
     /** DRAM reserved below this for the kernel image. */
     std::uint64_t kernelReserveBytes = 16 * oneMiB;
+    /**
+     * Keep this many NVM frames in reserve for retirement migrations;
+     * MAP_NVM demand faults degrade to DRAM once the free pool dips
+     * to the reserve (rather than failing outright).
+     */
+    std::uint64_t nvmReserveFrames = 8;
 };
 
 /** The kernel. */
@@ -102,6 +110,20 @@ class Kernel : public cpu::FaultHandler
     /** cpu::FaultHandler: demand paging. */
     bool handlePageFault(Addr vaddr, bool is_write) override;
 
+    /**
+     * Durably retire the NVM frame containing @p frame (reported by
+     * the scrubber as uncorrectable or endurance-exhausted) and
+     * migrate any live page mapped on it to a fresh frame — NVM when
+     * the pool has one, DRAM otherwise.  Idempotent: re-retiring an
+     * already-retired frame is a no-op, so a crash between the durable
+     * bit and the migration replays cleanly.
+     */
+    void retireNvmFrame(Addr frame, const char *reason);
+
+    /** The persistent bad-frame registry. */
+    BadFrameTable &badFrameTable() { return *badFrames_; }
+    const BadFrameTable &badFrameTable() const { return *badFrames_; }
+
     /** @name Persistence / prototype integration. */
     /// @{
     void addListener(OsEventListener *listener);
@@ -162,6 +184,7 @@ class Kernel : public cpu::FaultHandler
 
     std::unique_ptr<FrameAllocator> dramAlloc;
     std::unique_ptr<FrameAllocator> nvmAlloc;
+    std::unique_ptr<BadFrameTable> badFrames_;
 
     PlainPtWrite plainPtWrite;
     PolicyProxy policyProxy;
@@ -179,6 +202,9 @@ class Kernel : public cpu::FaultHandler
     statistics::Scalar &contextSwitches;
     statistics::Scalar &faultsServiced;
     statistics::Scalar &opsExecuted;
+    statistics::Scalar &nvmFramesRetired;
+    statistics::Scalar &nvmPagesMigrated;
+    statistics::Scalar &nvmDegradedAllocs;
 };
 
 } // namespace kindle::os

@@ -33,6 +33,12 @@ struct NvmLayout
     Addr allocBitmap = 0;           ///< persistent frame bitmap
     std::uint64_t allocBitmapBytes = 0;
 
+    /** Persistent bad-frame bitmap.  One bit per frame of the *whole*
+     *  device — metadata regions can wear out too, and recovery must
+     *  be able to quarantine a saved-state slot whose frames died. */
+    Addr badFrameBitmap = 0;
+    std::uint64_t badFrameBitmapBytes = 0;
+
     Addr savedStateDir = 0;         ///< maxProcs fixed-size slots
     std::uint64_t savedStateBytes = 0;
 
@@ -77,6 +83,10 @@ struct NvmLayout
         l.allocBitmap = cursor;
         l.allocBitmapBytes = roundUp(divCeil(frames, 8), pageSize);
         cursor += l.allocBitmapBytes;
+
+        l.badFrameBitmap = cursor;
+        l.badFrameBitmapBytes = roundUp(divCeil(frames, 8), pageSize);
+        cursor += l.badFrameBitmapBytes;
 
         l.savedStateDir = cursor;
         l.savedStateBytes = maxProcs * savedStateSlotBytes;

@@ -79,6 +79,22 @@ class OsEventListener
         return false;
     }
 
+    /**
+     * An NVM frame was durably retired.  When a live page sat on it,
+     * @p proc / @p vaddr / @p new_frame describe the migration that
+     * rescued it (@p new_frame may be a DRAM frame when the NVM zone
+     * was exhausted); for an unmapped frame @p proc is null.
+     */
+    virtual void
+    onFrameRetired(Process *proc, Addr vaddr, Addr bad_frame,
+                   Addr new_frame)
+    {
+        (void)proc;
+        (void)vaddr;
+        (void)bad_frame;
+        (void)new_frame;
+    }
+
     virtual void
     onContextSwitch(Process *from, Process *to)
     {

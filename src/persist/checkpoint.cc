@@ -323,6 +323,23 @@ PersistDomain::onFrameUnmapped(os::Process &proc, Addr vaddr,
 }
 
 void
+PersistDomain::onFrameRetired(os::Process *proc, Addr vaddr,
+                              Addr bad_frame, Addr new_frame)
+{
+    // The retirement itself is already durable (bad-frame bitmap) and
+    // the migration flowed through onFrameUnmapped/onFrameMapped; the
+    // redo record is the audit trail recovery tooling can replay.
+    RedoRecord rec;
+    rec.type = RedoType::frameRetired;
+    rec.pid = proc ? proc->pid : 0;
+    rec.a = bad_frame;
+    rec.b = new_frame;
+    rec.c = vaddr;
+    metaLog->append(rec);
+    ++redoRecords;
+}
+
+void
 PersistDomain::checkpointNow()
 {
     sim::Simulation &sim = kernel.simulation();

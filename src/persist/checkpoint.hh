@@ -103,6 +103,8 @@ class PersistDomain : public os::OsEventListener
                        bool nvm) override;
     void onFrameUnmapped(os::Process &proc, Addr vaddr, Addr frame,
                          bool nvm) override;
+    void onFrameRetired(os::Process *proc, Addr vaddr, Addr bad_frame,
+                        Addr new_frame) override;
     void onFaseStart(os::Process &proc) override;
     void onFaseEnd(os::Process &proc) override;
     /// @}

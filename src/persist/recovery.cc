@@ -6,6 +6,8 @@
 #include "base/str.hh"
 #include "base/trace_flags.hh"
 #include "cpu/pagetable_defs.hh"
+#include "fault/fault.hh"
+#include "os/bad_frames.hh"
 #include "persist/pt_policy.hh"
 #include "persist/redo_log.hh"
 
@@ -73,6 +75,8 @@ recoveryErrorName(RecoveryErrorCode code)
         return "redoLogHeaderCorrupt";
       case RecoveryErrorCode::redoLogTruncatedTail:
         return "redoLogTruncatedTail";
+      case RecoveryErrorCode::retiredFrameDamage:
+        return "retiredFrameDamage";
     }
     return "?";
 }
@@ -91,11 +95,20 @@ recover(os::Kernel &kernel, PtScheme scheme)
             RecoveryError{code, slot, std::move(detail)});
     };
 
+    // 0. Adopt the bad-frame list first: every later judgement about
+    //    durable bytes must know which frames the media has lost.
+    //    (The kernel constructor already loaded it; re-reading here
+    //    keeps recovery self-contained and idempotent.)
+    os::BadFrameTable &bad = kernel.badFrameTable();
+    bad.loadFromNvm();
+    report.retiredFrames = bad.retiredCount();
+
     // 1. Frame allocator state survives in the durable bitmap.
     kernel.nvmAllocator().recoverFromBitmap();
     std::unordered_set<Addr> allocated;
     kernel.nvmAllocator().forEachAllocated(
         [&](Addr frame) { allocated.insert(frame); });
+    KINDLE_CRASH_SITE("recover.after_bitmap");
 
     // 1a. Audit the surviving metadata redo log.  The consistent
     //     checkpoint copies make replay unnecessary, but a torn tail
@@ -114,6 +127,7 @@ recover(os::Kernel &kernel, PtScheme scheme)
                         scan.records.size()));
         }
     }
+    KINDLE_CRASH_SITE("recover.after_log_audit");
 
     // 1b. Persistent scheme: repair any wrapped page-table store the
     //     crash tore mid-writeback, before the tables are trusted.
@@ -123,6 +137,7 @@ recover(os::Kernel &kernel, PtScheme scheme)
         const PtUndoReport undo = recoverPtUndoLog(
             kernel.kmem(), layout.redoLog + half, half);
         report.tornPtStoresRolledBack = undo.tornStoresRolledBack;
+        KINDLE_CRASH_SITE("recover.after_pt_rollback");
     }
 
     std::unordered_set<Addr> live_frames;
@@ -144,7 +159,18 @@ recover(os::Kernel &kernel, PtScheme scheme)
             fail(code, idx, std::move(detail));
             slot.quarantine();
             ++report.processesQuarantined;
+            KINDLE_CRASH_SITE("recover.after_quarantine");
         };
+
+        // A slot whose frames the media lost cannot be trusted even
+        // if its checksums happen to validate (ECC may still be
+        // correcting, but the frame is on its way out).
+        if (bad.anyRetired(kernel.nvmLayout().slotAddr(idx),
+                           os::savedStateSlotBytes)) {
+            quarantine(RecoveryErrorCode::retiredFrameDamage,
+                       "saved-state slot sits on a retired frame");
+            continue;
+        }
 
         if (hdr_status != ImageStatus::ok) {
             quarantine(RecoveryErrorCode::headerChecksumMismatch,
@@ -178,6 +204,13 @@ recover(os::Kernel &kernel, PtScheme scheme)
 
         std::vector<MappingEntry> mappings;
         if (!persistent) {
+            if (bad.anyRetired(kernel.nvmLayout().mappingListAddr(idx),
+                               hdr.mappingCount *
+                                   sizeof(MappingEntry))) {
+                quarantine(RecoveryErrorCode::retiredFrameDamage,
+                           "mapping list sits on a retired frame");
+                continue;
+            }
             const ImageStatus map_status =
                 slot.readMappingList(hdr, mappings);
             if (map_status != ImageStatus::ok) {
@@ -191,6 +224,11 @@ recover(os::Kernel &kernel, PtScheme scheme)
                        hdr.ptRoot)) {
             quarantine(RecoveryErrorCode::danglingMapping,
                        csprintf("pt root {} outside NVM", hdr.ptRoot));
+            continue;
+        } else if (bad.isRetired(hdr.ptRoot)) {
+            quarantine(RecoveryErrorCode::retiredFrameDamage,
+                       csprintf("pt root {} on a retired frame",
+                              hdr.ptRoot));
             continue;
         }
 
@@ -228,6 +266,16 @@ recover(os::Kernel &kernel, PtScheme scheme)
                     ++report.mappingsDropped;
                     continue;
                 }
+                if (bad.isRetired(frame)) {
+                    // The data page itself died between checkpoint
+                    // and crash; remapping it would hand the process
+                    // uncorrectable garbage.
+                    fail(RecoveryErrorCode::retiredFrameDamage, idx,
+                         csprintf("vpn {} -> retired frame {}",
+                                m.vpn, frame));
+                    ++report.mappingsDropped;
+                    continue;
+                }
                 kernel.pageTables().map(
                     proc.ptRoot, m.vpn << pageShift, frame,
                     /*writable=*/true, /*nvm_backed=*/true);
@@ -241,12 +289,14 @@ recover(os::Kernel &kernel, PtScheme scheme)
         trace::dprintf(trace::Flag::recovery, sim.now(),
                        "recovered pid {} ({} VMAs)", proc.pid,
                        ctx.vmaCount);
+        KINDLE_CRASH_SITE("recover.after_slot_restore");
     }
 
     // 4. Reclaim NVM frames that were allocated after the last
     //    checkpoint (present in the bitmap, reachable from nothing).
     //    Quarantined slots contribute here too: their frames are no
     //    longer reachable and return to the allocator.
+    KINDLE_CRASH_SITE("recover.before_reclaim");
     std::vector<Addr> leaked;
     kernel.nvmAllocator().forEachAllocated([&](Addr frame) {
         if (!live_frames.count(frame))
@@ -256,6 +306,7 @@ recover(os::Kernel &kernel, PtScheme scheme)
         kernel.nvmAllocator().free(frame);
     report.framesReclaimed = leaked.size();
 
+    KINDLE_CRASH_SITE("recover.complete");
     report.recoveryTicks = sim.now() - t0;
     return report;
 }

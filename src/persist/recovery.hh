@@ -47,6 +47,7 @@ enum class RecoveryErrorCode
     schemeMismatch,           ///< slot checkpointed under another scheme
     redoLogHeaderCorrupt,     ///< metadata log header unreadable
     redoLogTruncatedTail,     ///< metadata log ends in a torn record
+    retiredFrameDamage,       ///< durable state sits on a retired frame
 };
 
 const char *recoveryErrorName(RecoveryErrorCode code);
@@ -69,6 +70,7 @@ struct RecoveryReport
     std::uint64_t framesReclaimed = 0;   ///< post-checkpoint leaks
     std::uint64_t tornPtStoresRolledBack = 0;  ///< persistent scheme
     std::uint64_t redoRecordsSurvived = 0;     ///< validated log tail
+    std::uint64_t retiredFrames = 0;   ///< bad-frame list population
     Tick recoveryTicks = 0;              ///< simulated recovery time
     std::vector<RecoveryError> errors;   ///< full taxonomy
 

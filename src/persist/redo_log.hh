@@ -36,6 +36,7 @@ enum class RedoType : std::uint32_t
     vmaRemoved,
     cpuState,
     faseMark,
+    frameRetired,  ///< bad NVM frame retired; payload: bad, new, vaddr
 };
 
 /** One 64-byte log record. */

@@ -42,6 +42,7 @@ class Event
         migration = 1, ///< HSCC migration interval
         consolidate = 2, ///< SSP consolidation thread
         sched = 3,     ///< scheduler timeslice
+        scrub = 4,     ///< NVM patrol scrubber pass
         deflt = 10,
     };
 

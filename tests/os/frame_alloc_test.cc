@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "os/bad_frames.hh"
 #include "os/frame_alloc.hh"
 #include "os/nvm_layout.hh"
 
@@ -16,7 +17,10 @@ struct Rig
         : memory([] {
               mem::HybridMemoryParams p;
               p.dramBytes = 64 * oneMiB;
-              p.nvmBytes = 64 * oneMiB;
+              // Large enough that NvmLayout's metadata carve leaves a
+              // user pool *inside* the device (BadFrameTable asserts
+              // device bounds, unlike the allocator).
+              p.nvmBytes = 256 * oneMiB;
               return p;
           }()),
           hier(cache::HierarchyParams{}, memory),
@@ -129,6 +133,91 @@ TEST(FrameAllocTest, ForEachAllocatedVisitsExactly)
     alloc.forEachAllocated([&](Addr f) { seen.push_back(f); });
     ASSERT_EQ(seen.size(), 1u);
     EXPECT_EQ(seen[0], b);
+}
+
+TEST(FrameAllocTest, RetiredFramesAreNeverHandedOut)
+{
+    Rig rig;
+    const AddrRange zone =
+        AddrRange::withSize(rig.layout.userPool, 4 * pageSize);
+    BadFrameTable bad(rig.memory.nvmRange(), rig.kmem,
+                      rig.layout.badFrameBitmap);
+    FrameAllocator alloc("t", zone, rig.kmem,
+                         rig.layout.allocBitmap);
+    alloc.setBadFrames(&bad);
+
+    // Retire the zone's first frame before any allocation: the
+    // allocator must step over it and still serve the healthy three.
+    ASSERT_TRUE(bad.retire(zone.start()));
+    for (int i = 0; i < 3; ++i) {
+        const Addr f = alloc.tryAlloc();
+        ASSERT_NE(f, invalidAddr);
+        EXPECT_NE(f, zone.start());
+    }
+    EXPECT_EQ(alloc.tryAlloc(), invalidAddr);
+    EXPECT_EQ(alloc.freeFrames(), 0u);
+}
+
+TEST(FrameAllocTest, FreeOfRetiredFrameIsNotRecycled)
+{
+    Rig rig;
+    const AddrRange zone =
+        AddrRange::withSize(rig.layout.userPool, 2 * pageSize);
+    BadFrameTable bad(rig.memory.nvmRange(), rig.kmem,
+                      rig.layout.badFrameBitmap);
+    FrameAllocator alloc("t", zone, rig.kmem,
+                         rig.layout.allocBitmap);
+    alloc.setBadFrames(&bad);
+
+    // A frame that wears out *while mapped* is retired first and
+    // freed later (after migration); the free must quarantine it
+    // instead of pushing it back on the free stack.
+    const Addr victim = alloc.tryAlloc();
+    ASSERT_NE(victim, invalidAddr);
+    ASSERT_TRUE(bad.retire(victim));
+    alloc.free(victim);
+    EXPECT_FALSE(alloc.isAllocated(victim));
+    EXPECT_EQ(alloc.freeFrames(), 1u);
+    const Addr next = alloc.tryAlloc();
+    ASSERT_NE(next, invalidAddr);
+    EXPECT_NE(next, victim);
+    EXPECT_EQ(alloc.tryAlloc(), invalidAddr);
+}
+
+TEST(FrameAllocTest, BitmapRecoveryRespectsRetirements)
+{
+    Rig rig;
+    const AddrRange zone =
+        AddrRange::withSize(rig.layout.userPool, 4 * pageSize);
+    BadFrameTable bad(rig.memory.nvmRange(), rig.kmem,
+                      rig.layout.badFrameBitmap);
+    Addr live = 0;
+    {
+        FrameAllocator alloc("t", zone, rig.kmem,
+                             rig.layout.allocBitmap);
+        alloc.setBadFrames(&bad);
+        live = alloc.tryAlloc();
+        const Addr unallocated_bad = alloc.tryAlloc();
+        alloc.free(unallocated_bad);
+        ASSERT_TRUE(bad.retire(unallocated_bad));
+    }
+
+    rig.memory.crash();
+
+    BadFrameTable bad2(rig.memory.nvmRange(), rig.kmem,
+                       rig.layout.badFrameBitmap);
+    bad2.loadFromNvm();
+    EXPECT_EQ(bad2.retiredCount(), 1u);
+    FrameAllocator fresh("t", zone, rig.kmem,
+                         rig.layout.allocBitmap);
+    fresh.setBadFrames(&bad2);
+    fresh.recoverFromBitmap();
+    EXPECT_TRUE(fresh.isAllocated(live));
+    // 4 frames, 1 live, 1 retired-while-free: 2 remain allocatable.
+    EXPECT_EQ(fresh.freeFrames(), 2u);
+    EXPECT_NE(fresh.tryAlloc(), invalidAddr);
+    EXPECT_NE(fresh.tryAlloc(), invalidAddr);
+    EXPECT_EQ(fresh.tryAlloc(), invalidAddr);
 }
 
 TEST(FrameAllocTest, VolatileRecoveryPanics)
