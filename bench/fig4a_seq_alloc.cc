@@ -68,7 +68,7 @@ main(int argc, char **argv)
             makeScenario(persist::PtScheme::rebuild, bytes));
     }
 
-    runner::SweepRunner pool(opts.jobs);
+    runner::SweepRunner pool(opts);
     const auto results = pool.run(scenarios);
     requireAllOk(results);
 

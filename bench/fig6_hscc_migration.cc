@@ -55,7 +55,7 @@ main(int argc, char **argv)
         }
     }
 
-    runner::SweepRunner pool(opts.jobs);
+    runner::SweepRunner pool(opts);
     const auto results = pool.run(scenarios);
     requireAllOk(results);
 

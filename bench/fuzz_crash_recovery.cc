@@ -39,12 +39,21 @@
  *   --seed N         sweep seed (KINDLE_FUZZ_SEED)
  *   --media-faults   arm the media error model + scrubber
  *   --filter STR     run only points whose name contains STR
+ *   --force-divergence
+ *                    count every point as an oracle divergence — a
+ *                    self-test that the failure path (flight-recorder
+ *                    dump + repro line + nonzero exit) works
  *
  * Every FAILED point prints a one-line `repro:` command that re-runs
- * just that point single-threaded.
+ * just that point single-threaded, and dumps the system's flight
+ * recorder (last N trace records + crash site + fault plan) as
+ * FLIGHT_fuzz.<scheme>.<point>.json — or to the --flight-out routing
+ * when given — so a divergence leaves a timeline of the moments before
+ * the crash even when it cannot be reproduced interactively.
  */
 
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <set>
 #include <utility>
@@ -68,6 +77,7 @@ struct FuzzOptions
     std::uint64_t points;
     std::uint64_t seed;
     bool mediaFaults = false;
+    bool forceDivergence = false;
     std::string filter;
 };
 
@@ -221,10 +231,39 @@ makePoints(const Golden &g, std::uint64_t total, std::uint64_t seed)
     return pts;
 }
 
+/**
+ * Write the flight recorder for a diverged point.  The dump goes to
+ * the path the --flight-out routing configured for this system, or to
+ * FLIGHT_fuzz.<point>.json in the working directory as a fallback —
+ * a divergence must always leave its timeline behind.
+ */
+void
+dumpDivergence(KindleSystem &sys, const std::string &point_name)
+{
+    std::string path = sys.traceSink().params().flightDumpPath;
+    if (path.empty()) {
+        std::string safe = point_name;
+        for (char &c : safe) {
+            if (c == '/')
+                c = '.';
+        }
+        path = "FLIGHT_fuzz." + safe + ".json";
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write flight dump to %s\n",
+                     path.c_str());
+        return;
+    }
+    sys.dumpFlightRecorder(out, "oracle-divergence");
+    std::printf("flight recorder: %s\n", path.c_str());
+}
+
 runner::Scenario
 makeScenario(persist::PtScheme scheme, const Point &point,
-             const Golden &golden, bool media_faults)
+             const Golden &golden, const FuzzOptions &fz)
 {
+    const bool media_faults = fz.mediaFaults;
     const std::string scheme_name = persist::ptSchemeName(scheme);
     runner::Scenario sc;
     sc.name = scheme_name + "/" + point.label;
@@ -236,7 +275,8 @@ makeScenario(persist::PtScheme scheme, const Point &point,
     sc.config.fault = point.plan;
     if (media_faults)
         sc.config.fault->media = mediaPlan();
-    sc.drive = [oracle = &golden.committed](
+    sc.drive = [oracle = &golden.committed, name = sc.name,
+                force = fz.forceDivergence](
                    KindleSystem &sys,
                    statistics::StatSnapshot &extra) -> Tick {
         const Tick t0 = sys.now();
@@ -261,6 +301,10 @@ makeScenario(persist::PtScheme scheme, const Point &point,
                     {proc->context.rip, proc->aspace.mappedBytes()}))
                 ++divergences;
         }
+        if (force)
+            ++divergences;
+        if (divergences > 0)
+            dumpDivergence(sys, name);
 
         // The recovered machine must still be able to checkpoint.
         bool post_ok = true;
@@ -317,6 +361,8 @@ parseFuzzOptions(int argc, char **argv, std::vector<char *> &pass_argv)
             fz.seed = numeric("--seed");
         } else if (std::strcmp(argv[i], "--media-faults") == 0) {
             fz.mediaFaults = true;
+        } else if (std::strcmp(argv[i], "--force-divergence") == 0) {
+            fz.forceDivergence = true;
         } else if (std::strcmp(argv[i], "--filter") == 0) {
             if (i + 1 >= argc)
                 kindle_fatal("--filter needs a value");
@@ -388,7 +434,7 @@ main(int argc, char **argv)
         std::vector<runner::Scenario> scenarios;
         scenarios.reserve(points.size());
         for (const auto &p : points) {
-            auto sc = makeScenario(scheme, p, golden, fz.mediaFaults);
+            auto sc = makeScenario(scheme, p, golden, fz);
             if (!fz.filter.empty() &&
                 sc.name.find(fz.filter) == std::string::npos) {
                 continue;
@@ -396,7 +442,7 @@ main(int argc, char **argv)
             scenarios.push_back(std::move(sc));
         }
 
-        runner::SweepRunner pool(opts.jobs);
+        runner::SweepRunner pool(opts);
         const auto results = pool.run(scenarios);
         requireAllOk(results);
         report.add(results);

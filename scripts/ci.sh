@@ -37,7 +37,8 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread"
     cmake --build build-tsan -j "${JOBS}" \
-        --target test_runner test_fault test_persist
+        --target test_runner test_fault test_persist test_trace \
+        fig4a_seq_alloc
     # The runner tests exercise every cross-thread path: the work
     # queue, result placement, and the shared trace-flag/error-mode
     # globals that concurrent KindleSystem instances touch.
@@ -49,6 +50,31 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     # run them whole under TSan as well.
     ./build-tsan/tests/test_fault
     ./build-tsan/tests/test_persist
+    # The trace suite covers the thread-local sink routing the sweep
+    # workers rely on for interleaving-free per-scenario traces.
+    ./build-tsan/tests/test_trace
+
+    echo "=== Traced sweep under TSan + JSON well-formedness smoke ==="
+    # Two concurrent workers, tracing on: each scenario must land in
+    # its own file, every file must be valid Chrome trace JSON, and
+    # payload events must be chronologically sorted.
+    TRACE_DIR=$(mktemp -d)
+    KINDLE_SCALE=4 ./build-tsan/bench/fig4a_seq_alloc --jobs 2 \
+        --trace-out "${TRACE_DIR}"
+    python3 - "${TRACE_DIR}" <<'PY'
+import json, pathlib, sys
+d = pathlib.Path(sys.argv[1])
+files = sorted(d.glob("*.trace.json"))
+assert len(files) >= 2, f"expected >=2 per-scenario traces, got {files}"
+for f in files:
+    doc = json.loads(f.read_text())
+    events = doc["traceEvents"]
+    assert events, f"{f}: empty traceEvents"
+    ts = [e["ts"] for e in events if e["ph"] != "M"]
+    assert ts == sorted(ts), f"{f}: events not chronological"
+print(f"trace smoke: {len(files)} per-scenario files well-formed")
+PY
+    rm -rf "${TRACE_DIR}" BENCH_fig4a_seq_alloc.json
 fi
 
 echo "ci.sh: all checks passed"

@@ -5,16 +5,40 @@
 namespace kindle::statistics
 {
 
+void
+StatGroup::checkNameFree(const std::string &stat_name) const
+{
+    const char *kind = nullptr;
+    if (scalars.count(stat_name))
+        kind = "scalar";
+    else if (gauges.count(stat_name))
+        kind = "gauge";
+    else if (dists.count(stat_name))
+        kind = "distribution";
+    else if (hists.count(stat_name))
+        kind = "histogram";
+    if (kind) {
+        kindle_fatal("stat {}.{} already registered as a {}", _name,
+                     stat_name, kind);
+    }
+}
+
 Scalar &
 StatGroup::addScalar(const std::string &stat_name, const std::string &desc)
 {
-    if (dists.count(stat_name)) {
-        kindle_fatal("stat {}.{} already registered as a distribution",
-                     _name, stat_name);
-    }
+    checkNameFree(stat_name);
     auto [it, inserted] = scalars.try_emplace(stat_name);
-    if (!inserted)
-        kindle_fatal("duplicate scalar stat {}.{}", _name, stat_name);
+    (void)inserted;
+    it->second.desc = desc;
+    return it->second.stat;
+}
+
+Gauge &
+StatGroup::addGauge(const std::string &stat_name, const std::string &desc)
+{
+    checkNameFree(stat_name);
+    auto [it, inserted] = gauges.try_emplace(stat_name);
+    (void)inserted;
     it->second.desc = desc;
     return it->second.stat;
 }
@@ -23,15 +47,20 @@ Distribution &
 StatGroup::addDistribution(const std::string &stat_name,
                            const std::string &desc)
 {
-    if (scalars.count(stat_name)) {
-        kindle_fatal("stat {}.{} already registered as a scalar",
-                     _name, stat_name);
-    }
+    checkNameFree(stat_name);
     auto [it, inserted] = dists.try_emplace(stat_name);
-    if (!inserted) {
-        kindle_fatal("duplicate distribution stat {}.{}", _name,
-                     stat_name);
-    }
+    (void)inserted;
+    it->second.desc = desc;
+    return it->second.stat;
+}
+
+Histogram &
+StatGroup::addHistogram(const std::string &stat_name,
+                        const std::string &desc)
+{
+    checkNameFree(stat_name);
+    auto [it, inserted] = hists.try_emplace(stat_name);
+    (void)inserted;
     it->second.desc = desc;
     return it->second.stat;
 }
@@ -69,12 +98,30 @@ StatGroup::scalarValue(const std::string &stat_name) const
     return it->second.stat.value();
 }
 
+double
+StatGroup::gaugeValue(const std::string &stat_name) const
+{
+    const auto it = gauges.find(stat_name);
+    if (it == gauges.end())
+        kindle_fatal("no gauge stat named {}.{}", _name, stat_name);
+    return it->second.stat.value();
+}
+
 const Distribution &
 StatGroup::distribution(const std::string &stat_name) const
 {
     const auto it = dists.find(stat_name);
     if (it == dists.end())
         kindle_fatal("no distribution stat named {}.{}", _name, stat_name);
+    return it->second.stat;
+}
+
+const Histogram &
+StatGroup::histogram(const std::string &stat_name) const
+{
+    const auto it = hists.find(stat_name);
+    if (it == hists.end())
+        kindle_fatal("no histogram stat named {}.{}", _name, stat_name);
     return it->second.stat;
 }
 
@@ -89,7 +136,11 @@ StatGroup::resetAll()
 {
     for (auto &[k, e] : scalars)
         e.stat.reset();
+    for (auto &[k, e] : gauges)
+        e.stat.reset();
     for (auto &[k, e] : dists)
+        e.stat.reset();
+    for (auto &[k, e] : hists)
         e.stat.reset();
     for (auto *c : children)
         c->resetAll();
@@ -101,8 +152,12 @@ StatGroup::accept(StatVisitor &visitor) const
     visitor.beginGroup(_name, _desc);
     for (const auto &[k, e] : scalars)
         visitor.visitScalar(k, e.desc, e.stat);
+    for (const auto &[k, e] : gauges)
+        visitor.visitGauge(k, e.desc, e.stat);
     for (const auto &[k, e] : dists)
         visitor.visitDistribution(k, e.desc, e.stat);
+    for (const auto &[k, e] : hists)
+        visitor.visitHistogram(k, e.desc, e.stat);
     for (const auto *c : children)
         c->accept(visitor);
     visitor.endGroup();
@@ -143,6 +198,14 @@ TextSerializer::visitScalar(const std::string &name,
 }
 
 void
+TextSerializer::visitGauge(const std::string &name,
+                           const std::string &desc, const Gauge &stat)
+{
+    out << path() << '.' << name << ' ' << stat.value() << " # "
+        << desc << '\n';
+}
+
+void
 TextSerializer::visitDistribution(const std::string &name,
                                   const std::string &desc,
                                   const Distribution &stat)
@@ -151,6 +214,21 @@ TextSerializer::visitDistribution(const std::string &name,
         << desc << '\n';
     out << path() << '.' << name << "::count " << stat.count() << " # "
         << desc << '\n';
+}
+
+void
+TextSerializer::visitHistogram(const std::string &name,
+                               const std::string &desc,
+                               const Histogram &stat)
+{
+    out << path() << '.' << name << "::mean " << stat.mean() << " # "
+        << desc << '\n';
+    out << path() << '.' << name << "::count " << stat.count() << " # "
+        << desc << '\n';
+    out << path() << '.' << name << "::p50 " << stat.quantile(0.50)
+        << " # " << desc << '\n';
+    out << path() << '.' << name << "::p99 " << stat.quantile(0.99)
+        << " # " << desc << '\n';
 }
 
 // ---------------------------------------------------------------------
@@ -180,6 +258,14 @@ JsonSerializer::visitScalar(const std::string &name,
 }
 
 void
+JsonSerializer::visitGauge(const std::string &name,
+                           const std::string &desc, const Gauge &stat)
+{
+    (void)desc;
+    out.keyValue(name, stat.value());
+}
+
+void
 JsonSerializer::visitDistribution(const std::string &name,
                                   const std::string &desc,
                                   const Distribution &stat)
@@ -192,6 +278,36 @@ JsonSerializer::visitDistribution(const std::string &name,
     out.keyValue("max", stat.max());
     out.keyValue("mean", stat.mean());
     out.keyValue("sum", stat.sum());
+    out.endObject();
+}
+
+void
+JsonSerializer::visitHistogram(const std::string &name,
+                               const std::string &desc,
+                               const Histogram &stat)
+{
+    (void)desc;
+    out.key(name);
+    out.beginObject();
+    out.keyValue("count", stat.count());
+    out.keyValue("min", stat.min());
+    out.keyValue("max", stat.max());
+    out.keyValue("mean", stat.mean());
+    out.keyValue("sum", stat.sum());
+    out.keyValue("p50", stat.quantile(0.50));
+    out.keyValue("p99", stat.quantile(0.99));
+    out.key("buckets");
+    out.beginArray();
+    for (unsigned i = 0; i < Histogram::numBuckets; ++i) {
+        if (stat.bucketCount(i) == 0)
+            continue;
+        out.beginObject();
+        out.keyValue("lo", Histogram::bucketLo(i));
+        out.keyValue("hi", Histogram::bucketHi(i));
+        out.keyValue("count", stat.bucketCount(i));
+        out.endObject();
+    }
+    out.endArray();
     out.endObject();
 }
 
@@ -237,6 +353,15 @@ StatSnapshot::Builder::visitScalar(const std::string &name,
 }
 
 void
+StatSnapshot::Builder::visitGauge(const std::string &name,
+                                  const std::string &desc,
+                                  const Gauge &stat)
+{
+    (void)desc;
+    snap.values[joined(name)] = stat.value();
+}
+
+void
 StatSnapshot::Builder::visitDistribution(const std::string &name,
                                          const std::string &desc,
                                          const Distribution &stat)
@@ -249,6 +374,29 @@ StatSnapshot::Builder::visitDistribution(const std::string &name,
     snap.values[path + "::min"] = stat.min();
     snap.values[path + "::max"] = stat.max();
     snap.values[path + "::mean"] = stat.mean();
+}
+
+void
+StatSnapshot::Builder::visitHistogram(const std::string &name,
+                                      const std::string &desc,
+                                      const Histogram &stat)
+{
+    (void)desc;
+    const std::string path = joined(name);
+    snap.values[path + "::count"] =
+        static_cast<double>(stat.count());
+    snap.values[path + "::sum"] = stat.sum();
+    snap.values[path + "::min"] = stat.min();
+    snap.values[path + "::max"] = stat.max();
+    snap.values[path + "::mean"] = stat.mean();
+    // One entry per non-empty bucket; bucket counts are counters, so
+    // snapshot deltas difference them like any other count.
+    for (unsigned i = 0; i < Histogram::numBuckets; ++i) {
+        if (stat.bucketCount(i) == 0)
+            continue;
+        snap.values[path + "::b" + std::to_string(i)] =
+            static_cast<double>(stat.bucketCount(i));
+    }
 }
 
 bool

@@ -26,9 +26,28 @@ std::once_flag envInitOnce;
 constexpr std::array<const char *, numFlags> flagNames = {
     "event", "mem", "cache", "tlb", "pwalk", "vma",
     "syscall", "checkpoint", "recovery", "ssp", "hscc", "replay",
+    "pt", "redo", "scrub", "fault",
 };
 
 } // namespace
+
+const char *
+flagName(Flag f)
+{
+    return flagNames[static_cast<unsigned>(f)];
+}
+
+bool
+flagFromName(std::string_view name, Flag &out)
+{
+    for (unsigned i = 0; i < numFlags; ++i) {
+        if (name == flagNames[i]) {
+            out = static_cast<Flag>(i);
+            return true;
+        }
+    }
+    return false;
+}
 
 void
 enable(Flag f)

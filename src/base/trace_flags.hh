@@ -34,8 +34,18 @@ enum class Flag : unsigned
     ssp,
     hscc,
     replay,
+    pt,
+    redo,
+    scrub,
+    fault,
     numFlags
 };
+
+/** Printable name of @p f ("checkpoint", "redo", ...). */
+const char *flagName(Flag f);
+
+/** Reverse of flagName(); false when @p name is unknown. */
+bool flagFromName(std::string_view name, Flag &out);
 
 /** Enable a single flag. */
 void enable(Flag f);

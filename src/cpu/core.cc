@@ -24,7 +24,9 @@ Core::Core(const CoreParams &params, sim::Simulation &sim_arg,
       pageFaults(statGroup.addScalar("pageFaults",
                                      "faults delivered to the OS")),
       illegalAccesses(statGroup.addScalar(
-          "illegalAccesses", "accesses the OS refused to map"))
+          "illegalAccesses", "accesses the OS refused to map")),
+      walkLatency(statGroup.addHistogram(
+          "walkLatency", "TLB-miss page-walk latency (ticks)"))
 {
     statGroup.addChild(dtlb.stats());
     statGroup.addChild(ptWalker.stats());
@@ -48,6 +50,7 @@ Core::translateToEntry(Addr vaddr, bool is_write, Tick &latency)
         WalkResult res = ptWalker.walk(curPtbr, vaddr, sim.now());
         latency += res.latency;
         sim.bump(res.latency);
+        walkLatency.sample(static_cast<double>(res.latency));
         if (!res.fault) {
             TlbEntry entry;
             entry.valid = true;

@@ -190,6 +190,8 @@ class Core
     statistics::Scalar &computeOps;
     statistics::Scalar &pageFaults;
     statistics::Scalar &illegalAccesses;
+    /** Page-walk latency per TLB miss (log-bucketed ticks). */
+    statistics::Histogram &walkLatency;
 };
 
 } // namespace kindle::cpu

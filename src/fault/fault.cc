@@ -1,6 +1,7 @@
 #include "fault/fault.hh"
 
 #include "base/logging.hh"
+#include "trace/trace.hh"
 
 namespace kindle::fault
 {
@@ -49,6 +50,8 @@ CrashInjector::fire(const std::string &name)
     _fired = true;
     _firedSite = name;
     ++crashesInjected;
+    KINDLE_TRACE_INSTANT_ARGS(fault, fault, "crash.fire", "site={}",
+                              name);
     throw PowerLoss(name, nowFn());
 }
 
@@ -57,6 +60,9 @@ CrashInjector::site(const char *name)
 {
     if (!active || _fired)
         return;
+    // Every protocol probe doubles as a flight-recorder breadcrumb:
+    // the ring's tail is the exact step sequence leading into a crash.
+    KINDLE_TRACE_INSTANT(fault, fault, name);
     ++siteHits;
     const std::uint64_t count = ++hits[name];
     if (observer)

@@ -12,7 +12,13 @@ DramPool::DramPool(unsigned pages, os::FrameAllocator &dram_alloc)
       selClean(statGroup.addScalar("selClean",
                                    "selections from the clean list")),
       selDirty(statGroup.addScalar(
-          "selDirty", "selections needing dirty copy-back"))
+          "selDirty", "selections needing dirty copy-back")),
+      freePages(statGroup.addGauge("freePages",
+                                   "pool slots currently free")),
+      cleanPages(statGroup.addGauge("cleanPages",
+                                    "pool slots caching clean pages")),
+      dirtyPages(statGroup.addGauge("dirtyPages",
+                                    "pool slots caching dirty pages"))
 {
     kindle_assert(pages > 0, "empty DRAM pool");
     entries.reserve(pages);
@@ -22,6 +28,29 @@ DramPool::DramPool(unsigned pages, os::FrameAllocator &dram_alloc)
         entries.push_back(e);
         freeList.push_back(i);
     }
+    updateGauges();
+}
+
+void
+DramPool::updateGauges()
+{
+    unsigned free_n = 0, clean_n = 0, dirty_n = 0;
+    for (const PoolEntry &e : entries) {
+        switch (e.state) {
+          case PoolState::free:
+            ++free_n;
+            break;
+          case PoolState::clean:
+            ++clean_n;
+            break;
+          case PoolState::dirty:
+            ++dirty_n;
+            break;
+        }
+    }
+    freePages = free_n;
+    cleanPages = clean_n;
+    dirtyPages = dirty_n;
 }
 
 unsigned
@@ -109,6 +138,7 @@ DramPool::select()
         byNvmHome.erase(sel.displacedNvm);
     e.nvmHome = invalidAddr;
     e.state = PoolState::free;
+    updateGauges();
     return sel;
 }
 
@@ -123,6 +153,7 @@ DramPool::bind(unsigned index, Addr nvm_home)
     e.fresh = true;
     byNvmHome[nvm_home] = index;
     freshList.push_back(index);
+    updateGauges();
 }
 
 void
@@ -148,6 +179,7 @@ DramPool::markDirty(Addr nvm_home)
     if (it == byNvmHome.end())
         return;
     entries[it->second].state = PoolState::dirty;
+    updateGauges();
 }
 
 void
@@ -171,6 +203,7 @@ DramPool::refreshLists()
             break;
         }
     }
+    updateGauges();
 }
 
 const PoolEntry *

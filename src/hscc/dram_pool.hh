@@ -102,10 +102,17 @@ class DramPool
     std::deque<unsigned> dirtyList;
     std::deque<unsigned> freshList;  ///< bound this interval
 
+    /** Refresh the occupancy gauges from the entry states. */
+    void updateGauges();
+
     statistics::StatGroup statGroup;
     statistics::Scalar &selFree;
     statistics::Scalar &selClean;
     statistics::Scalar &selDirty;
+    /** Level stats (gauges, not counters): current slot occupancy. */
+    statistics::Gauge &freePages;
+    statistics::Gauge &cleanPages;
+    statistics::Gauge &dirtyPages;
 };
 
 } // namespace kindle::hscc

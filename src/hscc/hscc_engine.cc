@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/str.hh"
 #include "base/trace_flags.hh"
 #include "fault/fault.hh"
+#include "trace/trace.hh"
 
 namespace kindle::hscc
 {
@@ -210,6 +212,7 @@ HsccEngine::migrate()
 {
     auto &sim = kernel.simulation();
     const Tick t0 = sim.now();
+    KINDLE_TRACE_SPAN(hscc, hscc, "hscc.migrate");
     ++intervals;
 
     // Interval start: refresh the pool's free/clean/dirty lists.  In
@@ -262,6 +265,8 @@ HsccEngine::migrate()
     for (const Candidate &c : candidates) {
         // --- Page selection ---------------------------------------
         const Tick sel0 = sim.now();
+        KINDLE_TRACE_SPAN_ARGS(hscc, hscc, "hscc.migratePage",
+                               "vaddr={}", c.vaddr);
         Selection sel = dramPool.select();
         if (sel.displacedNvm != invalidAddr) {
             if (sel.needsCopyBack) {

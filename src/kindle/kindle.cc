@@ -1,7 +1,10 @@
 #include "kindle/kindle.hh"
 
+#include <fstream>
+
 #include "base/json.hh"
 #include "base/logging.hh"
+#include "base/str.hh"
 #include "base/trace_flags.hh"
 
 namespace kindle
@@ -21,9 +24,19 @@ KindleSystem::KindleSystem(const KindleConfig &config_arg)
       tornPtRolledBack(recoveryStats.addScalar(
           "tornPtStoresRolledBack", "torn PTE stores undone")),
       recoveryErrors(recoveryStats.addScalar(
-          "errors", "classified recovery errors"))
+          "errors", "classified recovery errors")),
+      recoveryDuration(recoveryStats.addHistogram(
+          "duration", "per-reboot recovery ticks"))
 {
     trace::initFromEnv();
+
+    // The sink registers before any component exists, so spans and
+    // crash-site breadcrumbs emitted during construction, boot and
+    // teardown all land in this system's ring.
+    traceSink_ = std::make_unique<trace::TraceSink>(
+        config.trace, [this] { return sim.now(); });
+    traceScope_ =
+        std::make_unique<trace::SinkScope>(traceSink_.get());
 
     // The page-table home follows the persistence scheme.
     if (config.persistence) {
@@ -113,7 +126,12 @@ KindleSystem::run(std::unique_ptr<cpu::OpStream> program,
     }
     const Tick t0 = sim.now();
     kernel_->spawn(std::move(program), name);
-    kernel_->run();
+    try {
+        kernel_->run();
+    } catch (const fault::PowerLoss &) {
+        autoFlightDump("power-loss");
+        throw;
+    }
     return sim.now() - t0;
 }
 
@@ -125,7 +143,12 @@ KindleSystem::runAll()
                      "reboot() — the machine has no OS; call reboot() "
                      "to recover the durable image first");
     }
-    kernel_->run();
+    try {
+        kernel_->run();
+    } catch (const fault::PowerLoss &) {
+        autoFlightDump("power-loss");
+        throw;
+    }
 }
 
 mem::PowerLossModel
@@ -201,6 +224,7 @@ KindleSystem::reboot()
             // machine dies exactly like any other crash; the durable
             // image — including whatever recovery managed to persist
             // — is what the next reboot() starts from.
+            autoFlightDump("power-loss-in-recovery");
             kernel_.reset();
             teardownToCrashed();
             isCrashed = true;
@@ -232,7 +256,11 @@ KindleSystem::reboot()
     tornPtRolledBack +=
         static_cast<double>(report.tornPtStoresRolledBack);
     recoveryErrors += static_cast<double>(report.errors.size());
+    recoveryDuration.sample(
+        static_cast<double>(report.recoveryTicks));
     lastRecovery_ = report;
+    if (!report.errors.empty())
+        autoFlightDump("recovery-error");
     return report;
 }
 
@@ -288,6 +316,68 @@ KindleSystem::snapshotStats() const
     statistics::StatSnapshot::Builder builder(snap);
     acceptStats(builder);
     return snap;
+}
+
+namespace
+{
+
+/** One-line human summary of a fault plan for flight-recorder dumps. */
+std::string
+describePlan(const std::optional<fault::FaultPlan> &plan)
+{
+    if (!plan)
+        return "none";
+    const fault::FaultPlan &p = *plan;
+    std::string out;
+    if (!p.site.empty())
+        out = csprintf("site={}#{}", p.site, p.occurrence);
+    else if (p.atNthDurableWrite != 0)
+        out = csprintf("durable-write#{}", p.atNthDurableWrite);
+    else if (p.atTick != 0)
+        out = csprintf("at-tick={}", p.atTick);
+    else
+        out = "unarmed";
+    out += csprintf(" torn={} seed={}", p.tornStore ? 1 : 0, p.seed);
+    if (p.media.enabled()) {
+        out += csprintf(" media(flip={} endurance={} targeted={})",
+                        p.media.bitFlipRate, p.media.writeEndurance,
+                        p.media.faults.size());
+    }
+    return out;
+}
+
+} // namespace
+
+void
+KindleSystem::writeTrace(std::ostream &os) const
+{
+    traceSink_->writeChromeJson(os);
+}
+
+void
+KindleSystem::dumpFlightRecorder(std::ostream &os,
+                                 const std::string &reason) const
+{
+    trace::FlightContext ctx;
+    ctx.reason = reason;
+    ctx.crashSite = injector_->firedSite();
+    ctx.tick = sim.now();
+    ctx.faultPlan = describePlan(config.fault);
+    traceSink_->writeFlightRecorder(os, ctx);
+}
+
+void
+KindleSystem::autoFlightDump(const std::string &reason) const
+{
+    const std::string &path = config.trace.flightDumpPath;
+    if (path.empty())
+        return;
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write flight-recorder dump to '{}'", path);
+        return;
+    }
+    dumpFlightRecorder(out, reason);
 }
 
 } // namespace kindle

@@ -38,6 +38,7 @@
 #include "persist/recovery.hh"
 #include "sim/simulation.hh"
 #include "ssp/ssp_engine.hh"
+#include "trace/trace.hh"
 
 namespace kindle
 {
@@ -75,6 +76,13 @@ struct KindleConfig
      * without media faults (it then simply idles).
      */
     std::optional<mem::ScrubParams> scrub;
+
+    /**
+     * Telemetry capture (see trace::TraceParams).  The flight-recorder
+     * ring is on by default; span collection for Chrome-JSON export is
+     * opt-in because it keeps every record of the run.
+     */
+    trace::TraceParams trace{};
 };
 
 /** The assembled machine. */
@@ -105,6 +113,10 @@ class KindleSystem
 
     /** The system's crash injector (always present; may be unarmed). */
     fault::CrashInjector &injector() { return *injector_; }
+
+    /** The system's trace sink (always present; may be capturing
+     *  nothing when both spans and the ring are disabled). */
+    trace::TraceSink &traceSink() { return *traceSink_; }
     /// @}
 
     /** Current simulated time. */
@@ -177,18 +189,38 @@ class KindleSystem
     /** Capture every stat as a flat path→value snapshot. */
     statistics::StatSnapshot snapshotStats() const;
 
+    /** Export collected spans as Chrome trace-event JSON. */
+    void writeTrace(std::ostream &os) const;
+
+    /**
+     * Dump the flight-recorder ring as JSON, annotated with @p reason
+     * ("power-loss", "oracle-divergence", ...), the armed fault plan
+     * and the crash site that fired (if any).  Harness code calls
+     * this on failures the system cannot see itself — e.g. the fuzz
+     * oracle diverging; power losses and recovery errors dump
+     * automatically when trace.flightDumpPath is configured.
+     */
+    void dumpFlightRecorder(std::ostream &os,
+                            const std::string &reason) const;
+
   private:
     void buildOsLayer();
     mem::PowerLossModel lossModel() const;
     void teardownToCrashed();
 
+    /** Write the flight recorder to trace.flightDumpPath, if set. */
+    void autoFlightDump(const std::string &reason) const;
+
     KindleConfig config;
 
     sim::Simulation sim;
 
-    // The injector and its thread-local registration outlive every
-    // component that can fire a probe (members destroy in reverse
-    // order, so the scope unregisters only after the OS layer is gone).
+    // The trace sink, the injector and their thread-local
+    // registrations outlive every component that can fire a probe or
+    // emit a span (members destroy in reverse order, so the scopes
+    // unregister only after the OS layer is gone).
+    std::unique_ptr<trace::TraceSink> traceSink_;
+    std::unique_ptr<trace::SinkScope> traceScope_;
     std::unique_ptr<fault::CrashInjector> injector_;
     std::unique_ptr<fault::InjectorScope> injectorScope_;
 
@@ -215,6 +247,7 @@ class KindleSystem
     statistics::Scalar &framesReclaimed;
     statistics::Scalar &tornPtRolledBack;
     statistics::Scalar &recoveryErrors;
+    statistics::Histogram &recoveryDuration;
 };
 
 } // namespace kindle

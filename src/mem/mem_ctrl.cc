@@ -18,7 +18,13 @@ MemCtrl::MemCtrl(const MemCtrlParams &params,
           "readStallTicks", "stall waiting for a read-buffer slot")),
       writeStallTicks(statGroup.addScalar(
           "writeStallTicks", "stall waiting for a write-buffer slot")),
-      bulkOps(statGroup.addScalar("bulkOps", "bulk transfers serviced"))
+      bulkOps(statGroup.addScalar("bulkOps", "bulk transfers serviced")),
+      readLatency(statGroup.addHistogram(
+          "readLatency", "read service latency (ticks)")),
+      writeLatency(statGroup.addHistogram(
+          "writeLatency", "posted-write accept latency (ticks)")),
+      writeBufOccupancy(statGroup.addHistogram(
+          "writeBufOccupancy", "write-buffer entries at accept"))
 {
     kindle_assert(params.readBufferSize > 0, "read buffer cannot be 0");
     kindle_assert(params.writeBufferSize > 0, "write buffer cannot be 0");
@@ -57,6 +63,7 @@ MemCtrl::submit(const MemRequest &req, Tick now)
         const Tick done = iface->access(
             MemCmd::read, req.paddr, start + _params.frontendLatency);
         readQueue.push(done);
+        readLatency.sample(static_cast<double>(done - now));
         return done - now;
       }
 
@@ -70,6 +77,9 @@ MemCtrl::submit(const MemRequest &req, Tick now)
         writeQueue.push(drained);
         lastWriteDrain = std::max(lastWriteDrain, drained);
         lastAcceptedDrain = drained;
+        writeLatency.sample(static_cast<double>(accepted - now));
+        writeBufOccupancy.sample(
+            static_cast<double>(writeQueue.size()));
         return accepted - now;
       }
 

@@ -94,6 +94,14 @@ class MemCtrl
     statistics::Scalar &readStallTicks;
     statistics::Scalar &writeStallTicks;
     statistics::Scalar &bulkOps;
+
+    /** Requester-visible latency distributions (log-bucketed ticks):
+     *  full service time for reads, buffer-accept time for writes —
+     *  the write histogram's tail is the saturation stall. */
+    statistics::Histogram &readLatency;
+    statistics::Histogram &writeLatency;
+    /** Write-buffer entries in flight, sampled at each accept. */
+    statistics::Histogram &writeBufOccupancy;
 };
 
 } // namespace kindle::mem

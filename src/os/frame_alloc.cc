@@ -21,7 +21,9 @@ FrameAllocator::FrameAllocator(std::string name, AddrRange zone,
       allocs(statGroup.addScalar("allocs", "frames allocated")),
       frees(statGroup.addScalar("frees", "frames freed")),
       persistWrites(statGroup.addScalar(
-          "persistWrites", "durable bitmap updates"))
+          "persistWrites", "durable bitmap updates")),
+      framesInUse(statGroup.addGauge("framesInUse",
+                                     "frames currently allocated"))
 {
     kindle_assert(isAligned(zone.start(), pageSize) &&
                       isAligned(zone.size(), pageSize),
@@ -94,6 +96,7 @@ FrameAllocator::tryAlloc()
     used[index] = true;
     ++usedCount;
     ++allocs;
+    framesInUse = static_cast<double>(usedCount);
     persistBit(index);
     return _zone.start() + (index << pageShift);
 }
@@ -107,6 +110,7 @@ FrameAllocator::free(Addr frame)
     used[index] = false;
     --usedCount;
     ++frees;
+    framesInUse = static_cast<double>(usedCount);
     if (isRetiredIndex(index)) {
         // Freed after retirement (the migration path): the bitmap bit
         // clears so recovery sees it unallocated, but the frame never
@@ -152,6 +156,7 @@ FrameAllocator::recoverFromBitmap()
     }
     // Allocate low frames first after recovery, matching boot order.
     std::reverse(freeStack.begin(), freeStack.end());
+    framesInUse = static_cast<double>(usedCount);
 }
 
 } // namespace kindle::os

@@ -117,6 +117,8 @@ class FrameAllocator
     statistics::Scalar &allocs;
     statistics::Scalar &frees;
     statistics::Scalar &persistWrites;
+    /** Current allocation level (a gauge: set, not accumulated). */
+    statistics::Gauge &framesInUse;
 };
 
 } // namespace kindle::os

@@ -4,8 +4,10 @@
 
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "base/str.hh"
 #include "base/trace_flags.hh"
 #include "os/bad_frames.hh"
+#include "trace/trace.hh"
 
 namespace kindle::os
 {
@@ -571,6 +573,8 @@ Kernel::retireNvmFrame(Addr frame, const char *reason)
                   "retiring non-NVM frame {}", bad);
     if (!badFrames_->retire(bad))
         return;  // already retired; migration already happened
+    KINDLE_TRACE_SPAN_ARGS(vma, os, "os.retireFrame",
+                           "frame={} reason={}", bad, reason);
     ++nvmFramesRetired;
     trace::dprintf(trace::Flag::vma, sim.now(),
                    "retiring NVM frame {} ({})", bad, reason);

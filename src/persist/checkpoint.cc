@@ -4,6 +4,7 @@
 #include "base/trace_flags.hh"
 #include "cpu/pagetable_defs.hh"
 #include "fault/fault.hh"
+#include "trace/trace.hh"
 
 namespace kindle::persist
 {
@@ -19,6 +20,8 @@ PersistDomain::PersistDomain(const PersistParams &params,
                                       "periodic checkpoints taken")),
       ckptTicks(statGroup.addDistribution(
           "ckptTicks", "simulated time per checkpoint")),
+      ckptDuration(statGroup.addHistogram(
+          "ckptDuration", "checkpoint duration distribution (ticks)")),
       mappingEntries(statGroup.addScalar(
           "mappingEntries", "mapping-list entries written")),
       redoRecords(statGroup.addScalar("redoRecords",
@@ -187,6 +190,8 @@ PersistDomain::onFaseEnd(os::Process &proc)
 void
 PersistDomain::checkpointProcess(os::Process &proc)
 {
+    KINDLE_TRACE_SPAN_ARGS(checkpoint, ckpt, "ckpt.process", "pid={}",
+                           proc.pid);
     SavedStateSlot &slot = slotFor(proc);
 
     // CPU state: live registers for the running process, the saved
@@ -198,22 +203,31 @@ PersistDomain::checkpointProcess(os::Process &proc)
             : proc.context;
 
     // Serialize and durably write the working copy.
-    const SavedContext ctx = SavedStateSlot::snapshot(proc, regs);
-    slot.writeWorkingContext(ctx);
+    {
+        KINDLE_TRACE_SPAN(checkpoint, ckpt, "ckpt.workingWrite");
+        const SavedContext ctx = SavedStateSlot::snapshot(proc, regs);
+        slot.writeWorkingContext(ctx);
+    }
     KINDLE_CRASH_SITE("ckpt.after_working_write");
 
-    if (_params.scheme == PtScheme::rebuild) {
-        if (_params.incrementalMappingList)
-            updateMappingListIncremental(proc, slot);
-        else
-            updateMappingListFull(proc, slot);
-    } else {
-        slot.setPtRoot(proc.ptRoot);
+    {
+        KINDLE_TRACE_SPAN(checkpoint, ckpt, "ckpt.ptWalk");
+        if (_params.scheme == PtScheme::rebuild) {
+            if (_params.incrementalMappingList)
+                updateMappingListIncremental(proc, slot);
+            else
+                updateMappingListFull(proc, slot);
+        } else {
+            slot.setPtRoot(proc.ptRoot);
+        }
     }
     KINDLE_CRASH_SITE("ckpt.after_mapping_update");
 
     // Publish: flip the consistent index.
-    slot.commit();
+    {
+        KINDLE_TRACE_SPAN(checkpoint, ckpt, "ckpt.commit");
+        slot.commit();
+    }
     KINDLE_CRASH_SITE("ckpt.after_commit");
 }
 
@@ -345,21 +359,32 @@ PersistDomain::checkpointNow()
     sim::Simulation &sim = kernel.simulation();
     const Tick t0 = sim.now();
 
+    // The enclosing span covers every tick ckptTicks attributes to
+    // checkpointing: the trace decomposition tests rely on the two
+    // agreeing.
+    KINDLE_TRACE_SPAN(checkpoint, ckpt, "ckpt");
+
     // Log the CPU state of every live process, then apply the full
     // redo log once (the working copies absorb all interval changes).
     KINDLE_CRASH_SITE("ckpt.before_cpu_log");
-    for (const auto &proc : kernel.processes()) {
-        if (proc->state == os::ProcState::zombie)
-            continue;
-        RedoRecord rec;
-        rec.type = RedoType::cpuState;
-        rec.pid = proc->pid;
-        rec.a = proc->context.rip;
-        metaLog->append(rec);
-        ++redoRecords;
+    {
+        KINDLE_TRACE_SPAN(checkpoint, ckpt, "ckpt.cpuLog");
+        for (const auto &proc : kernel.processes()) {
+            if (proc->state == os::ProcState::zombie)
+                continue;
+            RedoRecord rec;
+            rec.type = RedoType::cpuState;
+            rec.pid = proc->pid;
+            rec.a = proc->context.rip;
+            metaLog->append(rec);
+            ++redoRecords;
+        }
     }
     KINDLE_CRASH_SITE("ckpt.after_log_append");
-    metaLog->replay([](const RedoRecord &) {});
+    {
+        KINDLE_TRACE_SPAN(checkpoint, ckpt, "ckpt.replay");
+        metaLog->replay([](const RedoRecord &) {});
+    }
     KINDLE_CRASH_SITE("ckpt.after_replay");
 
     for (const auto &proc : kernel.processes()) {
@@ -368,12 +393,16 @@ PersistDomain::checkpointNow()
         checkpointProcess(*proc);
     }
 
-    metaLog->reset();
-    if (ptPolicy)
-        ptPolicy->retireAll();
+    {
+        KINDLE_TRACE_SPAN(checkpoint, ckpt, "ckpt.logReset");
+        metaLog->reset();
+        if (ptPolicy)
+            ptPolicy->retireAll();
+    }
     ++checkpoints;
     KINDLE_CRASH_SITE("ckpt.complete");
     ckptTicks.sample(static_cast<double>(sim.now() - t0));
+    ckptDuration.sample(static_cast<double>(sim.now() - t0));
     trace::dprintf(trace::Flag::checkpoint, sim.now(),
                    "checkpoint complete in {} us",
                    ticksToUs(sim.now() - t0));

@@ -173,6 +173,7 @@ class PersistDomain : public os::OsEventListener
     statistics::StatGroup statGroup;
     statistics::Scalar &checkpoints;
     statistics::Distribution &ckptTicks;
+    statistics::Histogram &ckptDuration;
     statistics::Scalar &mappingEntries;
     statistics::Scalar &redoRecords;
 };

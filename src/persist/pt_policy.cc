@@ -5,7 +5,9 @@
 
 #include "base/checksum.hh"
 #include "base/logging.hh"
+#include "base/str.hh"
 #include "fault/fault.hh"
+#include "trace/trace.hh"
 
 namespace kindle::persist
 {
@@ -71,6 +73,8 @@ ConsistentPtWrite::retireAll()
 void
 ConsistentPtWrite::writeEntry(Addr entry_addr, std::uint64_t value)
 {
+    KINDLE_TRACE_SPAN_ARGS(pt, pt, "pt.wrappedStore", "entry={}",
+                           entry_addr);
     ++stores;
 
     // 1. Read the current value (cached; tables are hot).

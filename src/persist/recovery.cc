@@ -10,6 +10,7 @@
 #include "os/bad_frames.hh"
 #include "persist/pt_policy.hh"
 #include "persist/redo_log.hh"
+#include "trace/trace.hh"
 
 namespace kindle::persist
 {
@@ -88,6 +89,7 @@ recover(os::Kernel &kernel, PtScheme scheme)
     sim::Simulation &sim = kernel.simulation();
     const Tick t0 = sim.now();
     constexpr unsigned noSlot = ~0u;
+    KINDLE_TRACE_SPAN(recovery, recovery, "recover");
 
     const auto fail = [&report](RecoveryErrorCode code, unsigned slot,
                                 std::string detail) {
@@ -100,20 +102,24 @@ recover(os::Kernel &kernel, PtScheme scheme)
     //    (The kernel constructor already loaded it; re-reading here
     //    keeps recovery self-contained and idempotent.)
     os::BadFrameTable &bad = kernel.badFrameTable();
-    bad.loadFromNvm();
-    report.retiredFrames = bad.retiredCount();
-
-    // 1. Frame allocator state survives in the durable bitmap.
-    kernel.nvmAllocator().recoverFromBitmap();
     std::unordered_set<Addr> allocated;
-    kernel.nvmAllocator().forEachAllocated(
-        [&](Addr frame) { allocated.insert(frame); });
+    {
+        KINDLE_TRACE_SPAN(recovery, recovery, "recover.bitmap");
+        bad.loadFromNvm();
+        report.retiredFrames = bad.retiredCount();
+
+        // 1. Frame allocator state survives in the durable bitmap.
+        kernel.nvmAllocator().recoverFromBitmap();
+        kernel.nvmAllocator().forEachAllocated(
+            [&](Addr frame) { allocated.insert(frame); });
+    }
     KINDLE_CRASH_SITE("recover.after_bitmap");
 
     // 1a. Audit the surviving metadata redo log.  The consistent
     //     checkpoint copies make replay unnecessary, but a torn tail
     //     or unreadable header is damage worth classifying.
     {
+        KINDLE_TRACE_SPAN(recovery, recovery, "recover.logAudit");
         const os::NvmLayout &layout = kernel.nvmLayout();
         const RedoScan scan = RedoLog::audit(
             kernel.kmem(), layout.redoLog, layout.redoLogBytes / 2);
@@ -132,6 +138,7 @@ recover(os::Kernel &kernel, PtScheme scheme)
     // 1b. Persistent scheme: repair any wrapped page-table store the
     //     crash tore mid-writeback, before the tables are trusted.
     if (scheme == PtScheme::persistent) {
+        KINDLE_TRACE_SPAN(recovery, recovery, "recover.ptRollback");
         const os::NvmLayout &layout = kernel.nvmLayout();
         const std::uint64_t half = layout.redoLogBytes / 2;
         const PtUndoReport undo = recoverPtUndoLog(
@@ -145,6 +152,8 @@ recover(os::Kernel &kernel, PtScheme scheme)
     // 2-3. Scan the directory in salvage mode: validate every durable
     // byte of a slot before acting on it; quarantine what fails.
     for (unsigned idx = 0; idx < os::maxProcs; ++idx) {
+        KINDLE_TRACE_SPAN_ARGS(recovery, recovery, "recover.slot",
+                               "slot={}", idx);
         SavedStateSlot slot(kernel.kmem(), kernel.nvmLayout(), idx);
         const SlotHeader hdr = slot.readHeader();
 
@@ -297,14 +306,17 @@ recover(os::Kernel &kernel, PtScheme scheme)
     //    Quarantined slots contribute here too: their frames are no
     //    longer reachable and return to the allocator.
     KINDLE_CRASH_SITE("recover.before_reclaim");
-    std::vector<Addr> leaked;
-    kernel.nvmAllocator().forEachAllocated([&](Addr frame) {
-        if (!live_frames.count(frame))
-            leaked.push_back(frame);
-    });
-    for (Addr frame : leaked)
-        kernel.nvmAllocator().free(frame);
-    report.framesReclaimed = leaked.size();
+    {
+        KINDLE_TRACE_SPAN(recovery, recovery, "recover.reclaim");
+        std::vector<Addr> leaked;
+        kernel.nvmAllocator().forEachAllocated([&](Addr frame) {
+            if (!live_frames.count(frame))
+                leaked.push_back(frame);
+        });
+        for (Addr frame : leaked)
+            kernel.nvmAllocator().free(frame);
+        report.framesReclaimed = leaked.size();
+    }
 
     KINDLE_CRASH_SITE("recover.complete");
     report.recoveryTicks = sim.now() - t0;

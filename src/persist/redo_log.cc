@@ -2,7 +2,9 @@
 
 #include "base/checksum.hh"
 #include "base/logging.hh"
+#include "base/str.hh"
 #include "fault/fault.hh"
+#include "trace/trace.hh"
 
 namespace kindle::persist
 {
@@ -82,6 +84,10 @@ RedoLog::append(RedoRecord rec)
     rec.checksum = recordChecksum(rec);
     kmem.writeBufDurable(recordAddr(seq), &rec, sizeof(rec),
                          "redo.append_pre_fence");
+    KINDLE_TRACE_INSTANT_ARGS(redo, redo, "redo.append",
+                              "type={} seq={}",
+                              static_cast<std::uint32_t>(rec.type),
+                              seq);
     ++seq;
     ++appends;
     KINDLE_CRASH_SITE("redo.after_append");

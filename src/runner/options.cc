@@ -22,6 +22,36 @@ parseJobs(const char *text, const char *origin)
     return static_cast<unsigned>(v);
 }
 
+std::size_t
+parseRing(const char *text, const char *origin)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || v > (1ul << 24))
+        kindle_fatal("{}: bad ring depth '{}'", origin, text);
+    return static_cast<std::size_t>(v);
+}
+
+/**
+ * Match "--name V" / "--name=V" and return the value, advancing @p i
+ * past a separate value argument.  Returns nullptr on no match.
+ */
+const char *
+valueOf(const char *arg, const char *name, int argc, char **argv,
+        int &i)
+{
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0)
+        return nullptr;
+    if (arg[len] == '=')
+        return arg + len + 1;
+    if (arg[len] != '\0')
+        return nullptr;
+    if (i + 1 >= argc)
+        kindle_fatal("{} needs a value", name);
+    return argv[++i];
+}
+
 } // namespace
 
 Options
@@ -32,24 +62,58 @@ parseOptions(int argc, char **argv)
         if (*env)
             opts.jobs = parseJobs(env, "KINDLE_JOBS");
     }
+    if (const char *env = std::getenv("KINDLE_TRACE_OUT"))
+        opts.traceOut = env;
+    if (const char *env = std::getenv("KINDLE_TRACE_FLAGS"))
+        opts.traceFlags = env;
+    if (const char *env = std::getenv("KINDLE_TRACE_RING")) {
+        if (*env)
+            opts.traceRing = parseRing(env, "KINDLE_TRACE_RING");
+    }
+    if (const char *env = std::getenv("KINDLE_FLIGHT_OUT"))
+        opts.flightOut = env;
+
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--help") == 0) {
             std::printf(
-                "usage: %s [--jobs N]\n"
-                "  --jobs N   sweep worker threads "
-                "(default: hardware threads; env KINDLE_JOBS)\n",
+                "usage: %s [--jobs N] [--trace-out PATH]\n"
+                "          [--trace-flags LIST] [--trace-ring N]\n"
+                "          [--flight-out PATH]\n"
+                "  --jobs N          sweep worker threads "
+                "(default: hardware threads; env KINDLE_JOBS)\n"
+                "  --trace-out P     collect spans; write Chrome "
+                "trace JSON per scenario (env KINDLE_TRACE_OUT)\n"
+                "  --trace-flags L   comma-separated categories, "
+                "e.g. checkpoint,redo (env KINDLE_TRACE_FLAGS)\n"
+                "  --trace-ring N    flight-recorder depth; 0 "
+                "disables the ring (env KINDLE_TRACE_RING)\n"
+                "  --flight-out P    auto flight-recorder dump "
+                "destination (env KINDLE_FLIGHT_OUT)\n",
                 argv[0]);
             std::exit(0);
         }
-        if (std::strcmp(arg, "--jobs") == 0) {
-            if (i + 1 >= argc)
-                kindle_fatal("--jobs needs a value");
-            opts.jobs = parseJobs(argv[++i], "--jobs");
+        if (const char *v = valueOf(arg, "--jobs", argc, argv, i)) {
+            opts.jobs = parseJobs(v, "--jobs");
             continue;
         }
-        if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            opts.jobs = parseJobs(arg + 7, "--jobs");
+        if (const char *v = valueOf(arg, "--trace-out", argc, argv, i)) {
+            opts.traceOut = v;
+            continue;
+        }
+        if (const char *v =
+                valueOf(arg, "--trace-flags", argc, argv, i)) {
+            opts.traceFlags = v;
+            continue;
+        }
+        if (const char *v =
+                valueOf(arg, "--trace-ring", argc, argv, i)) {
+            opts.traceRing = parseRing(v, "--trace-ring");
+            continue;
+        }
+        if (const char *v =
+                valueOf(arg, "--flight-out", argc, argv, i)) {
+            opts.flightOut = v;
             continue;
         }
         kindle_fatal("unknown argument '{}' (try --help)", arg);

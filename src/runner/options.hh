@@ -3,8 +3,16 @@
  * Command-line/environment options shared by every runner-driven
  * bench binary.
  *
- *   --jobs N       worker threads for the sweep (also: KINDLE_JOBS)
- *   --help         print usage for the common flags
+ *   --jobs N          worker threads for the sweep (also: KINDLE_JOBS)
+ *   --trace-out P     enable span collection and write Chrome
+ *                     trace-event JSON per scenario (KINDLE_TRACE_OUT)
+ *   --trace-flags L   comma-separated trace categories, e.g.
+ *                     "checkpoint,redo" (KINDLE_TRACE_FLAGS)
+ *   --trace-ring N    flight-recorder depth in records; 0 disables
+ *                     (KINDLE_TRACE_RING)
+ *   --flight-out P    write flight-recorder dumps here on power loss /
+ *                     recovery errors (KINDLE_FLIGHT_OUT)
+ *   --help            print usage for the common flags
  *
  * Unrecognized arguments are fatal so a typo cannot silently fall
  * back to defaults in a long experiment campaign.
@@ -13,6 +21,8 @@
 #ifndef KINDLE_RUNNER_OPTIONS_HH
 #define KINDLE_RUNNER_OPTIONS_HH
 
+#include <cstddef>
+#include <optional>
 #include <string>
 
 namespace kindle::runner
@@ -22,12 +32,30 @@ struct Options
 {
     /** Sweep parallelism; 0 = one worker per hardware thread. */
     unsigned jobs = 0;
+
+    /**
+     * When non-empty, spans are collected and each scenario's trace is
+     * written as Chrome trace-event JSON.  A path ending in ".json" is
+     * used directly for a single scenario (sweeps insert the scenario
+     * name before the extension); any other path is treated as a
+     * directory of per-scenario "<name>.trace.json" files.
+     */
+    std::string traceOut;
+
+    /** Category list for the sink mask; empty = all categories. */
+    std::string traceFlags;
+
+    /** Flight-recorder depth override (unset = TraceParams default). */
+    std::optional<std::size_t> traceRing;
+
+    /** Automatic flight-dump destination (same routing as traceOut). */
+    std::string flightOut;
 };
 
 /**
- * Parse @p argc / @p argv.  Precedence: command line over KINDLE_JOBS
- * over the hardware default.  Calls std::exit(0) after printing usage
- * for --help.
+ * Parse @p argc / @p argv.  Precedence: command line over the
+ * corresponding KINDLE_* environment variable over the default.
+ * Calls std::exit(0) after printing usage for --help.
  */
 Options parseOptions(int argc, char **argv);
 

@@ -1,7 +1,11 @@
 #include "runner/sweep_runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
 #include <thread>
 
 #include "base/logging.hh"
@@ -17,16 +21,77 @@ SweepRunner::SweepRunner(unsigned jobs) : _jobs(jobs)
     }
 }
 
+SweepRunner::SweepRunner(const Options &opts)
+    : SweepRunner(opts.jobs)
+{
+    _opts = opts;
+}
+
+namespace
+{
+
+/** Scenario names use '/' as an axis separator; file names cannot. */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        if (c == '/' || c == '\\' || c == ':' || c == ' ')
+            c = '_';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+SweepRunner::routeFile(const std::string &base, const std::string &name,
+                       bool solo, const char *suffix)
+{
+    if (base.empty())
+        return {};
+    constexpr std::string_view ext = ".json";
+    if (base.size() > ext.size() &&
+        base.compare(base.size() - ext.size(), ext.size(), ext) == 0) {
+        if (solo)
+            return base;
+        // Sweep over a file path: splice the point name in before the
+        // extension so concurrent workers get distinct files.
+        return base.substr(0, base.size() - ext.size()) + "." +
+               sanitizeName(name) + std::string(ext);
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(base, ec);
+    if (ec) {
+        kindle_fatal("cannot create trace directory '{}': {}", base,
+                     ec.message());
+    }
+    return base + "/" + sanitizeName(name) + suffix;
+}
+
 RunResult
-SweepRunner::runOne(const Scenario &scenario)
+SweepRunner::runRouted(const Scenario &scenario,
+                       const std::string &trace_path,
+                       const std::string &flight_path) const
 {
     RunResult result;
     result.name = scenario.name;
     result.axes = scenario.axes;
 
+    // The routing knobs override the scenario's own trace config.
+    KindleConfig config = scenario.config;
+    if (!trace_path.empty())
+        config.trace.spans = true;
+    if (!_opts.traceFlags.empty())
+        config.trace.categories = _opts.traceFlags;
+    if (_opts.traceRing)
+        config.trace.ringDepth = *_opts.traceRing;
+    if (!flight_path.empty())
+        config.trace.flightDumpPath = flight_path;
+
     const auto wall_start = std::chrono::steady_clock::now();
     try {
-        KindleSystem sys(scenario.config);
+        KindleSystem sys(config);
         statistics::StatSnapshot extra;
         if (scenario.drive)
             result.ticks = scenario.drive(sys, extra);
@@ -35,6 +100,15 @@ SweepRunner::runOne(const Scenario &scenario)
         result.stats = sys.snapshotStats();
         for (const auto &[path, value] : extra.entries())
             result.stats.set(path, value);
+        if (!trace_path.empty()) {
+            std::ofstream out(trace_path);
+            if (!out) {
+                kindle_fatal("cannot write trace to '{}'",
+                             trace_path);
+            }
+            sys.writeTrace(out);
+            result.tracePath = trace_path;
+        }
         result.ok = true;
     } catch (const SimError &e) {
         result.error = e.message();
@@ -49,10 +123,28 @@ SweepRunner::runOne(const Scenario &scenario)
     return result;
 }
 
+RunResult
+SweepRunner::runScenario(const Scenario &scenario) const
+{
+    return runRouted(
+        scenario,
+        routeFile(_opts.traceOut, scenario.name, /*solo=*/true,
+                  ".trace.json"),
+        routeFile(_opts.flightOut, scenario.name, /*solo=*/true,
+                  ".flight.json"));
+}
+
+RunResult
+SweepRunner::runOne(const Scenario &scenario)
+{
+    return SweepRunner(1).runScenario(scenario);
+}
+
 std::vector<RunResult>
 SweepRunner::run(const std::vector<Scenario> &scenarios)
 {
     std::vector<RunResult> results(scenarios.size());
+    const bool solo = scenarios.size() == 1;
 
     // Work stealing over an atomic cursor: results land at their
     // scenario's index, so output order never depends on scheduling.
@@ -63,7 +155,12 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= scenarios.size())
                 return;
-            results[i] = runOne(scenarios[i]);
+            results[i] = runRouted(
+                scenarios[i],
+                routeFile(_opts.traceOut, scenarios[i].name, solo,
+                          ".trace.json"),
+                routeFile(_opts.flightOut, scenarios[i].name, solo,
+                          ".flight.json"));
         }
     };
 

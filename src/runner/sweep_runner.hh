@@ -10,6 +10,12 @@
  * tick counts and stat snapshots are bit-identical whether the sweep
  * runs with 1 job or N.  The determinism tests in tests/runner assert
  * exactly that.
+ *
+ * Telemetry routing: constructed from Options, the runner applies the
+ * --trace-* knobs to every scenario's config and writes one Chrome
+ * trace file (and one flight-dump path) *per scenario*, deriving
+ * distinct file names from the scenario names — concurrent workers
+ * never share a stream, so traces cannot interleave.
  */
 
 #ifndef KINDLE_RUNNER_SWEEP_RUNNER_HH
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "base/stats.hh"
+#include "runner/options.hh"
 #include "runner/scenario.hh"
 
 namespace kindle::runner
@@ -40,6 +47,10 @@ struct RunResult
     /** Full stat snapshot of the system after the run. */
     statistics::StatSnapshot stats;
 
+    /** Chrome trace file written for this run (empty when tracing is
+     *  off or the run failed before export). */
+    std::string tracePath;
+
     /** False when the scenario threw; error holds the message. */
     bool ok = false;
     std::string error;
@@ -51,6 +62,9 @@ class SweepRunner
     /** @param jobs Worker threads; 0 = one per hardware thread. */
     explicit SweepRunner(unsigned jobs = 0);
 
+    /** Adopt --jobs and the --trace-* routing knobs. */
+    explicit SweepRunner(const Options &opts);
+
     unsigned jobs() const { return _jobs; }
 
     /**
@@ -60,11 +74,33 @@ class SweepRunner
      */
     std::vector<RunResult> run(const std::vector<Scenario> &scenarios);
 
-    /** Execute a single scenario inline (no threads). */
+    /**
+     * Execute a single scenario inline (no threads), honouring this
+     * runner's trace routing.
+     */
+    RunResult runScenario(const Scenario &scenario) const;
+
+    /** Execute a single scenario inline with no trace routing. */
     static RunResult runOne(const Scenario &scenario);
 
   private:
+    /**
+     * Resolve the per-scenario output file under @p base: a ".json"
+     * base names the file directly when @p solo (sweeps splice the
+     * sanitized scenario name in before the extension); any other
+     * base is a directory of "<name><suffix>" files, created on
+     * demand.  Empty base → empty result.
+     */
+    static std::string routeFile(const std::string &base,
+                                 const std::string &name, bool solo,
+                                 const char *suffix);
+
+    RunResult runRouted(const Scenario &scenario,
+                        const std::string &trace_path,
+                        const std::string &flight_path) const;
+
     unsigned _jobs;
+    Options _opts;
 };
 
 } // namespace kindle::runner

@@ -21,6 +21,26 @@ TEST(StatsTest, ScalarArithmetic)
     EXPECT_EQ(s.value(), 0.0);
 }
 
+TEST(StatsTest, GaugeTracksLevelNotTraffic)
+{
+    Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g = 10;
+    g += 5;
+    g -= 3;
+    ++g;
+    --g;
+    EXPECT_DOUBLE_EQ(g.value(), 12);
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    // Gauges may legitimately go negative transiently (e.g. a drain
+    // observed before the matching fill).
+    g -= 5;
+    EXPECT_DOUBLE_EQ(g.value(), -2.5);
+    g.reset();
+    EXPECT_EQ(g.value(), 0.0);
+}
+
 TEST(StatsTest, DistributionTracksMoments)
 {
     Distribution d;
@@ -33,6 +53,98 @@ TEST(StatsTest, DistributionTracksMoments)
     EXPECT_DOUBLE_EQ(d.max(), 9);
     EXPECT_DOUBLE_EQ(d.mean(), 5);
     EXPECT_DOUBLE_EQ(d.sum(), 15);
+}
+
+TEST(StatsTest, HistogramBucketBoundaries)
+{
+    // Bucket 0 holds only zeros; bucket i >= 1 holds [2^(i-1), 2^i).
+    EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(1), 1u);
+    EXPECT_EQ(Histogram::bucketIndex(2), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(4), 3u);
+    EXPECT_EQ(Histogram::bucketIndex(1024), 11u);
+    EXPECT_EQ(Histogram::bucketIndex(~std::uint64_t{0}), 64u);
+
+    for (unsigned i = 1; i < Histogram::numBuckets; ++i) {
+        EXPECT_EQ(Histogram::bucketIndex(Histogram::bucketLo(i)), i);
+        EXPECT_EQ(Histogram::bucketIndex(Histogram::bucketHi(i)), i);
+    }
+    EXPECT_EQ(Histogram::bucketLo(0), 0u);
+    EXPECT_EQ(Histogram::bucketHi(0), 0u);
+    EXPECT_EQ(Histogram::bucketHi(64), ~std::uint64_t{0});
+}
+
+TEST(StatsTest, HistogramZeroAndNegativeSamplesLandInBucketZero)
+{
+    Histogram h;
+    h.sample(0);
+    h.sample(-3);  // clamped: latencies cannot be negative
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0);
+}
+
+TEST(StatsTest, HistogramMaxTickSampleSaturatesTopBucket)
+{
+    Histogram h;
+    const double top =
+        static_cast<double>(~std::uint64_t{0});
+    h.sample(top);
+    EXPECT_EQ(h.bucketCount(64), 1u);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0),
+                     static_cast<double>(~std::uint64_t{0}));
+}
+
+TEST(StatsTest, HistogramMomentsAndQuantiles)
+{
+    Histogram h;
+    // 7 samples: one zero, four small, two large.
+    for (double v : {0.0, 3.0, 3.0, 5.0, 7.0, 1000.0, 1000.0})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_DOUBLE_EQ(h.min(), 0);
+    EXPECT_DOUBLE_EQ(h.max(), 1000);
+    EXPECT_DOUBLE_EQ(h.sum(), 2018);
+    // Median sample is 5 → bucket [4,8) whose upper bound is 7.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 7);
+    // p100 lands in 1000's bucket [512,1024).
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1023);
+}
+
+TEST(StatsTest, HistogramResetClearsBucketsAndExtrema)
+{
+    Histogram h;
+    h.sample(100);
+    h.sample(7);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.min(), 0);
+    EXPECT_DOUBLE_EQ(h.max(), 0);
+    EXPECT_DOUBLE_EQ(h.sum(), 0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0);
+    for (unsigned i = 0; i < Histogram::numBuckets; ++i)
+        EXPECT_EQ(h.bucketCount(i), 0u);
+
+    // First sample after reset re-seeds extrema.
+    h.sample(9);
+    EXPECT_DOUBLE_EQ(h.min(), 9);
+    EXPECT_DOUBLE_EQ(h.max(), 9);
+}
+
+TEST(StatsTest, HistogramSnapshotKeysIncludeOccupiedBuckets)
+{
+    StatGroup g("g");
+    Histogram &h = g.addHistogram("lat", "");
+    h.sample(0);
+    h.sample(5);
+    const StatSnapshot snap = StatSnapshot::capture(g);
+    EXPECT_DOUBLE_EQ(snap.get("g.lat::count"), 2);
+    EXPECT_DOUBLE_EQ(snap.get("g.lat::sum"), 5);
+    EXPECT_DOUBLE_EQ(snap.get("g.lat::b0"), 1);
+    EXPECT_DOUBLE_EQ(snap.get("g.lat::b3"), 1);
+    // Empty buckets are omitted from snapshots.
+    EXPECT_FALSE(snap.has("g.lat::b1"));
 }
 
 TEST(StatsTest, GroupLookup)
@@ -179,10 +291,22 @@ TEST(StatsTest, AcceptVisitsCanonicalOrder)
             events.push_back("s:" + n);
         }
         void
+        visitGauge(const std::string &n, const std::string &,
+                   const Gauge &) override
+        {
+            events.push_back("gauge:" + n);
+        }
+        void
         visitDistribution(const std::string &n, const std::string &,
                           const Distribution &) override
         {
             events.push_back("d:" + n);
+        }
+        void
+        visitHistogram(const std::string &n, const std::string &,
+                       const Histogram &) override
+        {
+            events.push_back("h:" + n);
         }
     } rec;
     parent.accept(rec);

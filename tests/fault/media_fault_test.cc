@@ -174,8 +174,9 @@ TEST_P(MediaSchemeTest, BadFrameListSurvivesCrashAndReboot)
         os::Process &back = *sys.kernel().processes().back();
         sys.kernel().pageTables().forEachLeaf(
             back.ptRoot, [&, bad = bad](Addr, cpu::Pte pte, Addr) {
-                if (pte.present())
+                if (pte.present()) {
                     EXPECT_NE(pte.frameAddr(), bad);
+                }
             });
         sys.persistence()->checkpointNow();
     }
