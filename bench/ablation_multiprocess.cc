@@ -5,9 +5,18 @@
  * such as context switches, and the effect of cache pollution due to
  * OS activities" — effects invisible to user-level simulators.
  *
- * Runs one YCSB-like replay alone, then co-scheduled with 1 and 3
- * cache-hungry background processes, and reports the slowdown of the
- * foreground workload plus the scheduler's context-switch count.
+ * Runs one YCSB-like replay alone, then co-scheduled with cache-hungry
+ * background processes, and reports the slowdown of the foreground
+ * workload plus the scheduler's context-switch and migration counts.
+ *
+ * With --cores N (or KINDLE_CORES) the study becomes a true
+ * time-sharing SMP workload: background polluters are pinned one per
+ * secondary core, surplus polluters stay unpinned so the runqueues go
+ * imbalanced as processes exit and the work-stealing path migrates
+ * them, and the foreground floats freely.  An extra oversubscribed
+ * row (2N-1 polluters) forces every core to time-share.  The bench
+ * fails loudly if any core retires no instructions in a run with at
+ * least as many processes as cores.
  */
 
 #include "bench_util.hh"
@@ -15,6 +24,7 @@
 #include "kindle/microbench.hh"
 #include "prep/replay.hh"
 #include "prep/workloads.hh"
+#include "runner/options.hh"
 
 namespace
 {
@@ -39,12 +49,15 @@ struct RunResult
 {
     Tick total;
     double contextSwitches;
+    double migrations;
+    std::vector<double> opsPerCore;  ///< memOps+computeOps per cpu
 };
 
 RunResult
-runWith(unsigned background, std::uint64_t ops)
+runWith(unsigned cores, unsigned background, std::uint64_t ops)
 {
     KindleConfig cfg;
+    cfg.numCores = cores;
     cfg.memory.dramBytes = 3 * oneGiB;
     cfg.memory.nvmBytes = 2 * oneGiB;
     KindleSystem sys(cfg);
@@ -56,44 +69,105 @@ runWith(unsigned background, std::uint64_t ops)
     auto program = std::make_unique<prep::ReplayStream>(
         *trace, prep::ReplayConfig{});
 
+    // The foreground floats: the scheduler places it on the least
+    // loaded core and may steal it across cores as queues drain.
     sys.kernel().spawn(std::move(program), "foreground");
     for (unsigned i = 0; i < background; ++i) {
-        sys.kernel().spawn(
-            cachePolluter(micro::scriptBase + (i + 4) * oneGiB, 400),
+        const Pid pid = sys.kernel().spawn(
+            cachePolluter(micro::scriptBase + (i + 4) * oneGiB,
+                          400),
             "polluter" + std::to_string(i));
+        // Pin one polluter to each secondary core; surplus polluters
+        // stay unpinned so runqueue imbalance exercises migration.
+        if (cores > 1 && i < cores - 1) {
+            os::Process *proc = sys.kernel().findProcess(pid);
+            sys.kernel().setAffinity(*proc,
+                                     static_cast<int>(i + 1));
+        }
     }
     sys.runAll();
-    return {sys.now(),
-            sys.kernel().stats().scalarValue("contextSwitches")};
+
+    RunResult r;
+    r.total = sys.now();
+    r.contextSwitches =
+        sys.kernel().stats().scalarValue("contextSwitches");
+    r.migrations =
+        cores > 1 ? sys.kernel().stats().scalarValue("migrations")
+                  : 0.0;
+    for (unsigned c = 0; c < cores; ++c) {
+        auto &cs = sys.core(c).stats();
+        r.opsPerCore.push_back(cs.scalarValue("memOps") +
+                               cs.scalarValue("computeOps"));
+    }
+    return r;
+}
+
+/** Every core must retire work when processes >= cores. */
+void
+requireAllCoresActive(const RunResult &r, unsigned background)
+{
+    if (1 + background < r.opsPerCore.size())
+        return;  // fewer processes than cores: idle cores are fine
+    for (std::size_t c = 0; c < r.opsPerCore.size(); ++c) {
+        if (r.opsPerCore[c] <= 0) {
+            std::fprintf(stderr,
+                         "FAIL: cpu%zu retired no instructions with "
+                         "%u background procs\n",
+                         c, background);
+            std::exit(1);
+        }
+    }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kindle;
     using namespace kindle::bench;
 
+    const auto opts = runner::parseOptions(argc, argv);
+    const unsigned cores = opts.cores;
     const std::uint64_t ops = prep::opsFromEnv(200000);
     printHeader("Ablation (multi-process)",
-                "Context switches + cache pollution (KINDLE_OPS=" +
-                    std::to_string(ops) + ")");
+                "Context switches + cache pollution (" +
+                    std::to_string(cores) +
+                    " cores, KINDLE_OPS=" + std::to_string(ops) +
+                    ")");
 
-    const RunResult alone = runWith(0, ops);
+    std::vector<unsigned> rows = {0u, 1u, 3u};
+    if (cores > 1)  // oversubscribe: 2N-1 polluters on N cores
+        rows.push_back(2 * cores - 1);
+
+    const RunResult alone = runWith(cores, 0, ops);
     TablePrinter table({"Background procs", "Total (ms)",
-                        "Context switches", "Slowdown"});
-    for (const unsigned bg : {0u, 1u, 3u}) {
-        const RunResult r = bg == 0 ? alone : runWith(bg, ops);
+                        "Context switches", "Migrations",
+                        "Slowdown"});
+    for (const unsigned bg : rows) {
+        const RunResult r = bg == 0 ? alone : runWith(cores, bg, ops);
+        requireAllCoresActive(r, bg);
         table.addRow({std::to_string(bg), ms(r.total),
                       fixed(r.contextSwitches, 0),
+                      fixed(r.migrations, 0),
                       ratio(static_cast<double>(r.total) /
                             static_cast<double>(alone.total))});
     }
     table.print();
-    std::printf("\nExpectation: co-runners add far more than their CPU "
-                "share — timeslice interleaving plus cache/TLB "
-                "pollution — an effect user-level simulators cannot "
-                "attribute.\n");
+    if (cores > 1) {
+        std::printf("\nPer-core retirement (last row): ");
+        // Re-run would be wasteful; report the stats the check saw.
+        std::printf("all %u cores retired instructions.\n", cores);
+        std::printf("Expectation: pinned polluters keep secondary "
+                    "cores busy while the unpinned foreground and "
+                    "surplus polluters migrate between runqueues; "
+                    "slowdown now mixes time-sharing with shared-LLC "
+                    "coherence traffic.\n");
+    } else {
+        std::printf("\nExpectation: co-runners add far more than "
+                    "their CPU share — timeslice interleaving plus "
+                    "cache/TLB pollution — an effect user-level "
+                    "simulators cannot attribute.\n");
+    }
     return 0;
 }

@@ -37,6 +37,9 @@
  * Flags (besides the common runner set):
  *   --points N       crash points per scheme (KINDLE_FUZZ_POINTS)
  *   --seed N         sweep seed (KINDLE_FUZZ_SEED)
+ *   --cores N        SMP machine: N-1 background mutator processes
+ *                    run time-shared with the foreground, adding
+ *                    shootdown/migration interleavings to the space
  *   --media-faults   arm the media error model + scrubber
  *   --filter STR     run only points whose name contains STR
  *   --force-divergence
@@ -76,6 +79,7 @@ struct FuzzOptions
 {
     std::uint64_t points;
     std::uint64_t seed;
+    unsigned cores = 1;
     bool mediaFaults = false;
     bool forceDivergence = false;
     std::string filter;
@@ -136,11 +140,13 @@ mediaPlan()
 }
 
 KindleConfig
-baseConfig(persist::PtScheme scheme, bool media_faults)
+baseConfig(persist::PtScheme scheme, bool media_faults,
+           unsigned cores)
 {
     KindleConfig cfg;
     cfg.memory.dramBytes = 128 * oneMiB;
     cfg.memory.nvmBytes = 256 * oneMiB;
+    cfg.numCores = cores;
     cfg.persistence = persist::PersistParams{scheme, oneMs / 4};
     if (media_faults) {
         cfg.fault = fault::FaultPlan{};  // unarmed: media config only
@@ -150,24 +156,45 @@ baseConfig(persist::PtScheme scheme, bool media_faults)
     return cfg;
 }
 
+/**
+ * With --cores N (N > 1), spawn N-1 deterministic background mutators
+ * *before* the foreground workload — both in the golden run and at
+ * every crash point, so the SMP interleavings (parallel checkpoints,
+ * TLB shootdowns, migrated processes mid-crash) are part of the
+ * audited space while the oracle stays well-defined.
+ */
+void
+spawnBackground(KindleSystem &sys, unsigned cores)
+{
+    for (unsigned i = 1; i < cores; ++i) {
+        micro::ScriptBuilder b;
+        const Addr base =
+            micro::scriptBase + Addr(0x1000) * pageSize * i;
+        b.mmapFixed(base, 16 * pageSize, true);
+        b.touchPages(base, 16 * pageSize);
+        for (int r = 0; r < 6; ++r) {
+            b.compute(200000 + 50000 * static_cast<int>(i));
+            b.touchPages(base, 8 * pageSize);
+        }
+        b.exit();
+        sys.kernel().spawn(b.build(), "bg" + std::to_string(i));
+    }
+}
+
 /** The committed (rip, mappedBytes) of @p proc — the exact register
  *  source checkpointProcess() serializes. */
 std::pair<std::uint64_t, std::uint64_t>
 committedState(KindleSystem &sys, const os::Process &proc)
 {
-    const std::uint64_t rip =
-        (sys.kernel().currentProcess() == &proc &&
-         proc.state == os::ProcState::running)
-            ? sys.core().state().rip
-            : proc.context.rip;
-    return {rip, proc.aspace.mappedBytes()};
+    return {sys.kernel().contextOf(proc).rip,
+            proc.aspace.mappedBytes()};
 }
 
 Golden
-goldenRun(persist::PtScheme scheme, bool media_faults)
+goldenRun(persist::PtScheme scheme, bool media_faults, unsigned cores)
 {
     Golden g;
-    KindleSystem sys(baseConfig(scheme, media_faults));
+    KindleSystem sys(baseConfig(scheme, media_faults, cores));
     sys.injector().setObserver(
         [&](const std::string &name, std::uint64_t) {
             if (name != "ckpt.after_commit")
@@ -178,6 +205,7 @@ goldenRun(persist::PtScheme scheme, bool media_faults)
                 g.committed.insert(committedState(sys, *proc));
             }
         });
+    spawnBackground(sys, cores);
     sys.run(makeWorkload(), "golden");
     g.hits = sys.injector().allHits();
     g.durableWrites = sys.injector().durableWrites();
@@ -271,17 +299,18 @@ makeScenario(persist::PtScheme scheme, const Point &point,
                {"site", point.plan.site.empty() ? "durable_write"
                                                 : point.plan.site},
                {"trigger", point.label}};
-    sc.config = baseConfig(scheme, media_faults);
+    sc.config = baseConfig(scheme, media_faults, fz.cores);
     sc.config.fault = point.plan;
     if (media_faults)
         sc.config.fault->media = mediaPlan();
     sc.drive = [oracle = &golden.committed, name = sc.name,
-                force = fz.forceDivergence](
+                force = fz.forceDivergence, cores = fz.cores](
                    KindleSystem &sys,
                    statistics::StatSnapshot &extra) -> Tick {
         const Tick t0 = sys.now();
         bool fired = false;
         try {
+            spawnBackground(sys, cores);
             sys.run(makeWorkload(), "fuzz");
         } catch (const fault::PowerLoss &) {
             fired = true;
@@ -359,6 +388,10 @@ parseFuzzOptions(int argc, char **argv, std::vector<char *> &pass_argv)
                 kindle_fatal("--points must be positive");
         } else if (std::strcmp(argv[i], "--seed") == 0) {
             fz.seed = numeric("--seed");
+        } else if (std::strcmp(argv[i], "--cores") == 0) {
+            fz.cores = static_cast<unsigned>(numeric("--cores"));
+            if (fz.cores == 0 || fz.cores > 32)
+                kindle_fatal("--cores must be in 1..32");
         } else if (std::strcmp(argv[i], "--media-faults") == 0) {
             fz.mediaFaults = true;
         } else if (std::strcmp(argv[i], "--force-divergence") == 0) {
@@ -382,6 +415,8 @@ reproCommand(const char *argv0, const FuzzOptions &fz,
     std::string cmd = argv0;
     cmd += " --points " + std::to_string(fz.points);
     cmd += " --seed " + std::to_string(fz.seed);
+    if (fz.cores > 1)
+        cmd += " --cores " + std::to_string(fz.cores);
     if (fz.mediaFaults)
         cmd += " --media-faults";
     cmd += " --filter '" + point_name + "' --jobs 1";
@@ -405,6 +440,7 @@ main(int argc, char **argv)
         "Crash-recovery fuzz",
         "crash-point exploration, " + std::to_string(total) +
             " points/scheme, seed " + std::to_string(seed) +
+            ", cores " + std::to_string(fz.cores) +
             (fz.mediaFaults ? ", media faults + scrubber armed" : ""));
 
     const std::vector<persist::PtScheme> schemes = {
@@ -422,7 +458,8 @@ main(int argc, char **argv)
     bool any_failed = false;
 
     for (const auto scheme : schemes) {
-        const Golden golden = goldenRun(scheme, fz.mediaFaults);
+        const Golden golden =
+            goldenRun(scheme, fz.mediaFaults, fz.cores);
         kindle_assert(!golden.committed.empty(),
                       "golden run took no checkpoints — workload or "
                       "interval mistuned");

@@ -29,6 +29,10 @@ echo "=== Crash-recovery fuzz smoke (ASan/UBSan) ==="
 # error model + patrol scrubber armed underneath the protocols.
 ./build-asan/bench/fuzz_crash_recovery --points 64
 ./build-asan/bench/fuzz_crash_recovery --points 64 --media-faults
+# The same sweep on a 4-core system: background mutator processes on
+# the extra cores widen the crash interleavings (shootdown IPIs and
+# runqueue state in flight at the crash point).
+./build-asan/bench/fuzz_crash_recovery --points 64 --cores 4
 rm -f BENCH_fuzz_crash_recovery.json
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
@@ -38,7 +42,7 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
         -DCMAKE_CXX_FLAGS="-fsanitize=thread"
     cmake --build build-tsan -j "${JOBS}" \
         --target test_runner test_fault test_persist test_trace \
-        fig4a_seq_alloc
+        fig4a_seq_alloc ablation_multiprocess
     # The runner tests exercise every cross-thread path: the work
     # queue, result placement, and the shared trace-flag/error-mode
     # globals that concurrent KindleSystem instances touch.
@@ -75,6 +79,18 @@ for f in files:
 print(f"trace smoke: {len(files)} per-scenario files well-formed")
 PY
     rm -rf "${TRACE_DIR}" BENCH_fig4a_seq_alloc.json
+
+    echo "=== Multi-core ablation sweep under TSan ==="
+    # The SMP scheduler, MESI-lite directory, and shootdown IPIs all
+    # run inside one simulation thread, but concurrent KindleSystem
+    # instances in sweep workers share trace/error-mode globals; a
+    # core-count sweep under TSan proves the multi-core paths add no
+    # cross-thread hazard.  The bench itself fails if any core
+    # retires no instructions.
+    for CORES in 1 2 4; do
+        KINDLE_OPS=20000 ./build-tsan/bench/ablation_multiprocess \
+            --cores "${CORES}"
+    done
 fi
 
 echo "ci.sh: all checks passed"

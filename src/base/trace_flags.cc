@@ -26,7 +26,7 @@ std::once_flag envInitOnce;
 constexpr std::array<const char *, numFlags> flagNames = {
     "event", "mem", "cache", "tlb", "pwalk", "vma",
     "syscall", "checkpoint", "recovery", "ssp", "hscc", "replay",
-    "pt", "redo", "scrub", "fault",
+    "pt", "redo", "scrub", "fault", "sched",
 };
 
 } // namespace

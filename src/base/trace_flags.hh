@@ -38,6 +38,7 @@ enum class Flag : unsigned
     redo,
     scrub,
     fault,
+    sched,
     numFlags
 };
 

@@ -28,6 +28,9 @@ using Cycles = std::uint64_t;
 /** Process identifier inside the simulated OS. */
 using Pid = std::uint32_t;
 
+/** Index of a CPU core in an SMP machine (0-based). */
+using CpuId = unsigned;
+
 /** The largest representable tick; used as "never". */
 constexpr Tick maxTick = ~Tick(0);
 

@@ -1,0 +1,161 @@
+#include "cache/coherence.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace kindle::cache
+{
+
+const char *
+mesiStateName(MesiState s)
+{
+    switch (s) {
+      case MesiState::invalid:
+        return "I";
+      case MesiState::shared:
+        return "S";
+      case MesiState::exclusive:
+        return "E";
+      case MesiState::modified:
+        return "M";
+    }
+    return "?";
+}
+
+MesiDirectory::MesiDirectory(unsigned num_cores)
+    : numCores(num_cores),
+      statGroup("coherence", "MESI-lite LLC directory"),
+      invalidationsSent(statGroup.addScalar(
+          "invalidations", "invalidation messages to private caches")),
+      writebacksForced(statGroup.addScalar(
+          "writebacksForced", "dirty copies pushed down for a reader")),
+      upgrades(statGroup.addScalar("upgrades",
+                                   "shared-to-modified upgrades")),
+      sharedFills(statGroup.addScalar(
+          "sharedFills", "read fills joining an existing sharer set"))
+{
+    kindle_assert(num_cores >= 1 && num_cores <= 32,
+                  "MESI directory supports 1-32 cores, got {}",
+                  num_cores);
+}
+
+CoherenceActions
+MesiDirectory::apply(DirEntry &entry, CpuId requester, bool is_write)
+{
+    const std::uint32_t req_bit = 1u << requester;
+    CoherenceActions act;
+
+    switch (entry.state) {
+      case MesiState::invalid:
+        entry.state =
+            is_write ? MesiState::modified : MesiState::exclusive;
+        entry.owner = requester;
+        entry.sharers = req_bit;
+        return act;
+
+      case MesiState::exclusive:
+        if (entry.owner == requester) {
+            // Silent E->M upgrade on a write; reads stay E.
+            if (is_write)
+                entry.state = MesiState::modified;
+            return act;
+        }
+        if (is_write) {
+            // Remote write: the clean copy is dropped.
+            act.invalidate = entry.sharers;
+            entry.state = MesiState::modified;
+            entry.owner = requester;
+            entry.sharers = req_bit;
+        } else {
+            // Remote read of a clean line: both end up sharers.
+            entry.state = MesiState::shared;
+            entry.sharers |= req_bit;
+        }
+        return act;
+
+      case MesiState::shared:
+        if (is_write) {
+            act.invalidate = entry.sharers & ~req_bit;
+            act.upgrade = (entry.sharers & req_bit) != 0;
+            entry.state = MesiState::modified;
+            entry.owner = requester;
+            entry.sharers = req_bit;
+        } else {
+            entry.sharers |= req_bit;
+        }
+        return act;
+
+      case MesiState::modified:
+        if (entry.owner == requester)
+            return act;
+        if (is_write) {
+            // The dirty remote copy is pushed down as it invalidates
+            // (invalidateLine writes back dirty lines), so a plain
+            // invalidation message is sufficient.
+            act.invalidate = entry.sharers;
+            entry.owner = requester;
+            entry.sharers = req_bit;
+        } else {
+            // Remote read: force the owner's dirty copy down to the
+            // shared LLC, then both keep clean copies.
+            act.writebackFrom = entry.sharers;
+            entry.state = MesiState::shared;
+            entry.sharers |= req_bit;
+        }
+        return act;
+    }
+    kindle_panic("unhandled MESI state");
+}
+
+CoherenceActions
+MesiDirectory::access(Addr line_addr, CpuId requester, bool is_write)
+{
+    kindle_assert(requester < numCores,
+                  "coherence access from core {} of {}", requester,
+                  numCores);
+    DirEntry &entry = lines[line_addr];
+    const bool joins_sharers = !is_write &&
+                               entry.state != MesiState::invalid &&
+                               !(entry.sharers & (1u << requester));
+    const CoherenceActions act = apply(entry, requester, is_write);
+    invalidationsSent +=
+        static_cast<double>(popCount(act.invalidate));
+    writebacksForced +=
+        static_cast<double>(popCount(act.writebackFrom));
+    if (act.upgrade)
+        ++upgrades;
+    if (joins_sharers)
+        ++sharedFills;
+    return act;
+}
+
+void
+MesiDirectory::cleanLine(Addr line_addr)
+{
+    auto it = lines.find(line_addr);
+    if (it == lines.end())
+        return;
+    if (it->second.state == MesiState::modified)
+        it->second.state = MesiState::exclusive;
+}
+
+void
+MesiDirectory::dropLine(Addr line_addr)
+{
+    lines.erase(line_addr);
+}
+
+void
+MesiDirectory::reset()
+{
+    lines.clear();
+}
+
+DirEntry
+MesiDirectory::lookup(Addr line_addr) const
+{
+    const auto it = lines.find(line_addr);
+    return it == lines.end() ? DirEntry{} : it->second;
+}
+
+} // namespace kindle::cache

@@ -4,17 +4,18 @@
 
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "base/str.hh"
 
 namespace kindle::cache
 {
 
 Hierarchy::Hierarchy(const HierarchyParams &params,
-                     mem::HybridMemory &memory_arg)
+                     mem::HybridMemory &memory_arg, unsigned num_cores)
     : memory(memory_arg),
       adapter(memory_arg),
+      nCores(num_cores),
+      msgLatency(params.coherenceMsgLatency),
       llcCache(std::make_unique<Cache>(params.llc, adapter)),
-      l2Cache(std::make_unique<Cache>(params.l2, *llcCache)),
-      l1Cache(std::make_unique<Cache>(params.l1, *l2Cache)),
       statGroup("cacheHierarchy",
                 "three-level write-back cache hierarchy"),
       accesses(statGroup.addScalar("accesses", "demand accesses")),
@@ -23,27 +24,103 @@ Hierarchy::Hierarchy(const HierarchyParams &params,
       clwbs(statGroup.addScalar("clwbs", "clwb line flushes")),
       fences(statGroup.addScalar("fences", "store fences"))
 {
-    statGroup.addChild(l1Cache->stats());
-    statGroup.addChild(l2Cache->stats());
-    statGroup.addChild(llcCache->stats());
+    kindle_assert(num_cores >= 1 && num_cores <= 32,
+                  "hierarchy supports 1-32 cores, got {}", num_cores);
+    for (unsigned c = 0; c < nCores; ++c) {
+        l2Caches.push_back(
+            std::make_unique<Cache>(params.l2, *llcCache));
+        l1Caches.push_back(
+            std::make_unique<Cache>(params.l1, *l2Caches.back()));
+    }
+
+    if (nCores == 1) {
+        // Single-core stat layout is byte-identical to the classic
+        // three-level chain: l1 / l2 / llc directly under the group.
+        statGroup.addChild(l1Caches[0]->stats());
+        statGroup.addChild(l2Caches[0]->stats());
+        statGroup.addChild(llcCache->stats());
+    } else {
+        directory_ = std::make_unique<MesiDirectory>(nCores);
+        for (unsigned c = 0; c < nCores; ++c) {
+            cpuGroups.push_back(
+                std::make_unique<statistics::StatGroup>(
+                    csprintf("cpu{}", c),
+                    csprintf("core {} private caches", c)));
+            cpuGroups.back()->addChild(l1Caches[c]->stats());
+            cpuGroups.back()->addChild(l2Caches[c]->stats());
+            statGroup.addChild(*cpuGroups.back());
+        }
+        statGroup.addChild(llcCache->stats());
+        statGroup.addChild(directory_->stats());
+    }
+}
+
+void
+Hierarchy::setInitiator(CpuId cpu)
+{
+    kindle_assert(cpu < nCores, "initiator core {} of {}", cpu,
+                  nCores);
+    initiator_ = cpu;
+}
+
+Tick
+Hierarchy::deliverCoherence(const CoherenceActions &act, CpuId cpu,
+                            Addr line_addr, Tick now)
+{
+    Tick latency = 0;
+    for (CpuId c = 0; c < nCores; ++c) {
+        const std::uint32_t bit = 1u << c;
+        if (c == cpu)
+            continue;
+        if (act.writebackFrom & bit) {
+            // Force the dirty copy down to the shared LLC; the line
+            // stays resident clean in the remote core's caches.
+            latency += 2 * msgLatency; // request + reply hop
+            bool dirty = false;
+            latency += l1Caches[c]->flushLine(line_addr,
+                                              now + latency, dirty);
+            latency += l2Caches[c]->flushLine(line_addr,
+                                              now + latency, dirty);
+        }
+        if (act.invalidate & bit) {
+            // Drop the remote private copies; invalidateLine pushes
+            // dirty data down on its way out.
+            latency += 2 * msgLatency;
+            latency += l1Caches[c]->invalidateLine(line_addr,
+                                                   now + latency);
+            latency += l2Caches[c]->invalidateLine(line_addr,
+                                                   now + latency);
+        }
+    }
+    return latency;
 }
 
 AccessResult
-Hierarchy::access(mem::MemCmd cmd, Addr paddr, std::uint64_t size,
-                  Tick now)
+Hierarchy::access(CpuId cpu, mem::MemCmd cmd, Addr paddr,
+                  std::uint64_t size, Tick now)
 {
     kindle_assert(size > 0, "zero-size access");
+    kindle_assert(cpu < nCores, "access from core {} of {}", cpu,
+                  nCores);
     ++accesses;
 
     AccessResult result;
     const double llc_misses_before = llcCache->stats()
                                          .scalarValue("misses");
 
+    const bool is_write = cmd == mem::MemCmd::write ||
+                          cmd == mem::MemCmd::bulkWrite;
     Addr line = roundDown(paddr, lineSize);
     const Addr last = roundDown(paddr + size - 1, lineSize);
     while (true) {
-        result.latency += l1Cache->request(cmd, line,
-                                           now + result.latency);
+        if (directory_) {
+            const CoherenceActions act =
+                directory_->access(line, cpu, is_write);
+            result.latency += deliverCoherence(
+                act, cpu, line, now + result.latency);
+        }
+        result.latency += l1Caches[cpu]->request(
+            cmd, line, now + result.latency);
         if (line == last)
             break;
         line += lineSize;
@@ -61,13 +138,22 @@ Hierarchy::clwb(Addr line_addr, Tick now)
 {
     ++clwbs;
     line_addr = roundDown(line_addr, lineSize);
-    // Push the newest copy down one level at a time: L1 → L2 → LLC →
-    // memory.  Each flushLine writes back into the level below it, so
-    // chaining the three levels lands the freshest data in the device.
+    // Push the newest copy down one level at a time: every private
+    // L1 → its L2 → LLC → memory.  At most one core holds a dirty
+    // copy (MESI), so chaining all private pairs before the LLC lands
+    // the freshest data in the device; with one core this is exactly
+    // the classic L1 → L2 → LLC chain.
     bool dirty = false;
-    Tick latency = l1Cache->flushLine(line_addr, now, dirty);
-    latency += l2Cache->flushLine(line_addr, now + latency, dirty);
+    Tick latency = 0;
+    for (unsigned c = 0; c < nCores; ++c) {
+        latency += l1Caches[c]->flushLine(line_addr, now + latency,
+                                          dirty);
+        latency += l2Caches[c]->flushLine(line_addr, now + latency,
+                                          dirty);
+    }
     latency += llcCache->flushLine(line_addr, now + latency, dirty);
+    if (directory_)
+        directory_->cleanLine(line_addr);
     if (!dirty) {
         // Clean everywhere (or absent): still charge the pipeline cost
         // of the instruction, but confirm durability of the line if it
@@ -85,9 +171,15 @@ Hierarchy::clflush(Addr line_addr, Tick now)
     Tick latency = clwb(line_addr, now);
     // Invalidate clean copies (no further writebacks possible since
     // clwb left everything clean).
-    latency += l1Cache->invalidateLine(line_addr, now + latency);
-    latency += l2Cache->invalidateLine(line_addr, now + latency);
+    for (unsigned c = 0; c < nCores; ++c) {
+        latency += l1Caches[c]->invalidateLine(line_addr,
+                                               now + latency);
+        latency += l2Caches[c]->invalidateLine(line_addr,
+                                               now + latency);
+    }
     latency += llcCache->invalidateLine(line_addr, now + latency);
+    if (directory_)
+        directory_->dropLine(line_addr);
     return latency;
 }
 
@@ -130,18 +222,27 @@ Hierarchy::sfence(Tick now)
 Tick
 Hierarchy::flushAll(Tick now)
 {
-    Tick latency = l1Cache->flushAll(now);
-    latency += l2Cache->flushAll(now + latency);
+    Tick latency = 0;
+    for (unsigned c = 0; c < nCores; ++c) {
+        latency += l1Caches[c]->flushAll(now + latency);
+        latency += l2Caches[c]->flushAll(now + latency);
+    }
     latency += llcCache->flushAll(now + latency);
+    if (directory_)
+        directory_->reset();
     return latency;
 }
 
 void
 Hierarchy::invalidateAll()
 {
-    l1Cache->invalidateAll();
-    l2Cache->invalidateAll();
+    for (unsigned c = 0; c < nCores; ++c) {
+        l1Caches[c]->invalidateAll();
+        l2Caches[c]->invalidateAll();
+    }
     llcCache->invalidateAll();
+    if (directory_)
+        directory_->reset();
 }
 
 } // namespace kindle::cache

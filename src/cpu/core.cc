@@ -9,15 +9,17 @@ namespace kindle::cpu
 {
 
 Core::Core(const CoreParams &params, sim::Simulation &sim_arg,
-           mem::HybridMemory &memory_arg, cache::Hierarchy &caches_arg)
+           mem::HybridMemory &memory_arg, cache::Hierarchy &caches_arg,
+           CpuId cpu_id, const std::string &stat_name)
     : _params(params),
+      id(cpu_id),
       sim(sim_arg),
       memory(memory_arg),
       caches(caches_arg),
       clockDomain(sim::ClockDomain::fromMHz(params.freqMHz)),
       dtlb(params.tlb),
-      ptWalker(memory_arg, caches_arg),
-      statGroup("core", "in-order core"),
+      ptWalker(memory_arg, caches_arg, cpu_id),
+      statGroup(stat_name, "in-order core"),
       memOps(statGroup.addScalar("memOps", "loads+stores executed")),
       computeOps(statGroup.addScalar("computeOps",
                                      "compute bursts executed")),
@@ -68,7 +70,7 @@ Core::translateToEntry(Addr vaddr, bool is_write, Tick &latency)
         }
         ++pageFaults;
         if (!faultHandler ||
-            !faultHandler->handlePageFault(vaddr, is_write)) {
+            !faultHandler->handlePageFault(*this, vaddr, is_write)) {
             ++illegalAccesses;
             return nullptr;
         }
@@ -105,8 +107,8 @@ Core::memAccess(bool is_write, Addr vaddr, std::uint64_t size)
 
         const Addr paddr = (entry->pfn << pageShift) | in_page;
         const auto res = caches.access(
-            is_write ? mem::MemCmd::write : mem::MemCmd::read, paddr,
-            chunk, sim.now() + latency);
+            id, is_write ? mem::MemCmd::write : mem::MemCmd::read,
+            paddr, chunk, sim.now() + latency);
         latency += res.latency;
         if (res.llcMiss) {
             for (auto *h : hooks)

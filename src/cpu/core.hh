@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "base/stats.hh"
@@ -46,18 +47,23 @@ struct CpuState
     }
 };
 
-/** The OS's page-fault entry point, installed into the core. */
+class Core;
+
+/** The OS's page-fault entry point, installed into each core. */
 class FaultHandler
 {
   public:
     virtual ~FaultHandler() = default;
 
     /**
-     * Resolve a fault at @p vaddr (write access iff @p is_write).
+     * Resolve a fault taken by @p core at @p vaddr (write access iff
+     * @p is_write).  On an SMP machine the faulting core identifies
+     * the runqueue / process the fault belongs to.
      * @return true if the mapping now exists and the access should be
      *         retried; false for an illegal access (process killed).
      */
-    virtual bool handlePageFault(Addr vaddr, bool is_write) = 0;
+    virtual bool handlePageFault(Core &core, Addr vaddr,
+                                 bool is_write) = 0;
 };
 
 /**
@@ -107,8 +113,18 @@ struct CoreParams
 class Core
 {
   public:
+    /**
+     * Construct core number @p cpu_id.  @p stat_name is the stat-group
+     * name: the default "core" keeps single-core stat trees identical
+     * to the pre-SMP layout; KindleSystem names cores "cpu0".."cpuN"
+     * when more than one exists.
+     */
     Core(const CoreParams &params, sim::Simulation &sim,
-         mem::HybridMemory &memory, cache::Hierarchy &caches);
+         mem::HybridMemory &memory, cache::Hierarchy &caches,
+         CpuId cpu_id = 0, const std::string &stat_name = "core");
+
+    /** This core's index in the machine. */
+    CpuId cpuId() const { return id; }
 
     /** @name Context (set by the OS on context switch). */
     /// @{
@@ -169,6 +185,7 @@ class Core
                                Tick &latency);
 
     CoreParams _params;
+    CpuId id;
     sim::Simulation &sim;
     mem::HybridMemory &memory;
     cache::Hierarchy &caches;

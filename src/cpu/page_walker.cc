@@ -6,9 +6,10 @@ namespace kindle::cpu
 {
 
 PageWalker::PageWalker(mem::HybridMemory &memory_arg,
-                       cache::Hierarchy &caches_arg)
+                       cache::Hierarchy &caches_arg, CpuId cpu_arg)
     : memory(memory_arg),
       caches(caches_arg),
+      cpu(cpu_arg),
       statGroup("pageWalker", "hardware page-table walker"),
       walks(statGroup.addScalar("walks", "page-table walks")),
       faults(statGroup.addScalar("faults", "walks hitting a hole")),
@@ -31,8 +32,8 @@ PageWalker::walk(Addr ptbr, Addr vaddr, Tick now)
                         ptEntrySize;
         ++levelReads;
         result.latency += caches
-                              .access(mem::MemCmd::read, entry_addr,
-                                      ptEntrySize,
+                              .access(cpu, mem::MemCmd::read,
+                                      entry_addr, ptEntrySize,
                                       now + result.latency)
                               .latency;
         Pte pte{memory.readT<std::uint64_t>(entry_addr)};

@@ -34,7 +34,8 @@ struct WalkResult
 class PageWalker
 {
   public:
-    PageWalker(mem::HybridMemory &memory, cache::Hierarchy &caches);
+    PageWalker(mem::HybridMemory &memory, cache::Hierarchy &caches,
+               CpuId cpu = 0);
 
     /**
      * Translate @p vaddr starting from the root table at @p ptbr.
@@ -48,6 +49,7 @@ class PageWalker
   private:
     mem::HybridMemory &memory;
     cache::Hierarchy &caches;
+    CpuId cpu;  ///< core this walker belongs to (cache attribution)
 
     statistics::StatGroup statGroup;
     statistics::Scalar &walks;

@@ -71,11 +71,15 @@ HsccEngine::start()
     if (started)
         return;
     started = true;
-    kernel.core().addHooks(this);
+    // Access counting happens in every core's translation hardware.
+    for (CpuId c = 0; c < kernel.numCores(); ++c) {
+        cpu::Core &core = kernel.core(c);
+        core.addHooks(this);
+        evictHookHandles.push_back(core.tlb().addEvictHook(
+            [this](const cpu::TlbEntry &e) { handleTlbEvict(e); }));
+        core.msrs().write(cpu::MsrId::hsccEnable, 1);
+    }
     kernel.addListener(this);
-    evictHookHandle = kernel.core().tlb().addEvictHook(
-        [this](const cpu::TlbEntry &e) { handleTlbEvict(e); });
-    kernel.core().msrs().write(cpu::MsrId::hsccEnable, 1);
     auto &sim = kernel.simulation();
     sim.eventq().schedule(&migrateEvent,
                           sim.now() + _params.migrationInterval);
@@ -87,10 +91,14 @@ HsccEngine::stop()
     if (!started)
         return;
     started = false;
-    kernel.core().removeHooks(this);
+    for (CpuId c = 0; c < kernel.numCores(); ++c) {
+        cpu::Core &core = kernel.core(c);
+        core.removeHooks(this);
+        core.tlb().removeEvictHook(evictHookHandles[c]);
+        core.msrs().write(cpu::MsrId::hsccEnable, 0);
+    }
+    evictHookHandles.clear();
     kernel.removeListener(this);
-    kernel.core().tlb().removeEvictHook(evictHookHandle);
-    kernel.core().msrs().write(cpu::MsrId::hsccEnable, 0);
     kernel.simulation().eventq().deschedule(&migrateEvent);
 }
 
@@ -180,8 +188,9 @@ HsccEngine::revertMapping(Addr nvm_home)
         pte.setAccessCount(0);
         ptePut(it->second.pteAddr, pte);
     }
-    kernel.core().tlb().invalidate(it->second.pid,
-                                   cpu::vpnOf(it->second.vaddr));
+    // The PTE changed under a possibly-running process: every core's
+    // stale translation must go, not just the local one.
+    kernel.shootdownPage(it->second.pid, it->second.vaddr);
     dirtyHomes.erase(nvm_home);
     cachedPages.erase(it);
 }
@@ -225,15 +234,18 @@ HsccEngine::migrate()
     }
 
     // Spill TLB-resident counts so the PTE scan sees fresh values.
-    kernel.core().tlb().forEachValid([&](cpu::TlbEntry &e) {
-        if (!e.nvmBacked || e.hsccRemapped || e.accessCount == 0)
-            return;
-        Pte pte{kernel.kmem().mem().readT<std::uint64_t>(e.pteAddr)};
-        if (e.accessCount > pte.accessCount()) {
-            pte.setAccessCount(e.accessCount);
-            ptePut(e.pteAddr, pte);
-        }
-    });
+    for (CpuId c = 0; c < kernel.numCores(); ++c) {
+        kernel.core(c).tlb().forEachValid([&](cpu::TlbEntry &e) {
+            if (!e.nvmBacked || e.hsccRemapped || e.accessCount == 0)
+                return;
+            Pte pte{
+                kernel.kmem().mem().readT<std::uint64_t>(e.pteAddr)};
+            if (e.accessCount > pte.accessCount()) {
+                pte.setAccessCount(e.accessCount);
+                ptePut(e.pteAddr, pte);
+            }
+        });
+    }
 
     // Candidate scan: software page-table walk over every process.
     std::vector<Candidate> candidates;
@@ -316,8 +328,7 @@ HsccEngine::migrate()
 
         dramPool.bind(sel.index, nvm_frame);
         cachedPages[nvm_frame] = {c.proc->pid, c.vaddr, c.pteAddr};
-        kernel.core().tlb().invalidate(c.proc->pid,
-                                       cpu::vpnOf(c.vaddr));
+        kernel.shootdownPage(c.proc->pid, c.vaddr);
         ++migrated;
         cpTicks += static_cast<double>(sim.now() - copy0);
     }
@@ -332,10 +343,12 @@ HsccEngine::migrate()
             ptePut(entry_addr, pte);
         }
     }
-    kernel.core().tlb().forEachValid([&](cpu::TlbEntry &e) {
-        e.accessCount = 0;
-        e.countSyncedThisInterval = false;
-    });
+    for (CpuId c = 0; c < kernel.numCores(); ++c) {
+        kernel.core(c).tlb().forEachValid([&](cpu::TlbEntry &e) {
+            e.accessCount = 0;
+            e.countSyncedThisInterval = false;
+        });
+    }
 
     // Dynamic threshold adjustment (extension; see HsccParams).
     if (_params.dynamicThreshold) {

@@ -23,6 +23,7 @@
 
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "cpu/core.hh"
 #include "hscc/dram_pool.hh"
@@ -159,7 +160,8 @@ class HsccEngine : public cpu::CoreHooks, public os::OsEventListener
 
     MigrateEvent migrateEvent;
     bool started = false;
-    std::size_t evictHookHandle = 0;
+    /** Per-core TLB evict-hook handles (index == CpuId). */
+    std::vector<std::size_t> evictHookHandles;
     unsigned curThreshold = 0;
 
     std::unordered_map<Addr, CachedAt> cachedPages;  ///< by NVM frame

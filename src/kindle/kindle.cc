@@ -59,10 +59,18 @@ KindleSystem::KindleSystem(const KindleConfig &config_arg)
     injectorScope_ =
         std::make_unique<fault::InjectorScope>(injector_.get());
 
+    const unsigned n = std::max(1u, config.numCores);
     mem_ = std::make_unique<mem::HybridMemory>(config.memory);
-    caches_ = std::make_unique<cache::Hierarchy>(config.caches, *mem_);
-    core_ = std::make_unique<cpu::Core>(config.core, sim, *mem_,
-                                        *caches_);
+    caches_ = std::make_unique<cache::Hierarchy>(config.caches, *mem_,
+                                                 n);
+    // One core keeps the historical "core" stat-group name; an SMP
+    // machine names them "cpu0".."cpuN-1" and grows an aggregate
+    // rollup (see acceptStats).
+    for (unsigned c = 0; c < n; ++c) {
+        cores_.push_back(std::make_unique<cpu::Core>(
+            config.core, sim, *mem_, *caches_, c,
+            n == 1 ? std::string("core") : csprintf("cpu{}", c)));
+    }
 
     // The scrubber lives with the machine (stats accumulate across
     // reboots); its retirement handler dereferences the *current*
@@ -94,11 +102,21 @@ KindleSystem::~KindleSystem()
     kernel_.reset();
 }
 
+std::vector<cpu::Core *>
+KindleSystem::corePtrs() const
+{
+    std::vector<cpu::Core *> ptrs;
+    ptrs.reserve(cores_.size());
+    for (const auto &c : cores_)
+        ptrs.push_back(c.get());
+    return ptrs;
+}
+
 void
 KindleSystem::buildOsLayer()
 {
     kernel_ = std::make_unique<os::Kernel>(config.kernel, sim, *mem_,
-                                           *caches_, *core_);
+                                           *caches_, corePtrs());
     if (config.persistence) {
         persist_ = std::make_unique<persist::PersistDomain>(
             *config.persistence, *kernel_);
@@ -172,7 +190,8 @@ KindleSystem::teardownToCrashed()
     if (scrubber_)
         scrubber_->stop();
     caches_->invalidateAll();
-    core_->reset();
+    for (auto &core : cores_)
+        core->reset();
     crashOutcome = mem_->crash(sim.now(), lossModel());
     sim.hardReset();
 
@@ -211,7 +230,7 @@ KindleSystem::reboot()
 
     // Fresh kernel over the surviving NVM image.
     kernel_ = std::make_unique<os::Kernel>(config.kernel, sim, *mem_,
-                                           *caches_, *core_);
+                                           *caches_, corePtrs());
 
     persist::RecoveryReport report;
     if (config.persistence) {
@@ -271,6 +290,112 @@ KindleSystem::armFault(const fault::FaultPlan &plan)
     injector_->rearm(plan);
 }
 
+namespace
+{
+
+/**
+ * Builds a counters-only mirror of a stat tree: same group structure,
+ * same scalar names/descriptions, no gauges/distributions/histograms
+ * (extrema and shapes do not sum meaningfully across cores).  The
+ * scalars are collected in canonical visit order so an Accumulator
+ * pass over a structurally identical tree can match them by index.
+ */
+class MirrorBuilder : public statistics::StatVisitor
+{
+  public:
+    MirrorBuilder(
+        statistics::StatGroup &root,
+        std::vector<std::unique_ptr<statistics::StatGroup>> &owned,
+        std::vector<statistics::Scalar *> &slots)
+        : owned(owned), slots(slots)
+    {
+        stack.push_back(&root);
+    }
+
+    void
+    beginGroup(const std::string &name,
+               const std::string &desc) override
+    {
+        ++depth;
+        if (depth == 1)
+            return;  // the source root maps onto the mirror root
+        owned.push_back(
+            std::make_unique<statistics::StatGroup>(name, desc));
+        stack.back()->addChild(*owned.back());
+        stack.push_back(owned.back().get());
+    }
+
+    void
+    endGroup() override
+    {
+        if (depth > 1)
+            stack.pop_back();
+        --depth;
+    }
+
+    void
+    visitScalar(const std::string &name, const std::string &desc,
+                const statistics::Scalar &) override
+    {
+        slots.push_back(&stack.back()->addScalar(name, desc));
+    }
+
+    void visitGauge(const std::string &, const std::string &,
+                    const statistics::Gauge &) override
+    {}
+    void visitDistribution(const std::string &, const std::string &,
+                           const statistics::Distribution &) override
+    {}
+    void visitHistogram(const std::string &, const std::string &,
+                        const statistics::Histogram &) override
+    {}
+
+  private:
+    std::vector<std::unique_ptr<statistics::StatGroup>> &owned;
+    std::vector<statistics::Scalar *> &slots;
+    std::vector<statistics::StatGroup *> stack;
+    unsigned depth = 0;
+};
+
+/** Adds every scalar of a tree into the mirror's slots, in order. */
+class MirrorAccumulator : public statistics::StatVisitor
+{
+  public:
+    explicit MirrorAccumulator(
+        const std::vector<statistics::Scalar *> &slots)
+        : slots(slots)
+    {}
+
+    void beginGroup(const std::string &, const std::string &) override
+    {}
+    void endGroup() override {}
+
+    void
+    visitScalar(const std::string &, const std::string &,
+                const statistics::Scalar &stat) override
+    {
+        kindle_assert(idx < slots.size(),
+                      "core stat trees diverged under the rollup");
+        *slots[idx++] += stat.value();
+    }
+
+    void visitGauge(const std::string &, const std::string &,
+                    const statistics::Gauge &) override
+    {}
+    void visitDistribution(const std::string &, const std::string &,
+                           const statistics::Distribution &) override
+    {}
+    void visitHistogram(const std::string &, const std::string &,
+                        const statistics::Histogram &) override
+    {}
+
+  private:
+    const std::vector<statistics::Scalar *> &slots;
+    std::size_t idx = 0;
+};
+
+} // namespace
+
 void
 KindleSystem::acceptStats(statistics::StatVisitor &visitor) const
 {
@@ -278,7 +403,26 @@ KindleSystem::acceptStats(statistics::StatVisitor &visitor) const
     if (scrubber_)
         scrubber_->stats().accept(visitor);
     caches_->stats().accept(visitor);
-    core_->stats().accept(visitor);
+    for (const auto &core : cores_)
+        core->stats().accept(visitor);
+    if (cores_.size() > 1) {
+        // Aggregate rollup: "core.*" becomes the machine-wide sum of
+        // the per-cpu counters, so cross-config tooling keyed on the
+        // uniprocessor names keeps working against SMP runs.
+        if (!coreAggregate_) {
+            coreAggregate_ = std::make_unique<statistics::StatGroup>(
+                "core", "aggregate over all cpus");
+            MirrorBuilder builder(*coreAggregate_, aggregateChildren_,
+                                  aggregateSlots_);
+            cores_[0]->stats().accept(builder);
+        }
+        coreAggregate_->resetAll();
+        for (const auto &core : cores_) {
+            MirrorAccumulator acc(aggregateSlots_);
+            core->stats().accept(acc);
+        }
+        coreAggregate_->accept(visitor);
+    }
     if (kernel_)
         kernel_->stats().accept(visitor);
     if (persist_)

@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <vector>
 
 #include "base/stats.hh"
 #include "cache/hierarchy.hh"
@@ -50,6 +51,15 @@ struct KindleConfig
     cache::HierarchyParams caches{};
     cpu::CoreParams core{};
     os::KernelParams kernel{};
+
+    /**
+     * Number of CPU cores.  Every core gets its own TLB, page walker
+     * and private L1/L2; the LLC is shared and kept coherent by a
+     * MESI-lite directory.  At 1 (the default) the machine is
+     * bit-identical to the original uniprocessor model — no directory,
+     * no IPIs, the classic stat-tree layout.
+     */
+    unsigned numCores = 1;
 
     /** Enable process persistence with these parameters. */
     std::optional<persist::PersistParams> persistence;
@@ -100,7 +110,14 @@ class KindleSystem
     sim::Simulation &simulation() { return sim; }
     mem::HybridMemory &memory() { return *mem_; }
     cache::Hierarchy &caches() { return *caches_; }
-    cpu::Core &core() { return *core_; }
+
+    /** Core @p cpu of the machine (0 <= cpu < numCores()). */
+    cpu::Core &core(CpuId cpu) { return *cores_.at(cpu); }
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
     os::Kernel &kernel() { return *kernel_; }
 
     /** Null when the feature is not configured. */
@@ -207,6 +224,7 @@ class KindleSystem
     void buildOsLayer();
     mem::PowerLossModel lossModel() const;
     void teardownToCrashed();
+    std::vector<cpu::Core *> corePtrs() const;
 
     /** Write the flight recorder to trace.flightDumpPath, if set. */
     void autoFlightDump(const std::string &reason) const;
@@ -227,7 +245,7 @@ class KindleSystem
     std::unique_ptr<mem::HybridMemory> mem_;
     std::unique_ptr<mem::PatrolScrubber> scrubber_;
     std::unique_ptr<cache::Hierarchy> caches_;
-    std::unique_ptr<cpu::Core> core_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::unique_ptr<os::Kernel> kernel_;
     std::unique_ptr<persist::PersistDomain> persist_;
     std::unique_ptr<ssp::SspEngine> ssp_;
@@ -248,6 +266,15 @@ class KindleSystem
     statistics::Scalar &tornPtRolledBack;
     statistics::Scalar &recoveryErrors;
     statistics::Histogram &recoveryDuration;
+
+    // SMP aggregate rollup: a counters-only mirror of one core's stat
+    // tree, re-accumulated over every core each time stats are
+    // visited.  Only built when numCores > 1, so the uniprocessor
+    // stat dump stays byte-identical to the pre-SMP layout.
+    mutable std::unique_ptr<statistics::StatGroup> coreAggregate_;
+    mutable std::vector<std::unique_ptr<statistics::StatGroup>>
+        aggregateChildren_;
+    mutable std::vector<statistics::Scalar *> aggregateSlots_;
 };
 
 } // namespace kindle

@@ -12,13 +12,29 @@
 namespace kindle::os
 {
 
+Kernel::TlbIpiEvent::TlbIpiEvent(Kernel &kernel_arg, CpuId cpu_arg)
+    : Event(csprintf("kernel.tlbIpi.cpu{}", cpu_arg)),
+      kernel(kernel_arg),
+      cpu(cpu_arg)
+{}
+
+void
+Kernel::TlbIpiEvent::process()
+{
+    const std::vector<ShootdownRequest> reqs = std::move(pending);
+    pending.clear();
+    kernel.deliverTlbIpi(cpu, reqs);
+}
+
 Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
                mem::HybridMemory &memory_arg,
-               cache::Hierarchy &caches_arg, cpu::Core &core_arg)
+               cache::Hierarchy &caches_arg,
+               std::vector<cpu::Core *> cores)
     : _params(params),
       sim(sim_arg),
       memory(memory_arg),
-      cpuCore(core_arg),
+      caches(caches_arg),
+      cores_(std::move(cores)),
       kernelMem(sim_arg, memory_arg, caches_arg),
       layout(NvmLayout::standard(memory_arg.nvmRange())),
       plainPtWrite(kernelMem),
@@ -39,6 +55,8 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
           "nvmDegradedAllocs",
           "MAP_NVM allocations degraded to DRAM (zone low/exhausted)"))
 {
+    kindle_assert(!cores_.empty(), "kernel needs at least one core");
+
     // DRAM frames: everything above the kernel-image reserve.
     const AddrRange dram_zone(
         roundUp(params.kernelReserveBytes, pageSize),
@@ -65,7 +83,20 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
     ptMgr = std::make_unique<PageTableManager>(kernelMem, table_zone,
                                                policyProxy);
 
-    cpuCore.setFaultHandler(this);
+    cpus.resize(cores_.size());
+    for (CpuId c = 0; c < cores_.size(); ++c) {
+        cores_[c]->setFaultHandler(this);
+        cpus[c].ipi = std::make_unique<TlbIpiEvent>(*this, c);
+    }
+
+    if (cores_.size() > 1) {
+        tlbShootdownsSent = &statGroup.addScalar(
+            "tlbShootdownsSent", "cross-core TLB shootdown IPIs sent");
+        tlbShootdownIpis = &statGroup.addScalar(
+            "tlbShootdownIpis", "shootdown IPI deliveries serviced");
+        migrations = &statGroup.addScalar(
+            "migrations", "processes migrated between cores");
+    }
 
     statGroup.addChild(dramAlloc->stats());
     statGroup.addChild(nvmAlloc->stats());
@@ -73,9 +104,19 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
     statGroup.addChild(ptMgr->stats());
 }
 
+Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
+               mem::HybridMemory &memory_arg,
+               cache::Hierarchy &caches_arg, cpu::Core &core_arg)
+    : Kernel(params, sim_arg, memory_arg, caches_arg,
+             std::vector<cpu::Core *>{&core_arg})
+{}
+
 Kernel::~Kernel()
 {
-    cpuCore.setFaultHandler(nullptr);
+    for (cpu::Core *core : cores_)
+        core->setFaultHandler(nullptr);
+    // The per-core IPI events deschedule themselves on destruction
+    // (crash can tear the kernel down with a shootdown in flight).
 }
 
 void
@@ -129,6 +170,7 @@ Kernel::spawnShell(std::string name, unsigned slot, bool create_pt)
     proc->state = ProcState::ready;
     Process &ref = *proc;
     procs.push_back(std::move(proc));
+    enqueue(ref, placementFor(ref));
     for (auto *l : listeners)
         l->onProcessCreated(ref);
     return ref;
@@ -143,39 +185,155 @@ Kernel::findProcess(Pid pid)
     return nullptr;
 }
 
+const cpu::CpuState &
+Kernel::contextOf(const Process &proc) const
+{
+    if (proc.state == ProcState::running) {
+        for (CpuId c = 0; c < cores_.size(); ++c)
+            if (cpus[c].running == &proc)
+                return cores_[c]->state();
+    }
+    return proc.context;
+}
+
+void
+Kernel::setAffinity(Process &proc, int cpu)
+{
+    kindle_assert(cpu < static_cast<int>(cores_.size()),
+                  "pinning pid {} to nonexistent core {}", proc.pid,
+                  cpu);
+    proc.pinnedCpu = cpu;
+}
+
 void
 Kernel::makeReady(Process &proc)
 {
     kindle_assert(proc.state != ProcState::running,
                   "makeReady on the running process");
     proc.state = ProcState::ready;
+    enqueue(proc, placementFor(proc));
+}
+
+CpuId
+Kernel::placementFor(const Process &proc) const
+{
+    if (proc.pinnedCpu >= 0)
+        return static_cast<CpuId>(proc.pinnedCpu);
+    // Least-loaded core, ties to the lowest id (on one core: core 0).
+    CpuId best = 0;
+    std::size_t best_load = ~std::size_t(0);
+    for (CpuId c = 0; c < cores_.size(); ++c) {
+        const CpuSlot &slot = cpus[c];
+        const std::size_t load =
+            slot.runq.size() +
+            (slot.running &&
+                     slot.running->state == ProcState::running
+                 ? 1
+                 : 0);
+        if (load < best_load) {
+            best_load = load;
+            best = c;
+        }
+    }
+    return best;
+}
+
+void
+Kernel::enqueue(Process &proc, CpuId cpu)
+{
+    if (proc.queued)
+        return;
+    proc.queued = true;
+    proc.lastCpu = cpu;
+    cpus.at(cpu).runq.push_back(&proc);
 }
 
 Process *
-Kernel::pickReady()
+Kernel::popRunnable(CpuId cpu)
 {
-    // Round-robin: rotate starting after the current process.
-    if (procs.empty())
-        return nullptr;
-    std::size_t start = 0;
-    for (std::size_t i = 0; i < procs.size(); ++i) {
-        if (procs[i].get() == current) {
-            start = i + 1;
-            break;
+    auto &q = cpus[cpu].runq;
+    while (!q.empty()) {
+        Process *p = q.front();
+        q.pop_front();
+        p->queued = false;
+        if (p->state != ProcState::ready || !p->program)
+            continue;  // zombie or program-less shell: drop
+        if (p->pinnedCpu >= 0 &&
+            static_cast<CpuId>(p->pinnedCpu) != cpu) {
+            // Pinned after placement: migrate to the pinned core.
+            if (migrations)
+                ++*migrations;
+            enqueue(*p, static_cast<CpuId>(p->pinnedCpu));
+            continue;
         }
-    }
-    for (std::size_t k = 0; k < procs.size(); ++k) {
-        Process *p = procs[(start + k) % procs.size()].get();
-        if (p->state == ProcState::ready && p->program)
-            return p;
+        return p;
     }
     return nullptr;
 }
 
-void
-Kernel::switchTo(Process *proc)
+Process *
+Kernel::stealWork(CpuId thief)
 {
-    if (current == proc) {
+    if (cores_.size() == 1)
+        return nullptr;
+    // Steal from the most loaded runqueue (counting only runnable,
+    // unpinned entries), ties to the lowest core id.  A process that
+    // is still the donor's `running` occupant — re-queued at its own
+    // slice end — is not stealable: the donor resumes it next epoch
+    // with warm caches, and stealing it just ping-pongs a lone
+    // process between idle cores.
+    CpuId donor = thief;
+    std::size_t best = 0;
+    for (CpuId c = 0; c < cores_.size(); ++c) {
+        if (c == thief)
+            continue;
+        std::size_t count = 0;
+        for (const Process *p : cpus[c].runq) {
+            if (p->state == ProcState::ready && p->program &&
+                p->pinnedCpu < 0 && p != cpus[c].running) {
+                ++count;
+            }
+        }
+        if (count > best) {
+            best = count;
+            donor = c;
+        }
+    }
+    if (best == 0)
+        return nullptr;
+    auto &q = cpus[donor].runq;
+    for (auto it = q.begin(); it != q.end(); ++it) {
+        Process *p = *it;
+        if (p->state == ProcState::ready && p->program &&
+            p->pinnedCpu < 0 && p != cpus[donor].running) {
+            q.erase(it);
+            p->queued = false;
+            p->lastCpu = thief;
+            if (migrations)
+                ++*migrations;
+            trace::dprintf(trace::Flag::sched, sim.now(),
+                           "cpu{} stole pid {} from cpu{}", thief,
+                           p->pid, donor);
+            return p;
+        }
+    }
+    return nullptr;
+}
+
+Process *
+Kernel::pickNext(CpuId cpu)
+{
+    Process *p = popRunnable(cpu);
+    if (!p)
+        p = stealWork(cpu);
+    return p;
+}
+
+void
+Kernel::switchTo(CpuId cpu, Process *proc)
+{
+    Process *&cur = cpus[cpu].running;
+    if (cur == proc) {
         // Same process re-picked at timeslice end: no context switch,
         // just keep running.
         if (proc && proc->state == ProcState::ready)
@@ -183,19 +341,26 @@ Kernel::switchTo(Process *proc)
         return;
     }
     ++contextSwitches;
-    Process *old = current;
+    Process *old = cur;
     if (old && old->state == ProcState::running) {
-        old->context = cpuCore.state();
+        old->context = cores_[cpu]->state();
         old->state = ProcState::ready;
     }
+    // A migrated process must not stay resident on its former core:
+    // that core would otherwise save stale register state over the
+    // live context when it next switches.
+    for (CpuId c = 0; c < cores_.size(); ++c)
+        if (c != cpu && cpus[c].running == proc)
+            cpus[c].running = nullptr;
     for (auto *l : listeners)
         l->onContextSwitch(old, proc);
     sim.bump(_params.contextSwitchCost);
-    current = proc;
+    cur = proc;
     if (proc) {
         proc->state = ProcState::running;
-        cpuCore.setContext(proc->pid, proc->ptRoot);
-        cpuCore.setState(proc->context);
+        proc->lastCpu = cpu;
+        cores_[cpu]->setContext(proc->pid, proc->ptRoot);
+        cores_[cpu]->setState(proc->context);
     }
 }
 
@@ -208,19 +373,41 @@ Kernel::run()
 void
 Kernel::runUntil(Tick deadline)
 {
+    const unsigned n = numCores();
     while (sim.now() < deadline) {
-        Process *proc = pickReady();
-        if (!proc)
+        // One scheduling epoch: every core starts at the same instant
+        // and runs one timeslice of its runqueue; the global clock
+        // then advances to the latest per-core finish time.  On one
+        // core the warps are no-ops and this is the classic loop.
+        const Tick epoch_start = sim.now();
+        Tick epoch_end = epoch_start;
+        bool ran_any = false;
+        for (CpuId c = 0; c < n; ++c) {
+            if (n > 1)
+                sim.warpTo(epoch_start);
+            Process *proc = pickNext(c);
+            if (!proc) {
+                epoch_end = std::max(epoch_end, sim.now());
+                continue;
+            }
+            ran_any = true;
+            activeCpu_ = c;
+            caches.setInitiator(c);
+            switchTo(c, proc);
+            const Tick slice_end =
+                std::min(deadline, sim.now() + _params.timeslice);
+            runSlice(c, *proc, slice_end);
+            epoch_end = std::max(epoch_end, sim.now());
+        }
+        if (n > 1)
+            sim.warpTo(epoch_end);
+        if (!ran_any)
             return;
-        switchTo(proc);
-        const Tick slice_end =
-            std::min(deadline, sim.now() + _params.timeslice);
-        runSlice(*proc, slice_end);
     }
 }
 
 void
-Kernel::runSlice(Process &proc, Tick slice_end)
+Kernel::runSlice(CpuId cpu, Process &proc, Tick slice_end)
 {
     cpu::Op op;
     while (sim.now() < slice_end &&
@@ -231,24 +418,26 @@ Kernel::runSlice(Process &proc, Tick slice_end)
             return;
         }
         ++opsExecuted;
-        if (!dispatch(proc, op))
+        if (!dispatch(cpu, proc, op))
             return;
     }
     if (proc.state == ProcState::running) {
-        proc.context = cpuCore.state();
+        proc.context = cores_[cpu]->state();
         proc.state = ProcState::ready;
+        enqueue(proc, cpu);
     }
 }
 
 bool
-Kernel::dispatch(Process &proc, const cpu::Op &op)
+Kernel::dispatch(CpuId cpu, Process &proc, const cpu::Op &op)
 {
+    cpu::Core &core = *cores_[cpu];
     using Kind = cpu::Op::Kind;
     switch (op.kind) {
       case Kind::read:
       case Kind::write: {
-        const bool ok = cpuCore.memAccess(op.kind == Kind::write,
-                                          op.addr, op.size);
+        const bool ok = core.memAccess(op.kind == Kind::write,
+                                       op.addr, op.size);
         if (!ok) {
             warn("pid {}: segfault at {}; killing process", proc.pid,
                  op.addr);
@@ -259,7 +448,7 @@ Kernel::dispatch(Process &proc, const cpu::Op &op)
       }
 
       case Kind::compute:
-        cpuCore.compute(op.size);
+        core.compute(op.size);
         return true;
 
       case Kind::mmap: {
@@ -494,20 +683,92 @@ Kernel::invalidateTlbRange(Pid pid, AddrRange range)
     const std::uint64_t pages = range.size() >> pageShift;
     constexpr std::uint64_t flushAllThreshold = 512;
     constexpr Tick invlpgCost = 100 * oneNs;
-    if (pages > flushAllThreshold) {
-        cpuCore.tlb().flushAll();
+    cpu::Tlb &local = cores_[activeCpu_]->tlb();
+    const bool flush_all = pages > flushAllThreshold;
+    if (flush_all) {
+        local.flushAll();
         sim.bump(2 * oneUs);
     } else {
         for (Addr va = range.start(); va < range.end(); va += pageSize)
-            cpuCore.tlb().invalidate(pid, cpu::vpnOf(va));
+            local.invalidate(pid, cpu::vpnOf(va));
         sim.bump(pages * invlpgCost);
     }
+    shootdownRemote(pid, range, flush_all);
+}
+
+void
+Kernel::shootdownRemote(Pid pid, AddrRange range, bool flush_all)
+{
+    if (cores_.size() == 1)
+        return;
+    for (CpuId c = 0; c < cores_.size(); ++c) {
+        if (c == activeCpu_)
+            continue;
+        TlbIpiEvent &ipi = *cpus[c].ipi;
+        ipi.pending.push_back({pid, range, flush_all});
+        if (!ipi.scheduled()) {
+            sim.eventq().schedule(&ipi,
+                                  sim.now() + _params.ipiLatency);
+        }
+        ++*tlbShootdownsSent;
+    }
+    // The initiator spins until every target acknowledges: wait out
+    // the delivery latency, then service the queue so the handlers
+    // run; each handler bumps its cost, serializing into the
+    // initiator's wait — the classic shootdown stall.
+    sim.bump(_params.ipiLatency);
+    sim.service();
+}
+
+void
+Kernel::deliverTlbIpi(CpuId cpu,
+                      const std::vector<ShootdownRequest> &reqs)
+{
+    cpu::Tlb &tlb = cores_[cpu]->tlb();
+    for (const ShootdownRequest &req : reqs) {
+        if (req.flushAll) {
+            tlb.flushAll();
+            continue;
+        }
+        for (Addr va = req.range.start(); va < req.range.end();
+             va += pageSize) {
+            tlb.invalidate(req.pid, cpu::vpnOf(va));
+        }
+    }
+    ++*tlbShootdownIpis;
+    sim.bump(_params.ipiHandlerCost);
+    trace::dprintf(trace::Flag::sched, sim.now(),
+                   "cpu{} serviced shootdown IPI ({} requests)", cpu,
+                   reqs.size());
+}
+
+void
+Kernel::shootdownPage(Pid pid, Addr vaddr)
+{
+    const Addr page = roundDown(vaddr, pageSize);
+    // The local invalidation is free (matching the uniprocessor
+    // retirement path); only remote delivery costs.
+    cores_[activeCpu_]->tlb().invalidate(pid, cpu::vpnOf(page));
+    shootdownRemote(pid, AddrRange(page, page + pageSize), false);
+}
+
+void
+Kernel::shootdownFlushAll()
+{
+    cores_[activeCpu_]->tlb().flushAll();
+    sim.bump(2 * oneUs);
+    shootdownRemote(0, AddrRange(0, pageSize), true);
 }
 
 bool
-Kernel::handlePageFault(Addr vaddr, bool is_write)
+Kernel::handlePageFault(cpu::Core &core, Addr vaddr, bool is_write)
 {
-    Process *proc = current;
+    Process *proc = cpus[core.cpuId()].running;
+    if (!proc) {
+        // Direct-translate paths (tests, engines) fault without a
+        // scheduled process; identify it by the core's loaded context.
+        proc = findProcess(core.pid());
+    }
     kindle_assert(proc != nullptr, "page fault with no process");
     ++faultsServiced;
     sim.bump(_params.pageFaultTrapCost);
@@ -639,7 +900,7 @@ Kernel::retireNvmFrame(Addr frame, const char *reason)
             l->onFrameMapped(*v.proc, v.vaddr, repl, repl_nvm);
         for (auto *l : listeners)
             l->onFrameRetired(v.proc, v.vaddr, bad, repl);
-        cpuCore.tlb().invalidate(v.proc->pid, cpu::vpnOf(v.vaddr));
+        shootdownPage(v.proc->pid, v.vaddr);
         ++nvmPagesMigrated;
         trace::dprintf(trace::Flag::vma, sim.now(),
                        "pid {} page {} migrated off bad frame {} -> "
@@ -674,8 +935,11 @@ Kernel::exitProcess(Process &proc)
     proc.ptRoot = invalidAddr;
     proc.state = ProcState::zombie;
     slotsUsed &= ~(1u << proc.slot);
-    if (current == &proc)
-        current = nullptr;
+    for (CpuSlot &slot : cpus)
+        if (slot.running == &proc)
+            slot.running = nullptr;
+    // Stale runqueue entries are skipped at pick (state == zombie).
+    proc.queued = false;
     for (auto *l : listeners)
         l->onProcessExit(proc);
 }

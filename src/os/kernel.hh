@@ -4,10 +4,19 @@
  *
  * A deliberately small OS in the spirit of gemOS: processes, VMAs with
  * the MAP_NVM extension, demand paging from per-technology frame
- * allocators, a round-robin scheduler, and the syscall surface the
- * paper's experiments exercise (mmap/munmap/mremap/mprotect plus the
- * SSP FASE markers).  Being small is the point — OS work is visible
- * in the statistics instead of being buried under background services.
+ * allocators, an SMP round-robin scheduler with per-core runqueues,
+ * and the syscall surface the paper's experiments exercise
+ * (mmap/munmap/mremap/mprotect plus the SSP FASE markers).  Being
+ * small is the point — OS work is visible in the statistics instead
+ * of being buried under background services.
+ *
+ * SMP model: each scheduling epoch, every core is rewound to the
+ * epoch's start tick, runs one timeslice of its runqueue, and the
+ * global clock then jumps to the latest per-core finish time.  With a
+ * single core all rewinds are no-ops and execution is identical to
+ * the original uniprocessor kernel.  Page-table updates that shrink
+ * translations (munmap, mprotect, frame retirement, HSCC remaps)
+ * shoot down remote TLBs with IPIs routed through the event queue.
  */
 
 #ifndef KINDLE_OS_KERNEL_HH
@@ -39,6 +48,8 @@ struct KernelParams
     Tick contextSwitchCost = 2 * oneUs;
     Tick syscallEntryCost = 150 * oneNs;
     Tick pageFaultTrapCost = 800 * oneNs;
+    Tick ipiLatency = 500 * oneNs;    ///< TLB-shootdown IPI delivery
+    Tick ipiHandlerCost = 200 * oneNs; ///< remote shootdown handler
     bool ptInNvm = false;  ///< host page tables in NVM (persistent
                            ///  scheme) instead of DRAM (rebuild)
     /** DRAM reserved below this for the kernel image. */
@@ -55,6 +66,12 @@ struct KernelParams
 class Kernel : public cpu::FaultHandler
 {
   public:
+    /** SMP construction over every core of the machine. */
+    Kernel(const KernelParams &params, sim::Simulation &sim,
+           mem::HybridMemory &memory, cache::Hierarchy &caches,
+           std::vector<cpu::Core *> cores);
+
+    /** Single-core convenience overload (uniprocessor test rigs). */
     Kernel(const KernelParams &params, sim::Simulation &sim,
            mem::HybridMemory &memory, cache::Hierarchy &caches,
            cpu::Core &core);
@@ -84,7 +101,25 @@ class Kernel : public cpu::FaultHandler
     {
         return procs;
     }
-    Process *currentProcess() { return current; }
+
+    /** The process on the core the kernel is currently executing on. */
+    Process *currentProcess() { return cpus[activeCpu_].running; }
+
+    /** The process resident on core @p cpu (null when idle). */
+    Process *runningOn(CpuId cpu) { return cpus.at(cpu).running; }
+
+    /**
+     * The architected register state of @p proc as a checkpoint must
+     * capture it: the live core state while the process is running on
+     * some core, its saved context otherwise.
+     */
+    const cpu::CpuState &contextOf(const Process &proc) const;
+
+    /**
+     * Pin @p proc to core @p cpu (-1 clears the pin).  A process
+     * queued on another core migrates lazily at its next pick.
+     */
+    void setAffinity(Process &proc, int cpu);
     /// @}
 
     /** @name Execution. */
@@ -108,7 +143,8 @@ class Kernel : public cpu::FaultHandler
     /// @}
 
     /** cpu::FaultHandler: demand paging. */
-    bool handlePageFault(Addr vaddr, bool is_write) override;
+    bool handlePageFault(cpu::Core &core, Addr vaddr,
+                         bool is_write) override;
 
     /**
      * Durably retire the NVM frame containing @p frame (reported by
@@ -124,6 +160,24 @@ class Kernel : public cpu::FaultHandler
     BadFrameTable &badFrameTable() { return *badFrames_; }
     const BadFrameTable &badFrameTable() const { return *badFrames_; }
 
+    /** @name TLB shootdown (also used by the HSCC/SSP engines). */
+    /// @{
+    /**
+     * Drop the translation of one page from every core's TLB: the
+     * active core invalidates directly, remote cores via IPI.  Used
+     * for frame retirement and HSCC remaps, where the PTE changes
+     * under a possibly-running process.
+     */
+    void shootdownPage(Pid pid, Addr vaddr);
+
+    /**
+     * Flush every core's whole TLB (SSP FASE entry: tracked pages
+     * must refill with the SSP extension fields populated).  Charges
+     * the local 2 us flush cost like the uniprocessor kernel did.
+     */
+    void shootdownFlushAll();
+    /// @}
+
     /** @name Persistence / prototype integration. */
     /// @{
     void addListener(OsEventListener *listener);
@@ -137,7 +191,17 @@ class Kernel : public cpu::FaultHandler
     PageTableManager &pageTables() { return *ptMgr; }
     FrameAllocator &dramAllocator() { return *dramAlloc; }
     FrameAllocator &nvmAllocator() { return *nvmAlloc; }
-    cpu::Core &core() { return cpuCore; }
+
+    /** Core @p cpu of the machine. */
+    cpu::Core &core(CpuId cpu) { return *cores_.at(cpu); }
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    /** The core the kernel is currently executing on. */
+    CpuId activeCpu() const { return activeCpu_; }
+
     sim::Simulation &simulation() { return sim; }
     const KernelParams &params() const { return _params; }
 
@@ -166,18 +230,63 @@ class Kernel : public cpu::FaultHandler
         PtWritePolicy *active;
     };
 
-    Process *pickReady();
-    void switchTo(Process *proc);
-    void runSlice(Process &proc, Tick slice_end);
-    bool dispatch(Process &proc, const cpu::Op &op);
+    /** One batched TLB-shootdown request carried by an IPI. */
+    struct ShootdownRequest
+    {
+        Pid pid;
+        AddrRange range;
+        bool flushAll;
+    };
+
+    /**
+     * The kernel-owned per-core IPI doorbell.  Shootdown initiators
+     * append requests and schedule the event through the global event
+     * queue; delivery invalidates the target core's TLB and charges
+     * the handler cost.  Owned by the kernel so a crash tearing the
+     * kernel down mid-shootdown deschedules it (see ~Event).
+     */
+    class TlbIpiEvent : public sim::Event
+    {
+      public:
+        TlbIpiEvent(Kernel &kernel, CpuId cpu);
+
+        void process() override;
+
+        std::vector<ShootdownRequest> pending;
+
+      private:
+        Kernel &kernel;
+        CpuId cpu;
+    };
+
+    /** Per-core scheduler state. */
+    struct CpuSlot
+    {
+        Process *running = nullptr;       ///< resident process
+        std::deque<Process *> runq;       ///< ready queue
+        std::unique_ptr<TlbIpiEvent> ipi; ///< shootdown doorbell
+    };
+
+    Process *pickNext(CpuId cpu);
+    Process *popRunnable(CpuId cpu);
+    Process *stealWork(CpuId thief);
+    void enqueue(Process &proc, CpuId cpu);
+    CpuId placementFor(const Process &proc) const;
+    void switchTo(CpuId cpu, Process *proc);
+    void runSlice(CpuId cpu, Process &proc, Tick slice_end);
+    bool dispatch(CpuId cpu, Process &proc, const cpu::Op &op);
     void invalidateTlbRange(Pid pid, AddrRange range);
+    void shootdownRemote(Pid pid, AddrRange range, bool flush_all);
+    void deliverTlbIpi(CpuId cpu,
+                       const std::vector<ShootdownRequest> &reqs);
     void unmapPages(Process &proc, const Vma &piece);
     unsigned allocSlot();
 
     KernelParams _params;
     sim::Simulation &sim;
     mem::HybridMemory &memory;
-    cpu::Core &cpuCore;
+    cache::Hierarchy &caches;
+    std::vector<cpu::Core *> cores_;
 
     KernelMem kernelMem;
     NvmLayout layout;
@@ -191,7 +300,8 @@ class Kernel : public cpu::FaultHandler
     std::unique_ptr<PageTableManager> ptMgr;
 
     std::vector<std::unique_ptr<Process>> procs;
-    Process *current = nullptr;
+    std::vector<CpuSlot> cpus;
+    CpuId activeCpu_ = 0;
     Pid nextPid = 1;
     std::uint32_t slotsUsed = 0;
 
@@ -205,6 +315,11 @@ class Kernel : public cpu::FaultHandler
     statistics::Scalar &nvmFramesRetired;
     statistics::Scalar &nvmPagesMigrated;
     statistics::Scalar &nvmDegradedAllocs;
+    /** SMP-only stats; null on a single-core machine so the
+     *  uniprocessor stat tree stays byte-identical. */
+    statistics::Scalar *tlbShootdownsSent = nullptr;
+    statistics::Scalar *tlbShootdownIpis = nullptr;
+    statistics::Scalar *migrations = nullptr;
 };
 
 } // namespace kindle::os

@@ -61,6 +61,18 @@ class Process
 
     /** Set when the process was reconstructed by crash recovery. */
     bool restored = false;
+
+    /** @name SMP scheduling. */
+    /// @{
+    /** Hard affinity: only this core may run the process (-1 = any). */
+    int pinnedCpu = -1;
+
+    /** Core the process last ran (or was enqueued) on. */
+    CpuId lastCpu = 0;
+
+    /** True while sitting on some core's runqueue (kernel-internal). */
+    bool queued = false;
+    /// @}
 };
 
 } // namespace kindle::os

@@ -194,13 +194,9 @@ PersistDomain::checkpointProcess(os::Process &proc)
                            proc.pid);
     SavedStateSlot &slot = slotFor(proc);
 
-    // CPU state: live registers for the running process, the saved
-    // context otherwise.
-    const cpu::CpuState regs =
-        (kernel.currentProcess() == &proc &&
-         proc.state == os::ProcState::running)
-            ? kernel.core().state()
-            : proc.context;
+    // CPU state: live registers while the process is resident on some
+    // core, the saved context otherwise.
+    const cpu::CpuState regs = kernel.contextOf(proc);
 
     // Serialize and durably write the working copy.
     {

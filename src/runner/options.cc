@@ -22,6 +22,17 @@ parseJobs(const char *text, const char *origin)
     return static_cast<unsigned>(v);
 }
 
+unsigned
+parseCores(const char *text, const char *origin)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || v < 1 || v > 32)
+        kindle_fatal("{}: bad core count '{}' (want 1..32)", origin,
+                     text);
+    return static_cast<unsigned>(v);
+}
+
 std::size_t
 parseRing(const char *text, const char *origin)
 {
@@ -62,6 +73,10 @@ parseOptions(int argc, char **argv)
         if (*env)
             opts.jobs = parseJobs(env, "KINDLE_JOBS");
     }
+    if (const char *env = std::getenv("KINDLE_CORES")) {
+        if (*env)
+            opts.cores = parseCores(env, "KINDLE_CORES");
+    }
     if (const char *env = std::getenv("KINDLE_TRACE_OUT"))
         opts.traceOut = env;
     if (const char *env = std::getenv("KINDLE_TRACE_FLAGS"))
@@ -77,11 +92,13 @@ parseOptions(int argc, char **argv)
         const char *arg = argv[i];
         if (std::strcmp(arg, "--help") == 0) {
             std::printf(
-                "usage: %s [--jobs N] [--trace-out PATH]\n"
+                "usage: %s [--jobs N] [--cores N] [--trace-out PATH]\n"
                 "          [--trace-flags LIST] [--trace-ring N]\n"
                 "          [--flight-out PATH]\n"
                 "  --jobs N          sweep worker threads "
                 "(default: hardware threads; env KINDLE_JOBS)\n"
+                "  --cores N         simulated CPU cores per system "
+                "(default 1; env KINDLE_CORES)\n"
                 "  --trace-out P     collect spans; write Chrome "
                 "trace JSON per scenario (env KINDLE_TRACE_OUT)\n"
                 "  --trace-flags L   comma-separated categories, "
@@ -95,6 +112,10 @@ parseOptions(int argc, char **argv)
         }
         if (const char *v = valueOf(arg, "--jobs", argc, argv, i)) {
             opts.jobs = parseJobs(v, "--jobs");
+            continue;
+        }
+        if (const char *v = valueOf(arg, "--cores", argc, argv, i)) {
+            opts.cores = parseCores(v, "--cores");
             continue;
         }
         if (const char *v = valueOf(arg, "--trace-out", argc, argv, i)) {

@@ -4,6 +4,7 @@
  * bench binary.
  *
  *   --jobs N          worker threads for the sweep (also: KINDLE_JOBS)
+ *   --cores N         simulated CPU cores per system (KINDLE_CORES)
  *   --trace-out P     enable span collection and write Chrome
  *                     trace-event JSON per scenario (KINDLE_TRACE_OUT)
  *   --trace-flags L   comma-separated trace categories, e.g.
@@ -32,6 +33,13 @@ struct Options
 {
     /** Sweep parallelism; 0 = one worker per hardware thread. */
     unsigned jobs = 0;
+
+    /**
+     * Simulated cores per KindleSystem.  1 (the default) reproduces
+     * the single-core seed behavior bit-for-bit; benches that honor
+     * the flag copy it into KindleConfig::numCores.
+     */
+    unsigned cores = 1;
 
     /**
      * When non-empty, spans are collected and each scenario's trace is

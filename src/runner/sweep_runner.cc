@@ -80,6 +80,8 @@ SweepRunner::runRouted(const Scenario &scenario,
 
     // The routing knobs override the scenario's own trace config.
     KindleConfig config = scenario.config;
+    if (_opts.cores > 1)
+        config.numCores = _opts.cores;
     if (!trace_path.empty())
         config.trace.spans = true;
     if (!_opts.traceFlags.empty())

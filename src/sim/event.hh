@@ -107,6 +107,14 @@ class EventQueue
   public:
     EventQueue() = default;
 
+    /**
+     * A queue dying with events still scheduled (e.g. a crash tearing
+     * the Simulation down while per-core kernel objects hold pending
+     * IPIs) must clear their _scheduled flags, or the events'
+     * destructors would call deschedule() on a dead queue.
+     */
+    ~EventQueue() { clear(); }
+
     /** Schedule @p ev at absolute tick @p when. */
     void schedule(Event *ev, Tick when);
 
@@ -116,11 +124,15 @@ class EventQueue
     /** Earliest due tick, or maxTick when empty. */
     Tick nextTick() const;
 
-    /** True when no events are pending. */
-    bool empty() const { return heap.empty(); }
+    /**
+     * True when no events are pending.  Counts live entries, not heap
+     * entries: lazily-descheduled events leave stale heap entries
+     * behind that must not make the queue look busy.
+     */
+    bool empty() const { return live.empty(); }
 
-    /** Number of pending events. */
-    std::size_t size() const { return heap.size(); }
+    /** Number of pending (live) events. */
+    std::size_t size() const { return live.size(); }
 
     /**
      * Pop the earliest event if it is due at or before @p now.

@@ -42,6 +42,17 @@ class Simulation
             curTick = target;
     }
 
+    /**
+     * Set the clock to exactly @p t, possibly moving it backwards.
+     * Used only by the SMP scheduler, which rewinds to the epoch start
+     * before running each core's quantum and finally warps forward to
+     * the latest per-core finish time.  Pending events are untouched:
+     * an event due between the epoch start and @p t simply fires when
+     * some core's timeline reaches it again, which keeps the
+     * interleaving deterministic.
+     */
+    void warpTo(Tick t) { curTick = t; }
+
     /** The global event queue. */
     EventQueue &eventq() { return queue; }
 

@@ -70,18 +70,25 @@ SspEngine::start()
     if (started)
         return;
     started = true;
-    kernel.core().addHooks(this);
+    // Every core's translation hardware participates: hooks, evict
+    // callbacks and the SSP MSRs are replicated per core.
+    for (CpuId c = 0; c < kernel.numCores(); ++c) {
+        cpu::Core &core = kernel.core(c);
+        core.addHooks(this);
+        evictHookHandles.push_back(core.tlb().addEvictHook(
+            [this](const cpu::TlbEntry &e) { handleTlbEvict(e); }));
+    }
     kernel.addListener(this);
-    evictHookHandle = kernel.core().tlb().addEvictHook(
-        [this](const cpu::TlbEntry &e) { handleTlbEvict(e); });
     auto &sim = kernel.simulation();
     sim.eventq().schedule(&intervalEvent,
                           sim.now() + _params.consistencyInterval);
     sim.eventq().schedule(&consolidateEvent,
                           sim.now() + _params.consolidationInterval);
     // Publish the SSP cache base to the translation hardware.
-    kernel.core().msrs().write(cpu::MsrId::sspCacheBase,
-                               sspCache.base());
+    for (CpuId c = 0; c < kernel.numCores(); ++c) {
+        kernel.core(c).msrs().write(cpu::MsrId::sspCacheBase,
+                                    sspCache.base());
+    }
 }
 
 void
@@ -91,9 +98,12 @@ SspEngine::stop()
         return;
     started = false;
     armed = false;
-    kernel.core().removeHooks(this);
+    for (CpuId c = 0; c < kernel.numCores(); ++c) {
+        kernel.core(c).removeHooks(this);
+        kernel.core(c).tlb().removeEvictHook(evictHookHandles[c]);
+    }
+    evictHookHandles.clear();
     kernel.removeListener(this);
-    kernel.core().tlb().removeEvictHook(evictHookHandle);
     auto &eq = kernel.simulation().eventq();
     eq.deschedule(&intervalEvent);
     eq.deschedule(&consolidateEvent);
@@ -104,8 +114,10 @@ SspEngine::inTrackedRange(Pid pid, Addr vaddr) const
 {
     if (!armed || pid != armedPid)
         return false;
+    // The SSP MSRs are written identically on every core; read the
+    // canonical copy on core 0.
     const auto &msrs =
-        const_cast<os::Kernel &>(kernel).core().msrs();
+        const_cast<os::Kernel &>(kernel).core(0).msrs();
     return msrs.read(cpu::MsrId::sspEnable) != 0 &&
            vaddr >= msrs.read(cpu::MsrId::sspNvmRangeStart) &&
            vaddr < msrs.read(cpu::MsrId::sspNvmRangeEnd);
@@ -123,15 +135,18 @@ SspEngine::armFor(os::Process &proc)
         lo = std::min(lo, vma.range.start());
         hi = std::max(hi, vma.range.end());
     });
-    auto &msrs = kernel.core().msrs();
     if (lo >= hi) {
-        msrs.write(cpu::MsrId::sspEnable, 0);
+        for (CpuId c = 0; c < kernel.numCores(); ++c)
+            kernel.core(c).msrs().write(cpu::MsrId::sspEnable, 0);
         armed = false;
         return;
     }
-    msrs.write(cpu::MsrId::sspNvmRangeStart, lo);
-    msrs.write(cpu::MsrId::sspNvmRangeEnd, hi);
-    msrs.write(cpu::MsrId::sspEnable, 1);
+    for (CpuId c = 0; c < kernel.numCores(); ++c) {
+        auto &msrs = kernel.core(c).msrs();
+        msrs.write(cpu::MsrId::sspNvmRangeStart, lo);
+        msrs.write(cpu::MsrId::sspNvmRangeEnd, hi);
+        msrs.write(cpu::MsrId::sspEnable, 1);
+    }
     armed = true;
     armedPid = proc.pid;
 }
@@ -140,13 +155,11 @@ void
 SspEngine::onFaseStart(os::Process &proc)
 {
     armFor(proc);
-    // checkpoint_start enables the custom translation hardware; the
-    // TLB is shot down so every tracked page refills with the SSP
-    // extension fields populated.
-    if (armed) {
-        kernel.core().tlb().flushAll();
-        kernel.simulation().bump(2 * oneUs);
-    }
+    // checkpoint_start enables the custom translation hardware; every
+    // TLB is shot down so tracked pages refill with the SSP extension
+    // fields populated on whichever core touches them.
+    if (armed)
+        kernel.shootdownFlushAll();
 }
 
 void
@@ -155,7 +168,8 @@ SspEngine::onFaseEnd(os::Process &proc)
     (void)proc;
     // checkpoint_end: commit the open interval, then disarm.
     commitInterval();
-    kernel.core().msrs().write(cpu::MsrId::sspEnable, 0);
+    for (CpuId c = 0; c < kernel.numCores(); ++c)
+        kernel.core(c).msrs().write(cpu::MsrId::sspEnable, 0);
     armed = false;
 }
 
@@ -250,23 +264,26 @@ SspEngine::commitInterval()
     }
 
     std::uint64_t flushed = 0;
-    kernel.core().tlb().forEachValid([&](cpu::TlbEntry &entry) {
-        if (!entry.sspTracked || entry.updatedBits == 0)
-            return;
-        const Addr page = entry.pfn << pageShift;
-        ++bitmapSpills;
-        sspCache.mergeBits(page, entry.updatedBits,
-                           /*mark_evicted=*/false);
-        // clwb every modified data line.
-        for (unsigned i = 0; i < linesPerPage; ++i) {
-            if (bit(entry.updatedBits, i)) {
-                kmem.clwb(page + i * lineSize);
-                ++flushed;
-            }
-        }
-        entry.currentBits ^= entry.updatedBits;
-        entry.updatedBits = 0;
-    });
+    for (CpuId c = 0; c < kernel.numCores(); ++c) {
+        kernel.core(c).tlb().forEachValid(
+            [&](cpu::TlbEntry &entry) {
+                if (!entry.sspTracked || entry.updatedBits == 0)
+                    return;
+                const Addr page = entry.pfn << pageShift;
+                ++bitmapSpills;
+                sspCache.mergeBits(page, entry.updatedBits,
+                                   /*mark_evicted=*/false);
+                // clwb every modified data line.
+                for (unsigned i = 0; i < linesPerPage; ++i) {
+                    if (bit(entry.updatedBits, i)) {
+                        kmem.clwb(page + i * lineSize);
+                        ++flushed;
+                    }
+                }
+                entry.currentBits ^= entry.updatedBits;
+                entry.updatedBits = 0;
+            });
+    }
     kmem.sfence();
 
     // Durable commit record at the tail of the SSP cache region.

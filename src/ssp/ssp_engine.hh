@@ -17,6 +17,7 @@
 #define KINDLE_SSP_SSP_ENGINE_HH
 
 #include <unordered_map>
+#include <vector>
 
 #include "cpu/core.hh"
 #include "os/kernel.hh"
@@ -121,7 +122,8 @@ class SspEngine : public cpu::CoreHooks, public os::OsEventListener
     bool started = false;
     bool armed = false;
     Pid armedPid = 0;
-    std::size_t evictHookHandle = 0;
+    /** Per-core TLB evict-hook handles (index == CpuId). */
+    std::vector<std::size_t> evictHookHandles;
     std::uint64_t commitSeq = 0;
 
     /** Host index of orig-frame → shadow-frame (authoritative copy

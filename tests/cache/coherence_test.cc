@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Exhaustive MESI-lite transition coverage.  The state machine is a
+ * pure function (MesiDirectory::apply), so every transition is driven
+ * directly; a second set of tests checks the directory's stat
+ * accounting and the multi-core hierarchy integration (invalidations
+ * and forced writebacks actually reach the private caches).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/coherence.hh"
+#include "cache/hierarchy.hh"
+
+namespace kindle::cache
+{
+namespace
+{
+
+constexpr bool rd = false;
+constexpr bool wr = true;
+
+TEST(MesiApplyTest, InvalidReadGoesExclusive)
+{
+    DirEntry e;
+    const CoherenceActions a = MesiDirectory::apply(e, 0, rd);
+    EXPECT_EQ(e.state, MesiState::exclusive);
+    EXPECT_EQ(e.owner, 0u);
+    EXPECT_EQ(e.sharers, 0b01u);
+    EXPECT_EQ(a.invalidate, 0u);
+    EXPECT_EQ(a.writebackFrom, 0u);
+    EXPECT_FALSE(a.upgrade);
+}
+
+TEST(MesiApplyTest, InvalidWriteGoesModified)
+{
+    DirEntry e;
+    const CoherenceActions a = MesiDirectory::apply(e, 2, wr);
+    EXPECT_EQ(e.state, MesiState::modified);
+    EXPECT_EQ(e.owner, 2u);
+    EXPECT_EQ(e.sharers, 0b100u);
+    EXPECT_EQ(a.invalidate, 0u);
+    EXPECT_EQ(a.writebackFrom, 0u);
+}
+
+TEST(MesiApplyTest, ExclusiveOwnerReadStaysExclusive)
+{
+    DirEntry e;
+    MesiDirectory::apply(e, 1, rd);
+    const CoherenceActions a = MesiDirectory::apply(e, 1, rd);
+    EXPECT_EQ(e.state, MesiState::exclusive);
+    EXPECT_EQ(a.invalidate, 0u);
+    EXPECT_EQ(a.writebackFrom, 0u);
+}
+
+TEST(MesiApplyTest, ExclusiveOwnerWriteUpgradesSilently)
+{
+    DirEntry e;
+    MesiDirectory::apply(e, 1, rd);
+    const CoherenceActions a = MesiDirectory::apply(e, 1, wr);
+    EXPECT_EQ(e.state, MesiState::modified);
+    EXPECT_EQ(e.owner, 1u);
+    // Silent: no messages for an E->M upgrade by the owner.
+    EXPECT_EQ(a.invalidate, 0u);
+    EXPECT_EQ(a.writebackFrom, 0u);
+    EXPECT_FALSE(a.upgrade);
+}
+
+TEST(MesiApplyTest, ExclusiveRemoteReadGoesShared)
+{
+    DirEntry e;
+    MesiDirectory::apply(e, 0, rd);
+    const CoherenceActions a = MesiDirectory::apply(e, 1, rd);
+    EXPECT_EQ(e.state, MesiState::shared);
+    EXPECT_EQ(e.sharers, 0b11u);
+    // The clean copy needs no writeback and no invalidation.
+    EXPECT_EQ(a.invalidate, 0u);
+    EXPECT_EQ(a.writebackFrom, 0u);
+}
+
+TEST(MesiApplyTest, ExclusiveRemoteWriteInvalidatesOldOwner)
+{
+    DirEntry e;
+    MesiDirectory::apply(e, 0, rd);
+    const CoherenceActions a = MesiDirectory::apply(e, 1, wr);
+    EXPECT_EQ(e.state, MesiState::modified);
+    EXPECT_EQ(e.owner, 1u);
+    EXPECT_EQ(e.sharers, 0b10u);
+    EXPECT_EQ(a.invalidate, 0b01u);
+    EXPECT_EQ(a.writebackFrom, 0u);  // clean copy: drop, don't push
+}
+
+TEST(MesiApplyTest, SharedReadJoinsSharerSet)
+{
+    DirEntry e;
+    MesiDirectory::apply(e, 0, rd);
+    MesiDirectory::apply(e, 1, rd);  // now S {0,1}
+    const CoherenceActions a = MesiDirectory::apply(e, 2, rd);
+    EXPECT_EQ(e.state, MesiState::shared);
+    EXPECT_EQ(e.sharers, 0b111u);
+    EXPECT_EQ(a.invalidate, 0u);
+}
+
+TEST(MesiApplyTest, SharedWriteBySharerUpgrades)
+{
+    DirEntry e;
+    MesiDirectory::apply(e, 0, rd);
+    MesiDirectory::apply(e, 1, rd);
+    MesiDirectory::apply(e, 2, rd);  // S {0,1,2}
+    const CoherenceActions a = MesiDirectory::apply(e, 1, wr);
+    EXPECT_EQ(e.state, MesiState::modified);
+    EXPECT_EQ(e.owner, 1u);
+    EXPECT_EQ(e.sharers, 0b10u);
+    EXPECT_TRUE(a.upgrade);
+    // Every sharer but the writer is invalidated.
+    EXPECT_EQ(a.invalidate, 0b101u);
+    EXPECT_EQ(a.writebackFrom, 0u);
+}
+
+TEST(MesiApplyTest, SharedWriteByNonSharerInvalidatesAll)
+{
+    DirEntry e;
+    MesiDirectory::apply(e, 0, rd);
+    MesiDirectory::apply(e, 1, rd);  // S {0,1}
+    const CoherenceActions a = MesiDirectory::apply(e, 3, wr);
+    EXPECT_EQ(e.state, MesiState::modified);
+    EXPECT_EQ(e.owner, 3u);
+    EXPECT_EQ(e.sharers, 0b1000u);
+    EXPECT_FALSE(a.upgrade);  // the writer held no copy
+    EXPECT_EQ(a.invalidate, 0b11u);
+}
+
+TEST(MesiApplyTest, ModifiedOwnerAccessIsFree)
+{
+    DirEntry e;
+    MesiDirectory::apply(e, 0, wr);
+    for (const bool is_write : {rd, wr}) {
+        const CoherenceActions a = MesiDirectory::apply(e, 0, is_write);
+        EXPECT_EQ(e.state, MesiState::modified);
+        EXPECT_EQ(a.invalidate, 0u);
+        EXPECT_EQ(a.writebackFrom, 0u);
+    }
+}
+
+TEST(MesiApplyTest, ModifiedRemoteReadForcesWriteback)
+{
+    DirEntry e;
+    MesiDirectory::apply(e, 0, wr);
+    const CoherenceActions a = MesiDirectory::apply(e, 1, rd);
+    EXPECT_EQ(e.state, MesiState::shared);
+    EXPECT_EQ(e.sharers, 0b11u);
+    EXPECT_EQ(a.writebackFrom, 0b01u);  // owner pushes dirty copy down
+    EXPECT_EQ(a.invalidate, 0u);        // ... but keeps a clean copy
+}
+
+TEST(MesiApplyTest, ModifiedRemoteWriteTransfersOwnership)
+{
+    DirEntry e;
+    MesiDirectory::apply(e, 0, wr);
+    const CoherenceActions a = MesiDirectory::apply(e, 1, wr);
+    EXPECT_EQ(e.state, MesiState::modified);
+    EXPECT_EQ(e.owner, 1u);
+    EXPECT_EQ(e.sharers, 0b10u);
+    // Invalidation of a dirty line writes it back on the way out, so
+    // a plain invalidate message is all the protocol sends.
+    EXPECT_EQ(a.invalidate, 0b01u);
+    EXPECT_EQ(a.writebackFrom, 0u);
+}
+
+TEST(MesiDirectoryTest, CleanLineDemotesModifiedToExclusive)
+{
+    MesiDirectory dir(4);
+    dir.access(0x1000, 0, wr);
+    dir.cleanLine(0x1000);
+    EXPECT_EQ(dir.lookup(0x1000).state, MesiState::exclusive);
+    EXPECT_EQ(dir.lookup(0x1000).owner, 0u);
+    // cleanLine on shared / untracked lines is a no-op.
+    dir.access(0x2000, 0, rd);
+    dir.access(0x2000, 1, rd);
+    dir.cleanLine(0x2000);
+    EXPECT_EQ(dir.lookup(0x2000).state, MesiState::shared);
+    dir.cleanLine(0x9000);
+    EXPECT_EQ(dir.lookup(0x9000).state, MesiState::invalid);
+}
+
+TEST(MesiDirectoryTest, DropLineAndResetForgetCopies)
+{
+    MesiDirectory dir(2);
+    dir.access(0x1000, 0, wr);
+    dir.access(0x2000, 1, rd);
+    dir.dropLine(0x1000);
+    EXPECT_EQ(dir.lookup(0x1000).state, MesiState::invalid);
+    EXPECT_EQ(dir.lookup(0x2000).state, MesiState::exclusive);
+    dir.reset();
+    EXPECT_EQ(dir.lookup(0x2000).state, MesiState::invalid);
+}
+
+TEST(MesiDirectoryTest, StatsCountProtocolTraffic)
+{
+    MesiDirectory dir(4);
+    dir.access(0x1000, 0, rd);  // I->E
+    dir.access(0x1000, 1, rd);  // E->S: a shared fill
+    dir.access(0x1000, 1, wr);  // S->M: upgrade + 1 invalidation
+    dir.access(0x1000, 2, rd);  // M->S: forced writeback + fill
+    auto &st = dir.stats();
+    EXPECT_EQ(st.scalarValue("invalidations"), 1);
+    EXPECT_EQ(st.scalarValue("writebacksForced"), 1);
+    EXPECT_EQ(st.scalarValue("upgrades"), 1);
+    EXPECT_EQ(st.scalarValue("sharedFills"), 2);
+}
+
+TEST(MesiDirectoryTest, StateNamesAreStable)
+{
+    EXPECT_STREQ(mesiStateName(MesiState::invalid), "I");
+    EXPECT_STREQ(mesiStateName(MesiState::shared), "S");
+    EXPECT_STREQ(mesiStateName(MesiState::exclusive), "E");
+    EXPECT_STREQ(mesiStateName(MesiState::modified), "M");
+}
+
+// ---- Hierarchy integration -------------------------------------
+
+mem::HybridMemoryParams
+smallMem()
+{
+    mem::HybridMemoryParams p;
+    p.dramBytes = 64 * oneMiB;
+    p.nvmBytes = 64 * oneMiB;
+    return p;
+}
+
+struct SmpRig
+{
+    SmpRig(unsigned cores)
+        : memory(smallMem()),
+          hier(HierarchyParams{}, memory, cores)
+    {}
+
+    mem::HybridMemory memory;
+    Hierarchy hier;
+};
+
+TEST(HierarchySmpTest, SingleCoreHasNoDirectory)
+{
+    SmpRig rig(1);
+    EXPECT_EQ(rig.hier.directory(), nullptr);
+}
+
+TEST(HierarchySmpTest, RemoteWriteEvictsOtherCoresPrivateCopy)
+{
+    SmpRig rig(2);
+    rig.hier.access(0, mem::MemCmd::read, 0x10000, 8, 0);
+    ASSERT_TRUE(rig.hier.l1(0).contains(0x10000));
+    rig.hier.access(1, mem::MemCmd::write, 0x10000, 8, 0);
+    EXPECT_FALSE(rig.hier.l1(0).contains(0x10000));
+    EXPECT_FALSE(rig.hier.l2(0).contains(0x10000));
+    EXPECT_TRUE(rig.hier.l1(1).contains(0x10000));
+    EXPECT_EQ(rig.hier.directory()->lookup(0x10000).state,
+              MesiState::modified);
+}
+
+TEST(HierarchySmpTest, RemoteReadOfDirtyLineForcesWriteback)
+{
+    SmpRig rig(2);
+    rig.hier.access(0, mem::MemCmd::write, 0x20000, 8, 0);
+    rig.hier.access(1, mem::MemCmd::read, 0x20000, 8, 0);
+    // Both private hierarchies keep a (now clean) copy.
+    EXPECT_TRUE(rig.hier.l1(0).contains(0x20000));
+    EXPECT_TRUE(rig.hier.l1(1).contains(0x20000));
+    EXPECT_EQ(rig.hier.directory()->lookup(0x20000).state,
+              MesiState::shared);
+    EXPECT_EQ(
+        rig.hier.directory()->stats().scalarValue("writebacksForced"),
+        1);
+}
+
+TEST(HierarchySmpTest, CoherenceTrafficCostsLatency)
+{
+    SmpRig contended(2);
+    contended.hier.access(0, mem::MemCmd::write, 0x30000, 8, 0);
+    const Tick shared_read =
+        contended.hier.access(1, mem::MemCmd::read, 0x30000, 8, 0)
+            .latency;
+
+    SmpRig quiet(2);
+    quiet.hier.access(0, mem::MemCmd::write, 0x30000, 8, 0);
+    const Tick local_read =
+        quiet.hier.access(0, mem::MemCmd::read, 0x30000, 8, 0).latency;
+
+    // Pulling a dirty line out of another core's private cache is
+    // strictly slower than re-reading one's own copy.
+    EXPECT_GT(shared_read, local_read);
+}
+
+TEST(HierarchySmpTest, FlushAllResetsDirectory)
+{
+    SmpRig rig(2);
+    rig.hier.access(0, mem::MemCmd::write, 0x40000, 8, 0);
+    rig.hier.flushAll(0);
+    EXPECT_EQ(rig.hier.directory()->lookup(0x40000).state,
+              MesiState::invalid);
+}
+
+} // namespace
+} // namespace kindle::cache

@@ -26,7 +26,7 @@ class MiniOs : public FaultHandler
     }
 
     bool
-    handlePageFault(Addr vaddr, bool) override
+    handlePageFault(Core &, Addr vaddr, bool) override
     {
         ++faults;
         if (vaddr >= refuseAbove)

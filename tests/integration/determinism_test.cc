@@ -102,7 +102,7 @@ TEST(DeterminismTest, CrashRecoveryIsDeterministic)
         os::Process &proc = sys.kernel().spawnShell("p", 0);
         const Addr a = sys.kernel().sysMmap(proc, 0, 16 * pageSize,
                                             cpu::mapNvm);
-        sys.core().setContext(proc.pid, proc.ptRoot);
+        sys.core(0).setContext(proc.pid, proc.ptRoot);
         for (unsigned i = 0; i < 16; ++i) {
             const Addr f = sys.kernel().nvmAllocator().alloc();
             sys.kernel().pageTables().map(

@@ -114,10 +114,10 @@ TEST(MultiProcessTest, TlbIsolationBetweenProcesses)
     sys.kernel().pageTables().map(p1.ptRoot, va, f1, true, true);
     sys.kernel().pageTables().map(p2.ptRoot, va, f2, true, true);
 
-    sys.core().setContext(p1.pid, p1.ptRoot);
-    const Addr pa1 = sys.core().translate(va, false);
-    sys.core().setContext(p2.pid, p2.ptRoot);
-    const Addr pa2 = sys.core().translate(va, false);
+    sys.core(0).setContext(p1.pid, p1.ptRoot);
+    const Addr pa1 = sys.core(0).translate(va, false);
+    sys.core(0).setContext(p2.pid, p2.ptRoot);
+    const Addr pa2 = sys.core(0).translate(va, false);
     EXPECT_EQ(pa1, f1);
     EXPECT_EQ(pa2, f2);
 }

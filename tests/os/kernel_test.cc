@@ -155,7 +155,7 @@ TEST(KernelTest, MremapMoveRelocatesFrames)
         proc, a + 2 * pageSize, pageSize, cpu::mapFixed);
     EXPECT_EQ(blocker, a + 2 * pageSize);
     // Materialize a frame to verify it travels.
-    rig.kernel.core().setContext(proc.pid, proc.ptRoot);
+    rig.kernel.core(0).setContext(proc.pid, proc.ptRoot);
     Process *saved_current = rig.kernel.currentProcess();
     (void)saved_current;
     // Map manually through the fault path.

@@ -39,7 +39,7 @@ runScenario(bool incremental)
     os::Process &proc = sys.kernel().spawnShell("victim", 0);
     const Addr a =
         sys.kernel().sysMmap(proc, 0, 64 * pageSize, cpu::mapNvm);
-    sys.core().setContext(proc.pid, proc.ptRoot);
+    sys.core(0).setContext(proc.pid, proc.ptRoot);
 
     // Fault pages in via real demand paging so listeners fire.
     micro::ScriptBuilder b;
@@ -151,7 +151,7 @@ TEST(PtUndoTest, TornStoreIsRolledBack)
     // Locate the leaf entry address via a walk helper: rewrite the
     // durable image under it.
     cpu::WalkResult res =
-        sys.core().walker().walk(proc.ptRoot, a + pageSize, sys.now());
+        sys.core(0).walker().walk(proc.ptRoot, a + pageSize, sys.now());
     ASSERT_FALSE(res.fault);
     const std::uint64_t garbage = 0xdeadbeefdeadbeefull;
     sys.memory().writeDataDurable(res.leafAddr, &garbage, 8);

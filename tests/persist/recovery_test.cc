@@ -30,7 +30,7 @@ struct CrashRig
             proc, 0, 32 * pageSize, cpu::mapNvm);
         vaddr = a;
         // Fault pages in by hand (no program attached).
-        sys.core().setContext(proc.pid, proc.ptRoot);
+        sys.core(0).setContext(proc.pid, proc.ptRoot);
         for (unsigned i = 0; i < 32; ++i) {
             const Addr frame = sys.kernel().nvmAllocator().alloc();
             sys.kernel().pageTables().map(proc.ptRoot,
@@ -160,7 +160,7 @@ TEST(RecoveryTest, MultipleProcessesRecoverIndependently)
             "proc" + std::to_string(p), unsigned(p));
         const Addr a = sys.kernel().sysMmap(
             proc, 0, (p + 1) * 4 * pageSize, cpu::mapNvm);
-        sys.core().setContext(proc.pid, proc.ptRoot);
+        sys.core(0).setContext(proc.pid, proc.ptRoot);
         for (int i = 0; i < (p + 1) * 4; ++i) {
             const Addr frame = sys.kernel().nvmAllocator().alloc();
             sys.kernel().pageTables().map(

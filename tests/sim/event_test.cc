@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/clocked.hh"
@@ -148,6 +149,78 @@ TEST(EventQueueTest, NextTickSkipsStaleEntries)
     sim.eventq().schedule(&e2, 20);
     sim.eventq().deschedule(&e1);
     EXPECT_EQ(sim.eventq().nextTick(), 20u);
+}
+
+TEST(EventQueueTest, SizeAndEmptyCountLiveEntriesOnly)
+{
+    // Lazy deschedule leaves stale heap entries behind; size() and
+    // empty() must report the live set, or callers polling "is
+    // anything pending?" would spin on ghosts.
+    Simulation sim;
+    CallbackEvent e1("e1", [] {});
+    CallbackEvent e2("e2", [] {});
+    sim.eventq().schedule(&e1, 10);
+    sim.eventq().schedule(&e2, 20);
+    EXPECT_EQ(sim.eventq().size(), 2u);
+    sim.eventq().deschedule(&e1);
+    EXPECT_EQ(sim.eventq().size(), 1u);
+    EXPECT_FALSE(sim.eventq().empty());
+    // Deschedule + reschedule leaves a stale heap entry behind but
+    // must not inflate the live count.
+    sim.eventq().deschedule(&e2);
+    sim.eventq().schedule(&e2, 30);
+    EXPECT_EQ(sim.eventq().size(), 1u);
+    sim.eventq().deschedule(&e2);
+    EXPECT_TRUE(sim.eventq().empty());
+    EXPECT_EQ(sim.eventq().size(), 0u);
+}
+
+TEST(EventQueueTest, EventDestroyedWhileScheduledLeavesNoGhost)
+{
+    // A per-core object (e.g. a kernel's pending IPI event) destroyed
+    // at context switch or crash teardown must vanish from the queue:
+    // popDue may never hand back a dangling Event*.
+    Simulation sim;
+    int fired = 0;
+    {
+        CallbackEvent doomed("doomed", [&] { ++fired; });
+        sim.eventq().schedule(&doomed, 10);
+        EXPECT_EQ(sim.eventq().size(), 1u);
+    }
+    EXPECT_TRUE(sim.eventq().empty());
+    sim.bump(100);
+    sim.service();
+    EXPECT_EQ(fired, 0);
+    // The queue is fully consistent for new work afterwards.
+    CallbackEvent fresh("fresh", [&] { ++fired; });
+    sim.eventq().schedule(&fresh, sim.now() + 1);
+    sim.bump(10);
+    sim.service();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, EventOutlivesItsDestroyedQueue)
+{
+    // The inverse teardown order: a crash destroys the Simulation
+    // (and its queue) while component-owned events are still
+    // scheduled.  Their destructors must not deschedule against the
+    // dead queue.
+    auto ev = std::make_unique<CallbackEvent>("orphan", [] {});
+    {
+        EventQueue q;
+        q.schedule(ev.get(), 10);
+        EXPECT_TRUE(ev->scheduled());
+    }
+    EXPECT_FALSE(ev->scheduled());
+    ev.reset();  // must not touch the dead queue
+
+    // And a queue that died with pending events fires none of them.
+    CallbackEvent still("still", [] {});
+    {
+        EventQueue q;
+        q.schedule(&still, 10);
+    }
+    EXPECT_FALSE(still.scheduled());
 }
 
 TEST(ClockDomainTest, Conversions)

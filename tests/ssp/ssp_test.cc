@@ -96,7 +96,7 @@ TEST(SspTest, MsrsCarryTrackedRangeDuringFase)
     // to never observe it (the MSR values persist after faseStart in
     // engine state until faseEnd disarms).  Instead check the SSP
     // cache base MSR, programmed at start().
-    EXPECT_EQ(sys.core().msrs().read(cpu::MsrId::sspCacheBase),
+    EXPECT_EQ(sys.core(0).msrs().read(cpu::MsrId::sspCacheBase),
               sys.sspEngine()->cache().base());
 }
 
