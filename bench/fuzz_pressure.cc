@@ -1,0 +1,663 @@
+/**
+ * @file
+ * Memory-pressure fuzz harness: exhaustion storms meet crash points.
+ *
+ * The companion of fuzz_crash_recovery for the pressure subsystem.
+ * Every run arms a fault::PressurePlan — shrunken DRAM/NVM zones,
+ * seeded transient allocation failures, watermark reclaim, redo-log
+ * backpressure and the OOM killer — and drives an allocation storm
+ * (a fat DRAM hog, a churning foreground, optional per-core
+ * background mutators) that exhausts both zones repeatedly.  The
+ * machine must survive on graceful paths only: degraded MAP_NVM
+ * faults, demotions, early checkpoints, OOM kills, ENOMEM-killed
+ * processes — never a kindle_fatal from an allocation path (any abort
+ * fails the sweep by construction).
+ *
+ * Like the crash fuzzer it first takes a *golden run* (unarmed
+ * injector) to learn site hit counts, the durable-write budget and
+ * the committed-state oracle, then sweeps a site × occurrence grid —
+ * which under pressure includes the new sites reclaim.pre_demote,
+ * oom.pre_kill and redo.pre_truncate — padded with seeded random
+ * Nth-durable-write points.  Each point audits:
+ *
+ *   - oracle: every recovered process resumes from a committed state,
+ *   - recovery idempotence: the recovered image is crashed again
+ *     without running and must recover to the *same* process states
+ *     (this is the double-recovery proof for the new crash sites),
+ *   - liveness: the twice-recovered machine still checkpoints.
+ *
+ * Before any sweep (unless --filter narrows the run) the harness
+ * self-checks the zero-cost contract: two unpressured default runs
+ * must produce byte-identical stat snapshots containing none of the
+ * pressure stats (no reclaim group, no watermark gauges, no OOM or
+ * retry counters, no controller stall histograms).
+ *
+ * Flags (besides the common runner set):
+ *   --points N        crash points per scheme (KINDLE_FUZZ_POINTS)
+ *   --seed N          sweep seed (KINDLE_FUZZ_SEED)
+ *   --cores N         SMP machine with N-1 background mutators
+ *   --media-faults    arm the NVM media error model + scrubber too
+ *   --pressure-dram N DRAM zone cap in frames (default 160)
+ *   --pressure-nvm N  NVM zone cap in frames (default 384)
+ *   --pressure-fail R injected transient alloc-failure rate (0.02)
+ *   --no-oom          disable the OOM killer (ENOMEM kills only)
+ *   --filter STR      run only points whose name contains STR
+ *
+ * Deterministic: a fixed seed reproduces the same sweep and
+ * byte-identical BENCH_fuzz_pressure.json (wall-clock omitted).
+ */
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "base/random.hh"
+#include "bench_util.hh"
+#include "kindle/kindle.hh"
+#include "kindle/microbench.hh"
+#include "runner/options.hh"
+#include "runner/report.hh"
+
+namespace
+{
+
+using namespace kindle;
+
+struct FuzzOptions
+{
+    std::uint64_t points;
+    std::uint64_t seed;
+    unsigned cores = 1;
+    bool mediaFaults = false;
+    bool oom = true;
+    std::uint64_t pressureDram = 160;
+    std::uint64_t pressureNvm = 96;
+    double pressureFail = 0.02;
+    std::string filter;
+};
+
+/** Committed states a recovered process may legally resume from. */
+using Oracle = std::set<std::pair<std::uint64_t, std::uint64_t>>;
+
+/** Per-process recovered state, for the idempotence comparison. */
+using RecoveredSet =
+    std::set<std::tuple<Pid, std::uint64_t, std::uint64_t>>;
+
+struct Golden
+{
+    std::map<std::string, std::uint64_t> hits;
+    std::uint64_t durableWrites = 0;
+    Oracle committed;
+};
+
+std::uint64_t
+envCount(const char *name, std::uint64_t fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        const auto v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+constexpr Addr hogBase = micro::scriptBase + Addr(0x8000) * pageSize;
+
+/** The DRAM glutton: the biggest RSS in the house, so it is the
+ *  deterministic first OOM victim once the storm peaks. */
+std::unique_ptr<cpu::OpStream>
+makeHog()
+{
+    micro::ScriptBuilder b;
+    // Progressive growth, not an up-front splash: the hog ramps in
+    // lock-step with the foreground churner so their resident sets
+    // peak *together* — 200 hog pages + the churner's ~160 exceed the
+    // shrunken DRAM zone plus the entire NVM relief valve, forcing
+    // the allocator through demotion into the OOM killer no matter
+    // how the scheduler interleaves the two.
+    for (int r = 0; r < 10; ++r) {
+        b.compute(300000);
+        const Addr chunk = hogBase + Addr(r) * 20 * pageSize;
+        b.mmapFixed(chunk, 20 * pageSize, false);
+        b.touchPages(chunk, 20 * pageSize);
+    }
+    b.exit();
+    return b.build();
+}
+
+/** The churning foreground: NVM and DRAM mappings alternating, with
+ *  enough map/unmap traffic to keep the redo log and both allocators
+ *  under sustained pressure across several checkpoint intervals. */
+std::unique_ptr<cpu::OpStream>
+makeStorm()
+{
+    micro::ScriptBuilder b;
+    b.mmapFixed(micro::scriptBase, 32 * pageSize, true);
+    b.touchPages(micro::scriptBase, 32 * pageSize);
+    for (int r = 0; r < 10; ++r) {
+        b.compute(250000);
+        const Addr extra =
+            micro::scriptBase + (64 + Addr(r) * 24) * pageSize;
+        // DRAM extras, mostly kept mapped: the foreground's resident
+        // set grows past the shrunken zone while the hog sits on its
+        // own hundred frames — exhaustion is guaranteed, and relief
+        // must come from demotion and, eventually, the OOM killer.
+        b.mmapFixed(extra, 16 * pageSize, false);
+        b.touchPages(extra, 16 * pageSize);
+        if (r % 4 == 3)
+            b.munmap(extra, 16 * pageSize);
+    }
+    b.exit();
+    return b.build();
+}
+
+fault::MediaFaultPlan
+mediaPlan()
+{
+    fault::MediaFaultPlan media;
+    media.bitFlipRate = 1e-3;  // per line write; SECDED-correctable
+    media.seed = 99;           // fixed: independent of the sweep seed
+    return media;
+}
+
+fault::PressurePlan
+pressurePlan(const FuzzOptions &fz)
+{
+    fault::PressurePlan pp;
+    pp.dramZoneFrames = fz.pressureDram;
+    pp.nvmZoneFrames = fz.pressureNvm;
+    pp.allocFailRate = fz.pressureFail;
+    pp.seed = 7;  // fixed: golden run and points share one regime
+    pp.oomEnabled = fz.oom;
+    // Above the demotion stall floor (the retirement reserve), so the
+    // patrol actually observes "below low" while the zone saturates
+    // and exercises the early-checkpoint relief path.
+    pp.nvmLowWatermark = 12;
+    pp.nvmHighWatermark = 24;
+    return pp;
+}
+
+KindleConfig
+baseConfig(persist::PtScheme scheme, const FuzzOptions &fz)
+{
+    KindleConfig cfg;
+    cfg.memory.dramBytes = 128 * oneMiB;
+    cfg.memory.nvmBytes = 256 * oneMiB;
+    cfg.numCores = fz.cores;
+    // A short quantum keeps the hog and the churner genuinely
+    // time-shared, so their resident sets overlap at peak — with the
+    // default 1ms slice they run in near-sequential chunks and the
+    // zone never sees combined demand.
+    cfg.kernel.timeslice = 50 * oneUs;
+    cfg.persistence = persist::PersistParams{scheme, oneMs / 4};
+    cfg.pressure = pressurePlan(fz);
+    if (fz.mediaFaults) {
+        cfg.fault = fault::FaultPlan{};  // unarmed: media config only
+        cfg.fault->media = mediaPlan();
+        cfg.scrub = mem::ScrubParams{oneMs / 4, 16 * oneMiB};
+    }
+    return cfg;
+}
+
+void
+spawnBackground(KindleSystem &sys, unsigned cores)
+{
+    for (unsigned i = 1; i < cores; ++i) {
+        micro::ScriptBuilder b;
+        const Addr base =
+            micro::scriptBase + Addr(0x1000) * pageSize * i;
+        // DRAM-backed on purpose, and as long-lived as the hog and
+        // the churner: with more runnable processes than cores, some
+        // process is always off-core — a demotion victim with real
+        // DRAM leaves.  Short-lived mutators would exit before the
+        // storm peaks and leave every survivor pinned to a core,
+        // starving the reclaim engine of victims entirely.
+        b.mmapFixed(base, 16 * pageSize, false);
+        b.touchPages(base, 16 * pageSize);
+        for (int r = 0; r < 20; ++r) {
+            b.compute(200000 + 50000 * static_cast<int>(i));
+            b.touchPages(base, 8 * pageSize);
+        }
+        b.exit();
+        sys.kernel().spawn(b.build(), "bg" + std::to_string(i));
+    }
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+committedState(KindleSystem &sys, const os::Process &proc)
+{
+    return {sys.kernel().contextOf(proc).rip,
+            proc.aspace.mappedBytes()};
+}
+
+Golden
+goldenRun(persist::PtScheme scheme, const FuzzOptions &fz)
+{
+    Golden g;
+    KindleSystem sys(baseConfig(scheme, fz));
+    sys.injector().setObserver(
+        [&](const std::string &name, std::uint64_t) {
+            if (name != "ckpt.after_commit")
+                return;
+            for (const auto &proc : sys.kernel().processes()) {
+                if (proc->state == os::ProcState::zombie)
+                    continue;
+                g.committed.insert(committedState(sys, *proc));
+            }
+        });
+    sys.kernel().spawn(makeHog(), "hog");
+    spawnBackground(sys, fz.cores);
+    sys.run(makeStorm(), "storm");
+    g.hits = sys.injector().allHits();
+    g.durableWrites = sys.injector().durableWrites();
+    if (std::getenv("KINDLE_FUZZ_DEBUG")) {
+        const auto snap = sys.snapshotStats();
+        for (const auto &[path, value] : snap.entries()) {
+            if (path.find("kernel.") == 0 &&
+                path.find("kernel.pt") != 0) {
+                std::printf("  %s = %g\n", path.c_str(), value);
+            }
+        }
+        std::fflush(stdout);
+    }
+    return g;
+}
+
+struct Point
+{
+    std::string label;
+    fault::FaultPlan plan;
+};
+
+std::vector<Point>
+makePoints(const Golden &g, std::uint64_t total, std::uint64_t seed)
+{
+    std::vector<Point> pts;
+    const std::uint64_t grid_target = total * 3 / 5;
+    for (std::uint64_t occ = 1; pts.size() < grid_target; ++occ) {
+        bool any = false;
+        for (const auto &[site, hits] : g.hits) {
+            if (hits < occ)
+                continue;
+            any = true;
+            Point p;
+            p.label = site + "#" + std::to_string(occ);
+            p.plan.site = site;
+            p.plan.occurrence = occ;
+            p.plan.seed = seed + pts.size();
+            pts.push_back(std::move(p));
+            if (pts.size() >= grid_target)
+                break;
+        }
+        if (!any)
+            break;
+    }
+    Random rng(seed);
+    while (pts.size() < total) {
+        Point p;
+        p.plan.atNthDurableWrite = 1 + rng.uniform(g.durableWrites);
+        p.plan.seed = seed + pts.size();
+        p.label = "durable_write#" +
+                  std::to_string(p.plan.atNthDurableWrite);
+        pts.push_back(std::move(p));
+    }
+    return pts;
+}
+
+void
+dumpDivergence(KindleSystem &sys, const std::string &point_name,
+               const char *reason)
+{
+    std::string path = sys.traceSink().params().flightDumpPath;
+    if (path.empty()) {
+        std::string safe = point_name;
+        for (char &c : safe) {
+            if (c == '/')
+                c = '.';
+        }
+        path = "FLIGHT_pressure." + safe + ".json";
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write flight dump to %s\n",
+                     path.c_str());
+        return;
+    }
+    sys.dumpFlightRecorder(out, reason);
+    std::printf("flight recorder: %s\n", path.c_str());
+}
+
+runner::Scenario
+makeScenario(persist::PtScheme scheme, const Point &point,
+             const Golden &golden, const FuzzOptions &fz)
+{
+    const std::string scheme_name = persist::ptSchemeName(scheme);
+    runner::Scenario sc;
+    sc.name = scheme_name + "/" + point.label;
+    sc.axes = {{"scheme", scheme_name},
+               {"site", point.plan.site.empty() ? "durable_write"
+                                                : point.plan.site},
+               {"trigger", point.label}};
+    sc.config = baseConfig(scheme, fz);
+    const auto media = sc.config.fault ? sc.config.fault->media
+                                       : fault::MediaFaultPlan{};
+    sc.config.fault = point.plan;
+    sc.config.fault->media = media;
+    sc.drive = [oracle = &golden.committed, name = sc.name,
+                cores = fz.cores](KindleSystem &sys,
+                                  statistics::StatSnapshot &extra)
+        -> Tick {
+        const Tick t0 = sys.now();
+        bool fired = false;
+        try {
+            sys.kernel().spawn(makeHog(), "hog");
+            spawnBackground(sys, cores);
+            sys.run(makeStorm(), "storm");
+        } catch (const fault::PowerLoss &) {
+            fired = true;
+        }
+        sys.crash();
+        const persist::RecoveryReport report = sys.reboot();
+
+        // Audit 1: every recovered process resumes from a state the
+        // golden run committed.
+        std::uint64_t recovered = 0;
+        std::uint64_t divergences = 0;
+        RecoveredSet first;
+        for (const auto &proc : sys.kernel().processes()) {
+            if (!proc->restored)
+                continue;
+            ++recovered;
+            first.insert({proc->pid, proc->context.rip,
+                          proc->aspace.mappedBytes()});
+            if (!oracle->count(
+                    {proc->context.rip, proc->aspace.mappedBytes()}))
+                ++divergences;
+        }
+        if (divergences > 0)
+            dumpDivergence(sys, name, "oracle-divergence");
+
+        // Audit 2: recovery idempotence.  Crash the freshly recovered
+        // machine before it executes anything and recover again: the
+        // second pass must land on exactly the same process states.
+        sys.crash();
+        const persist::RecoveryReport report2 = sys.reboot();
+        RecoveredSet second;
+        for (const auto &proc : sys.kernel().processes()) {
+            if (!proc->restored)
+                continue;
+            second.insert({proc->pid, proc->context.rip,
+                           proc->aspace.mappedBytes()});
+        }
+        const bool idempotent = first == second;
+        if (!idempotent)
+            dumpDivergence(sys, name, "recovery-not-idempotent");
+
+        // Audit 3: the survivor still checkpoints.
+        bool post_ok = true;
+        try {
+            sys.persistence()->checkpointNow();
+        } catch (const std::exception &) {
+            post_ok = false;
+        }
+
+        const bool failed = divergences > 0 || !idempotent || !post_ok;
+        const bool clean = !failed && report.clean();
+        const auto hits = sys.injector().allHits();
+        const auto hitCount = [&](const char *site) -> double {
+            const auto it = hits.find(site);
+            return it == hits.end()
+                       ? 0.0
+                       : static_cast<double>(it->second);
+        };
+        extra.set("fuzz.fired", fired ? 1 : 0);
+        extra.set("fuzz.recovered", static_cast<double>(recovered));
+        extra.set("fuzz.quarantined",
+                  static_cast<double>(report.processesQuarantined));
+        extra.set("fuzz.recoveryErrors",
+                  static_cast<double>(report.errors.size()));
+        extra.set("fuzz.oracleDivergences",
+                  static_cast<double>(divergences));
+        extra.set("fuzz.idempotenceBreaks", idempotent ? 0 : 1);
+        extra.set("fuzz.rerecovered",
+                  static_cast<double>(report2.processesRecovered));
+        extra.set("fuzz.demoteSiteHits",
+                  hitCount("reclaim.pre_demote"));
+        extra.set("fuzz.oomSiteHits", hitCount("oom.pre_kill"));
+        extra.set("fuzz.truncateSiteHits",
+                  hitCount("redo.pre_truncate"));
+        extra.set("fuzz.clean", clean ? 1 : 0);
+        extra.set("fuzz.salvaged", (!clean && !failed) ? 1 : 0);
+        extra.set("fuzz.failed", failed ? 1 : 0);
+        return sys.now() - t0;
+    };
+    return sc;
+}
+
+/**
+ * The zero-cost contract: an unpressured default machine must produce
+ * byte-identical stats run to run, and none of the pressure stats may
+ * exist in its tree (they register lazily, on first pressure event).
+ */
+void
+selfCheckUnpressured()
+{
+    const auto once = [] {
+        KindleConfig cfg;
+        cfg.memory.dramBytes = 128 * oneMiB;
+        cfg.memory.nvmBytes = 256 * oneMiB;
+        cfg.persistence =
+            persist::PersistParams{persist::PtScheme::rebuild,
+                                   oneMs / 4};
+        KindleSystem sys(cfg);
+        sys.run(makeStorm(), "plain");
+        return sys.snapshotStats();
+    };
+    const auto s1 = once();
+    const auto s2 = once();
+    kindle_assert(s1 == s2,
+                  "unpressured runs diverged — determinism broken");
+    static const char *const forbidden[] = {
+        "reclaim.",         "enomemFaults",     "allocRetries",
+        "allocFailuresInjected", "oomKills",    "oomPagesFreed",
+        "lowWatermark",     "highWatermark",    "exhaustedAllocs",
+        "writeStalls",      "writeStallLatency", "earlyCheckpoints",
+        "slotsCompacted",   "wrapDestroyed",
+    };
+    for (const auto &[path, value] : s1.entries()) {
+        (void)value;
+        for (const char *marker : forbidden) {
+            kindle_assert(path.find(marker) == std::string::npos,
+                          "pressure stat '{}' leaked into the "
+                          "unpressured default tree", path);
+        }
+    }
+    std::printf("self-check: unpressured default tree clean "
+                "(%zu stats, byte-identical across runs)\n",
+                s1.entries().size());
+}
+
+FuzzOptions
+parseFuzzOptions(int argc, char **argv, std::vector<char *> &pass_argv)
+{
+    FuzzOptions fz;
+    fz.points = envCount("KINDLE_FUZZ_POINTS", 128);
+    fz.seed = envCount("KINDLE_FUZZ_SEED", 24680);
+    pass_argv.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const auto numeric = [&](const char *flag) -> std::uint64_t {
+            if (i + 1 >= argc)
+                kindle_fatal("{} needs a value", flag);
+            return std::strtoull(argv[++i], nullptr, 10);
+        };
+        if (std::strcmp(argv[i], "--points") == 0) {
+            fz.points = numeric("--points");
+            if (fz.points == 0)
+                kindle_fatal("--points must be positive");
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            fz.seed = numeric("--seed");
+        } else if (std::strcmp(argv[i], "--cores") == 0) {
+            fz.cores = static_cast<unsigned>(numeric("--cores"));
+            if (fz.cores == 0 || fz.cores > 32)
+                kindle_fatal("--cores must be in 1..32");
+        } else if (std::strcmp(argv[i], "--media-faults") == 0) {
+            fz.mediaFaults = true;
+        } else if (std::strcmp(argv[i], "--no-oom") == 0) {
+            fz.oom = false;
+        } else if (std::strcmp(argv[i], "--pressure-dram") == 0) {
+            fz.pressureDram = numeric("--pressure-dram");
+        } else if (std::strcmp(argv[i], "--pressure-nvm") == 0) {
+            fz.pressureNvm = numeric("--pressure-nvm");
+        } else if (std::strcmp(argv[i], "--pressure-fail") == 0) {
+            if (i + 1 >= argc)
+                kindle_fatal("--pressure-fail needs a value");
+            fz.pressureFail = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--filter") == 0) {
+            if (i + 1 >= argc)
+                kindle_fatal("--filter needs a value");
+            fz.filter = argv[++i];
+        } else {
+            pass_argv.push_back(argv[i]);
+        }
+    }
+    return fz;
+}
+
+std::string
+reproCommand(const char *argv0, const FuzzOptions &fz,
+             const std::string &point_name)
+{
+    std::string cmd = argv0;
+    cmd += " --points " + std::to_string(fz.points);
+    cmd += " --seed " + std::to_string(fz.seed);
+    if (fz.cores > 1)
+        cmd += " --cores " + std::to_string(fz.cores);
+    if (fz.mediaFaults)
+        cmd += " --media-faults";
+    if (!fz.oom)
+        cmd += " --no-oom";
+    cmd += " --filter '" + point_name + "' --jobs 1";
+    return cmd;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace kindle::bench;
+
+    std::vector<char *> pass_argv;
+    const FuzzOptions fz = parseFuzzOptions(argc, argv, pass_argv);
+    const auto opts = runner::parseOptions(
+        static_cast<int>(pass_argv.size()), pass_argv.data());
+    printHeader(
+        "Memory-pressure fuzz",
+        "exhaustion storms, " + std::to_string(fz.points) +
+            " points/scheme, seed " + std::to_string(fz.seed) +
+            ", cores " + std::to_string(fz.cores) +
+            ", dram/nvm zones " + std::to_string(fz.pressureDram) +
+            "/" + std::to_string(fz.pressureNvm) + " frames" +
+            (fz.oom ? "" : ", oom off") +
+            (fz.mediaFaults ? ", media faults + scrubber armed" : ""));
+
+    if (fz.filter.empty())
+        selfCheckUnpressured();
+
+    const std::vector<persist::PtScheme> schemes = {
+        persist::PtScheme::rebuild, persist::PtScheme::persistent};
+
+    runner::BenchReport report("fuzz_pressure", opts.jobs);
+    report.omitWallClock();
+    report.keepStatPrefixes({"fuzz.", "fault.", "recovery.",
+                             "persist.checkpoints",
+                             "persist.earlyCheckpoints",
+                             "kernel.reclaim.", "kernel.oomKills",
+                             "hybridMem.nvmMedia.", "scrubber.",
+                             "kernel.badFrames."});
+
+    TablePrinter table({"Scheme", "Points", "Fired", "Clean",
+                        "Salvaged", "Failed", "IdemBreaks"});
+    bool any_failed = false;
+
+    for (const auto scheme : schemes) {
+        const Golden golden = goldenRun(scheme, fz);
+        std::printf("golden[%s]: %llu durable writes, sites:",
+                    persist::ptSchemeName(scheme),
+                    static_cast<unsigned long long>(
+                        golden.durableWrites));
+        for (const auto &[site, hits] : golden.hits) {
+            std::printf(" %s=%llu", site.c_str(),
+                        static_cast<unsigned long long>(hits));
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+        kindle_assert(!golden.committed.empty(),
+                      "golden run took no checkpoints — workload or "
+                      "interval mistuned");
+        // The storm must actually engage the pressure machinery, or
+        // the grid would silently stop covering the new sites.
+        kindle_assert(golden.hits.count("reclaim.pre_demote"),
+                      "golden run never demoted a page — pressure "
+                      "plan mistuned");
+        if (fz.oom) {
+            kindle_assert(golden.hits.count("oom.pre_kill"),
+                          "golden run never OOM-killed — pressure "
+                          "plan mistuned");
+        }
+        const auto points = makePoints(golden, fz.points, fz.seed);
+
+        std::vector<runner::Scenario> scenarios;
+        scenarios.reserve(points.size());
+        for (const auto &p : points) {
+            auto sc = makeScenario(scheme, p, golden, fz);
+            if (!fz.filter.empty() &&
+                sc.name.find(fz.filter) == std::string::npos) {
+                continue;
+            }
+            scenarios.push_back(std::move(sc));
+        }
+
+        runner::SweepRunner pool(opts);
+        const auto results = pool.run(scenarios);
+        requireAllOk(results);
+        report.add(results);
+
+        std::uint64_t fired = 0, clean = 0, salvaged = 0, failed = 0;
+        std::uint64_t idem_breaks = 0;
+        for (const auto &r : results) {
+            fired += static_cast<std::uint64_t>(
+                r.stats.get("fuzz.fired"));
+            clean += static_cast<std::uint64_t>(
+                r.stats.get("fuzz.clean"));
+            salvaged += static_cast<std::uint64_t>(
+                r.stats.get("fuzz.salvaged"));
+            failed += static_cast<std::uint64_t>(
+                r.stats.get("fuzz.failed"));
+            idem_breaks += static_cast<std::uint64_t>(
+                r.stats.get("fuzz.idempotenceBreaks"));
+            if (r.stats.get("fuzz.failed") > 0) {
+                std::printf("FAILED %s\n  repro: %s\n",
+                            r.name.c_str(),
+                            reproCommand(argv[0], fz, r.name).c_str());
+            }
+        }
+        any_failed = any_failed || failed > 0;
+        table.addRow({persist::ptSchemeName(scheme),
+                      std::to_string(results.size()),
+                      std::to_string(fired), std::to_string(clean),
+                      std::to_string(salvaged),
+                      std::to_string(failed),
+                      std::to_string(idem_breaks)});
+    }
+    table.print();
+
+    printJsonFooter(report.writeJsonFile(), opts.jobs);
+    if (any_failed)
+        kindle_fatal("pressure fuzz found divergent or "
+                     "non-idempotent recoveries");
+    return 0;
+}

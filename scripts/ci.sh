@@ -35,6 +35,16 @@ echo "=== Crash-recovery fuzz smoke (ASan/UBSan) ==="
 ./build-asan/bench/fuzz_crash_recovery --points 64 --cores 4
 rm -f BENCH_fuzz_crash_recovery.json
 
+echo "=== Memory-pressure fuzz smoke (ASan/UBSan) ==="
+# The exhaustion fuzzer: shrunken zones, injected allocation failures,
+# watermark reclaim, and the OOM killer underneath the same crash-point
+# sweep.  Exits non-zero on any recovery divergence, any
+# non-idempotent second recovery, or if the pressured golden run fails
+# to actually exercise reclaim and the OOM path (mistuning tripwire).
+./build-asan/bench/fuzz_pressure --points 64
+./build-asan/bench/fuzz_pressure --points 64 --media-faults
+rm -f BENCH_fuzz_pressure.json
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     echo "=== TSan build + SweepRunner/fault/persist tests ==="
     cmake -B build-tsan -S . -G Ninja \
@@ -42,7 +52,7 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
         -DCMAKE_CXX_FLAGS="-fsanitize=thread"
     cmake --build build-tsan -j "${JOBS}" \
         --target test_runner test_fault test_persist test_trace \
-        fig4a_seq_alloc ablation_multiprocess
+        fig4a_seq_alloc ablation_multiprocess fuzz_pressure
     # The runner tests exercise every cross-thread path: the work
     # queue, result placement, and the shared trace-flag/error-mode
     # globals that concurrent KindleSystem instances touch.
@@ -91,6 +101,16 @@ PY
         KINDLE_OPS=20000 ./build-tsan/bench/ablation_multiprocess \
             --cores "${CORES}"
     done
+
+    echo "=== 4-core pressure sweep under TSan ==="
+    # Reclaim demotions, TLB shootdowns for demoted mappings, OOM
+    # teardown, and early checkpoints all firing while the SMP
+    # scheduler time-shares four cores — the densest interleaving the
+    # pressure subsystem sees.  Single simulation thread, but the
+    # sweep shares injector routing and trace globals with any
+    # concurrent system, so TSan must stay quiet here too.
+    KINDLE_FUZZ_POINTS=32 ./build-tsan/bench/fuzz_pressure --cores 4
+    rm -f BENCH_fuzz_pressure.json
 fi
 
 echo "ci.sh: all checks passed"

@@ -156,6 +156,10 @@ knownCrashSites()
         "recover.after_quarantine", // recovery: one slot fenced off
         "recover.before_reclaim",   // recovery: leak reclaim starting
         "recover.complete",         // recovery: procedure finished
+        "redo.pre_wrap",            // redo log: tail about to fold forward
+        "redo.pre_truncate",        // redo log: backpressure epoch bump next
+        "reclaim.pre_demote",       // reclaim: NVM frame held, page not moved
+        "oom.pre_kill",             // oom: victim chosen, teardown next
     };
     return sites;
 }

@@ -76,6 +76,58 @@ struct MediaFaultPlan
     }
 };
 
+/**
+ * Memory-pressure configuration.  Orthogonal to the crash trigger and
+ * the media model: an enabled pressure plan shrinks the physical zones
+ * the kernel hands to its frame allocators, injects seeded transient
+ * allocation failures (forcing the retry/backoff path), and switches
+ * the kernel's exhaustion handling from kindle_fatal to the graceful
+ * ENOMEM → reclaim → OOM-kill escalation.  Plain data so config
+ * plumbing stays header-only, like MediaFaultPlan above.
+ */
+struct PressurePlan
+{
+    /** Cap the DRAM user zone to this many frames (0 = whole zone). */
+    std::uint64_t dramZoneFrames = 0;
+    /** Cap the NVM user pool to this many frames (0 = whole pool). */
+    std::uint64_t nvmZoneFrames = 0;
+
+    /** Probability one tryAlloc is failed artificially (transient). */
+    double allocFailRate = 0.0;
+    /** Seed for the injected-failure coin flips (deterministic). */
+    std::uint64_t seed = 11;
+    /** Allocation retries before escalating to reclaim/OOM. */
+    unsigned maxRetries = 4;
+    /** Simulated backoff charged per allocation retry. */
+    Tick retryBackoff = 10 * oneUs;
+
+    /** Watermarks in frames; 0 derives low = max(8, frames/16) and
+     *  high = max(2*low, frames/8) from the (possibly shrunk) zone. */
+    std::uint64_t dramLowWatermark = 0;
+    std::uint64_t dramHighWatermark = 0;
+    std::uint64_t nvmLowWatermark = 0;
+    std::uint64_t nvmHighWatermark = 0;
+
+    /** Reclaim engine patrol period. */
+    Tick reclaimInterval = oneMs / 4;
+    /** Max pages demoted DRAM→NVM per reclaim pass. */
+    unsigned reclaimBatchPages = 8;
+
+    /** Redo-log fill fraction that triggers an early checkpoint
+     *  (truncates the log before it can wrap).  0 disables. */
+    double redoHighWaterFraction = 0.75;
+
+    /** Last-resort deterministic OOM killer (victim by RSS). */
+    bool oomEnabled = true;
+
+    bool
+    enabled() const
+    {
+        return dramZoneFrames != 0 || nvmZoneFrames != 0 ||
+               allocFailRate > 0.0;
+    }
+};
+
 /** What to crash on.  At most one trigger should be armed. */
 struct FaultPlan
 {

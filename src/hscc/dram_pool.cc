@@ -24,10 +24,20 @@ DramPool::DramPool(unsigned pages, os::FrameAllocator &dram_alloc)
     entries.reserve(pages);
     for (unsigned i = 0; i < pages; ++i) {
         PoolEntry e;
-        e.dramFrame = dram_alloc.alloc();
+        e.dramFrame = dram_alloc.tryAlloc();
+        if (e.dramFrame == invalidAddr) {
+            // A pressure-shrunk DRAM zone may not fit the configured
+            // pool; run with what the zone could supply rather than
+            // aborting — a smaller cache is slower, not wrong.
+            warn("hscc: DRAM pool shrunk to {} pages ({} requested; "
+                 "zone exhausted)", i, pages);
+            break;
+        }
         entries.push_back(e);
         freeList.push_back(i);
     }
+    kindle_assert(!entries.empty(),
+                  "hscc: no DRAM frames at all for the page pool");
     updateGauges();
 }
 

@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "base/trace_flags.hh"
+#include "os/reclaim.hh"
 
 namespace kindle
 {
@@ -48,6 +49,14 @@ KindleSystem::KindleSystem(const KindleConfig &config_arg)
     // the medium is hardware, so this is construction-time only.
     if (config.fault)
         config.memory.media = config.fault->media;
+
+    // A pressure plan rides into the kernel and turns on write-buffer
+    // stall telemetry (pressure shows up first as controller stalls).
+    if (config.pressure) {
+        config.kernel.pressure = *config.pressure;
+        config.memory.dramCtrl.trackStalls = true;
+        config.memory.nvmCtrl.trackStalls = true;
+    }
 
     // The injector exists even when no fault is configured: an unarmed
     // plan just counts probe hits (observe mode).  Registering it on
@@ -130,6 +139,29 @@ KindleSystem::buildOsLayer()
         hscc_ = std::make_unique<hscc::HsccEngine>(*config.hscc,
                                                    *kernel_);
         hscc_->start();
+    }
+    wirePressureHooks();
+}
+
+void
+KindleSystem::wirePressureHooks()
+{
+    if (!config.pressure || !persist_)
+        return;
+    // Redo-log high water pulls the next checkpoint forward before
+    // the log can wrap; the early checkpoint truncates the log and
+    // compacts dead saved-state slots.
+    if (config.pressure->redoHighWaterFraction > 0.0) {
+        persist_->enableBackpressure(
+            config.pressure->redoHighWaterFraction);
+    }
+    // NVM-zone pressure has no page-level relief valve; the reclaim
+    // engine asks the persistence domain to shed metadata instead.
+    if (auto *rec = kernel_->reclaimEngine()) {
+        rec->setCheckpointHook([this] {
+            if (persist_)
+                persist_->requestEarlyCheckpoint();
+        });
     }
 }
 
@@ -264,6 +296,7 @@ KindleSystem::reboot()
     }
     if (scrubber_)
         scrubber_->start();
+    wirePressureHooks();
 
     // The injector stays deactivated: its one armed crash has fired
     // (or been skipped), and recovery/rerun probes must not refire it.

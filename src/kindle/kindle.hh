@@ -80,6 +80,18 @@ struct KindleConfig
     std::optional<fault::FaultPlan> fault;
 
     /**
+     * Arm a memory-pressure plan (see fault::PressurePlan): shrunken
+     * zones, injected transient allocation failures, watermark-driven
+     * reclaim, checkpoint/redo backpressure, and the OOM killer.  The
+     * plan is forwarded into the kernel, enables write-buffer stall
+     * tracking on both memory controllers, and — when persistence is
+     * also configured — arms redo-log backpressure and routes the
+     * reclaim engine's NVM-pressure relief to early checkpoints.
+     * Survives reboot(): the same pressure regime governs every boot.
+     */
+    std::optional<fault::PressurePlan> pressure;
+
+    /**
      * Patrol-scrubber cadence.  The scrubber is built whenever the
      * media model is enabled (using defaults if this is unset); set
      * this to tune the patrol interval/chunk or to run the scrubber
@@ -222,6 +234,7 @@ class KindleSystem
 
   private:
     void buildOsLayer();
+    void wirePressureHooks();
     mem::PowerLossModel lossModel() const;
     void teardownToCrashed();
     std::vector<cpu::Core *> corePtrs() const;

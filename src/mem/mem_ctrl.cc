@@ -28,6 +28,12 @@ MemCtrl::MemCtrl(const MemCtrlParams &params,
 {
     kindle_assert(params.readBufferSize > 0, "read buffer cannot be 0");
     kindle_assert(params.writeBufferSize > 0, "write buffer cannot be 0");
+    if (params.trackStalls) {
+        writeStalls = &statGroup.addScalar(
+            "writeStalls", "write submissions that found the buffer full");
+        writeStallLatency = &statGroup.addHistogram(
+            "writeStallLatency", "per-stall wait for a drain slot (ticks)");
+    }
     statGroup.addChild(iface->stats());
 }
 
@@ -71,6 +77,10 @@ MemCtrl::submit(const MemRequest &req, Tick now)
       case MemCmd::writeback: {
         const Tick start = acquireSlot(
             writeQueue, _params.writeBufferSize, now, writeStallTicks);
+        if (start != now && writeStalls) {
+            ++*writeStalls;
+            writeStallLatency->sample(static_cast<double>(start - now));
+        }
         const Tick accepted = start + _params.frontendLatency;
         // Drain happens in the background at device speed.
         const Tick drained = iface->access(req.cmd, req.paddr, accepted);

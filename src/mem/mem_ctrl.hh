@@ -31,6 +31,13 @@ struct MemCtrlParams
     unsigned readBufferSize = 64;
     unsigned writeBufferSize = 48;
     Tick frontendLatency = 10 * oneNs;
+    /**
+     * Publish per-stall backpressure stats (stall count + per-stall
+     * latency histogram) for the write-buffer-full path.  Off by
+     * default so the baseline stat layout is unchanged; pressure
+     * experiments switch it on to see controller backpressure.
+     */
+    bool trackStalls = false;
 };
 
 /** One channel: queues in front of one MemInterface. */
@@ -102,6 +109,11 @@ class MemCtrl
     statistics::Histogram &writeLatency;
     /** Write-buffer entries in flight, sampled at each accept. */
     statistics::Histogram &writeBufOccupancy;
+
+    /** Buffer-full backpressure; registered only when
+     *  MemCtrlParams::trackStalls is set. */
+    statistics::Scalar *writeStalls = nullptr;
+    statistics::Histogram *writeStallLatency = nullptr;
 };
 
 } // namespace kindle::mem

@@ -84,6 +84,12 @@ FrameAllocator::tryAlloc()
         } else if (bumpNext < frameCount) {
             index = bumpNext++;
         } else {
+            if (!exhaustedAllocs) {
+                exhaustedAllocs = &statGroup.addScalar(
+                    "exhaustedAllocs",
+                    "tryAlloc calls that found the zone empty");
+            }
+            ++*exhaustedAllocs;
             return invalidAddr;
         }
         if (!isRetiredIndex(index))
@@ -126,6 +132,24 @@ bool
 FrameAllocator::isAllocated(Addr frame) const
 {
     return used[frameIndex(frame)];
+}
+
+void
+FrameAllocator::setWatermarks(std::uint64_t low, std::uint64_t high)
+{
+    kindle_assert(low <= high && high <= frameCount,
+                  "{}: bad watermarks {}..{} over {} frames", _name, low,
+                  high, frameCount);
+    lowMark = low;
+    highMark = high;
+    if (!lowMarkGauge) {
+        lowMarkGauge = &statGroup.addGauge(
+            "lowWatermark", "reclaim starts at this free-frame level");
+        highMarkGauge = &statGroup.addGauge(
+            "highWatermark", "reclaim stops at this free-frame level");
+    }
+    *lowMarkGauge = static_cast<double>(lowMark);
+    *highMarkGauge = static_cast<double>(highMark);
 }
 
 void

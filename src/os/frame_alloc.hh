@@ -79,6 +79,23 @@ class FrameAllocator
      */
     void recoverFromBitmap();
 
+    /**
+     * Publish low/high watermark gauges for this zone (frames).  Only
+     * called when a pressure plan is configured, so unpressured runs
+     * register no extra stats and their JSON stays byte-identical.
+     */
+    void setWatermarks(std::uint64_t low, std::uint64_t high);
+
+    std::uint64_t lowWatermark() const { return lowMark; }
+    std::uint64_t highWatermark() const { return highMark; }
+
+    /** Free-frame level is at or below the low watermark. */
+    bool
+    belowLow() const
+    {
+        return lowMark != 0 && freeFrames() <= lowMark;
+    }
+
     /** Visit the frame address of every allocated frame. */
     template <typename Fn>
     void
@@ -113,12 +130,21 @@ class FrameAllocator
     /** Frames dropped from the pool because they are retired. */
     std::uint64_t retiredOut = 0;
 
+    std::uint64_t lowMark = 0;
+    std::uint64_t highMark = 0;
+
     statistics::StatGroup statGroup;
     statistics::Scalar &allocs;
     statistics::Scalar &frees;
     statistics::Scalar &persistWrites;
     /** Current allocation level (a gauge: set, not accumulated). */
     statistics::Gauge &framesInUse;
+    /** Watermark gauges; registered only via setWatermarks(). */
+    statistics::Gauge *lowMarkGauge = nullptr;
+    statistics::Gauge *highMarkGauge = nullptr;
+    /** tryAlloc calls that found the zone empty; registered lazily on
+     *  the first failure so default runs export no extra stat. */
+    statistics::Scalar *exhaustedAllocs = nullptr;
 };
 
 } // namespace kindle::os

@@ -7,6 +7,7 @@
 #include "base/str.hh"
 #include "base/trace_flags.hh"
 #include "os/bad_frames.hh"
+#include "os/reclaim.hh"
 #include "trace/trace.hh"
 
 namespace kindle::os
@@ -57,17 +58,33 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
 {
     kindle_assert(!cores_.empty(), "kernel needs at least one core");
 
-    // DRAM frames: everything above the kernel-image reserve.
-    const AddrRange dram_zone(
+    const fault::PressurePlan &pp = _params.pressure;
+    allocRng = Random(pp.seed);
+
+    // DRAM frames: everything above the kernel-image reserve (a
+    // pressure plan may cap the zone to force exhaustion).
+    AddrRange dram_zone(
         roundUp(params.kernelReserveBytes, pageSize),
         memory.dramRange().end());
+    if (pp.dramZoneFrames != 0 &&
+        pp.dramZoneFrames * pageSize < dram_zone.size()) {
+        dram_zone = AddrRange::withSize(dram_zone.start(),
+                                        pp.dramZoneFrames * pageSize);
+    }
     dramAlloc = std::make_unique<FrameAllocator>("dramAlloc", dram_zone,
                                                  kernelMem);
 
     // NVM frames: the user pool carved by the layout, with the
-    // allocation bitmap persisted in NVM.
-    const AddrRange nvm_zone = AddrRange::withSize(
-        layout.userPool, roundDown(layout.userPoolBytes, pageSize));
+    // allocation bitmap persisted in NVM.  A pressure cap shortens the
+    // zone (and therefore the bitmap prefix recovery adopts) the same
+    // way on every boot of the same configuration.
+    std::uint64_t nvm_bytes = roundDown(layout.userPoolBytes, pageSize);
+    if (pp.nvmZoneFrames != 0 &&
+        pp.nvmZoneFrames * pageSize < nvm_bytes) {
+        nvm_bytes = pp.nvmZoneFrames * pageSize;
+    }
+    const AddrRange nvm_zone =
+        AddrRange::withSize(layout.userPool, nvm_bytes);
     nvmAlloc = std::make_unique<FrameAllocator>(
         "nvmAlloc", nvm_zone, kernelMem, layout.allocBitmap);
 
@@ -102,6 +119,40 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
     statGroup.addChild(nvmAlloc->stats());
     statGroup.addChild(badFrames_->stats());
     statGroup.addChild(ptMgr->stats());
+
+    if (pp.enabled()) {
+        // Watermarks default to 1/16th of the zone (low) and double
+        // that (high), floored so tiny test zones still get a band.
+        const auto arm = [](FrameAllocator &alloc, std::uint64_t lo,
+                            std::uint64_t hi) {
+            const std::uint64_t frames = alloc.totalFrames();
+            if (lo == 0)
+                lo = std::max<std::uint64_t>(8, frames / 16);
+            if (hi == 0)
+                hi = std::max<std::uint64_t>(2 * lo, frames / 8);
+            hi = std::min(hi, frames);
+            lo = std::min(lo, hi);
+            alloc.setWatermarks(lo, hi);
+        };
+        arm(*dramAlloc, pp.dramLowWatermark, pp.dramHighWatermark);
+        arm(*nvmAlloc, pp.nvmLowWatermark, pp.nvmHighWatermark);
+
+        reclaim_ = std::make_unique<ReclaimEngine>(
+            *this,
+            ReclaimParams{pp.reclaimInterval, pp.reclaimBatchPages});
+        statGroup.addChild(reclaim_->stats());
+        reclaim_->start();
+
+        // Page-table frames come from the same zones; on exhaustion
+        // give direct reclaim and the OOM killer one shot at freeing
+        // a table frame before the allocator's fatal stands.
+        ptMgr->setExhaustionHandler([this] {
+            if (reclaim_)
+                reclaim_->emergencyPass();
+            if (_params.pressure.oomEnabled)
+                oomKill(nullptr);
+        });
+    }
 }
 
 Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
@@ -561,6 +612,8 @@ Kernel::unmapPages(Process &proc, const Vma &piece)
             frame = home;
         }
         (nvm ? *nvmAlloc : *dramAlloc).free(frame);
+        if (proc.residentPages > 0)
+            --proc.residentPages;
         for (auto *l : listeners)
             l->onFrameUnmapped(proc, va, frame, nvm);
     }
@@ -800,16 +853,27 @@ Kernel::handlePageFault(cpu::Core &core, Addr vaddr, bool is_write)
         if (nvmAlloc->freeFrames() > _params.nvmReserveFrames)
             frame = nvmAlloc->tryAlloc();
         if (frame == invalidAddr) {
-            frame = dramAlloc->alloc();
+            frame = allocUserFrame(proc);
             frame_nvm = false;
-            ++nvmDegradedAllocs;
-            trace::dprintf(trace::Flag::syscall, sim.now(),
-                           "pid {} MAP_NVM fault at {} degraded to "
-                           "DRAM ({} NVM frames free)",
-                           proc->pid, vaddr, nvmAlloc->freeFrames());
+            if (frame != invalidAddr) {
+                ++nvmDegradedAllocs;
+                trace::dprintf(trace::Flag::syscall, sim.now(),
+                               "pid {} MAP_NVM fault at {} degraded "
+                               "to DRAM ({} NVM frames free)",
+                               proc->pid, vaddr,
+                               nvmAlloc->freeFrames());
+            }
         }
     } else {
-        frame = dramAlloc->alloc();
+        frame = allocUserFrame(proc);
+    }
+    if (frame == invalidAddr) {
+        // ENOMEM: surfaced to the dispatcher as a failed access — the
+        // faulting process dies, the machine survives.
+        trace::dprintf(trace::Flag::syscall, sim.now(),
+                       "pid {} fault at {}: out of memory",
+                       proc->pid, vaddr);
+        return false;
     }
     // Demand-zero the fresh frame (a streaming device write; NVM
     // frames pay NVM write bandwidth, a large part of the first-touch
@@ -818,11 +882,133 @@ Kernel::handlePageFault(cpu::Core &core, Addr vaddr, bool is_write)
                            sim.now()));
     ptMgr->map(proc->ptRoot, page, frame,
                (vma->prot & cpu::protWrite) != 0, frame_nvm);
+    ++proc->residentPages;
     for (auto *l : listeners)
         l->onFrameMapped(*proc, page, frame, frame_nvm);
     trace::dprintf(trace::Flag::syscall, sim.now(),
                    "pid {} fault at {} -> frame {}", proc->pid, vaddr,
                    frame);
+    return true;
+}
+
+statistics::Scalar &
+Kernel::lazyScalar(statistics::Scalar *&slot, const char *name,
+                   const char *desc)
+{
+    if (!slot)
+        slot = &statGroup.addScalar(name, desc);
+    return *slot;
+}
+
+Addr
+Kernel::allocUserFrame(Process *proc)
+{
+    const fault::PressurePlan &pp = _params.pressure;
+    const unsigned tries = 1 + (pp.enabled() ? pp.maxRetries : 0);
+    for (unsigned attempt = 0; attempt < tries; ++attempt) {
+        if (attempt > 0) {
+            ++lazyScalar(allocRetries, "allocRetries",
+                         "frame allocations retried after backoff");
+            sim.bump(pp.retryBackoff);
+        }
+        if (pp.allocFailRate > 0.0 &&
+            allocRng.chance(pp.allocFailRate)) {
+            // Injected transient failure (the software-visible face
+            // of a refused allocation credit); the surrounding retry
+            // loop is the robustness under test.
+            ++lazyScalar(allocFailuresInjected,
+                         "allocFailuresInjected",
+                         "transient allocation failures injected");
+            continue;
+        }
+        const Addr frame = dramAlloc->tryAlloc();
+        if (frame != invalidAddr)
+            return frame;
+        // Genuinely empty: one synchronous direct-reclaim pass, then
+        // retry (the backoff models waiting out concurrent frees).
+        if (reclaim_)
+            reclaim_->emergencyPass();
+    }
+    if (pp.enabled() && pp.oomEnabled) {
+        while (oomKill(proc)) {
+            const Addr frame = dramAlloc->tryAlloc();
+            if (frame != invalidAddr)
+                return frame;
+        }
+    }
+    ++lazyScalar(enomemFaults, "enomemFaults",
+                 "allocation failures surfaced as ENOMEM");
+    return invalidAddr;
+}
+
+Process *
+Kernel::oomKill(Process *requester)
+{
+    Process *victim = nullptr;
+    for (const auto &p : procs) {
+        if (p->state == ProcState::zombie || p.get() == requester)
+            continue;
+        // Pinned processes and program-less shells (recovery rigs,
+        // kernel-side scaffolding) are exempt.
+        if (p->pinnedCpu >= 0 || !p->program)
+            continue;
+        if (p->residentPages == 0)
+            continue;  // killing it frees nothing
+        if (!victim || p->residentPages > victim->residentPages ||
+            (p->residentPages == victim->residentPages &&
+             p->pid < victim->pid)) {
+            victim = p.get();
+        }
+    }
+    if (!victim)
+        return nullptr;
+    ++lazyScalar(oomKills, "oomKills",
+                 "processes killed by the OOM killer");
+    lazyScalar(oomPagesFreed, "oomPagesFreed",
+               "resident pages released by OOM kills") +=
+        static_cast<double>(victim->residentPages);
+    warn("oom: killing pid {} ({}, {} resident pages)", victim->pid,
+         victim->name, victim->residentPages);
+    KINDLE_TRACE_INSTANT_ARGS(vma, os, "oom.kill", "pid={} rss={}",
+                              victim->pid, victim->residentPages);
+    // exitProcess is the crash-consistent teardown: every durable
+    // structure (mapping list, saved-state slot) is invalidated
+    // through the listeners, so a crash here replays as a clean kill.
+    KINDLE_CRASH_SITE("oom.pre_kill");
+    exitProcess(*victim);
+    return victim;
+}
+
+bool
+Kernel::demotePage(Process &proc, Addr vaddr)
+{
+    const Addr page = roundDown(vaddr, pageSize);
+    const cpu::Pte leaf = ptMgr->readLeaf(proc.ptRoot, page);
+    if (!leaf.present() || leaf.nvmBacked() || leaf.hsccRemapped())
+        return false;
+    // Leave the retirement reserve alone: demotion is relief, not a
+    // reason to strand a future retirement migration.
+    if (nvmAlloc->freeFrames() <= _params.nvmReserveFrames)
+        return false;
+    const Addr repl = nvmAlloc->tryAlloc();
+    if (repl == invalidAddr)
+        return false;
+    const Addr dram = leaf.frameAddr();
+    // A crash here leaves an allocated-but-unmapped NVM frame, which
+    // recovery's leak reclaim sweeps back to the free pool.
+    KINDLE_CRASH_SITE("reclaim.pre_demote");
+    kernelMem.copyPage(repl, dram, true);
+    ptMgr->unmap(proc.ptRoot, page);
+    for (auto *l : listeners)
+        l->onFrameUnmapped(proc, page, dram, false);
+    ptMgr->map(proc.ptRoot, page, repl, leaf.writable(), true);
+    for (auto *l : listeners)
+        l->onFrameMapped(proc, page, repl, true);
+    shootdownPage(proc.pid, page);
+    dramAlloc->free(dram);
+    trace::dprintf(trace::Flag::vma, sim.now(),
+                   "pid {} page {} demoted {} -> {}", proc.pid, page,
+                   dram, repl);
     return true;
 }
 
@@ -875,13 +1061,26 @@ Kernel::retireNvmFrame(Addr frame, const char *reason)
     }
 
     for (const Victim &v : victims) {
+        // An earlier iteration may have killed this victim's owner
+        // (no frame to rescue onto); its PTEs are gone with it.
+        if (v.proc->state == ProcState::zombie)
+            continue;
         // A fresh NVM frame if one exists (the reserve is exactly for
         // this), DRAM as the last resort.
         Addr repl = nvmAlloc->tryAlloc();
         bool repl_nvm = true;
         if (repl == invalidAddr) {
-            repl = dramAlloc->alloc();
+            repl = allocUserFrame(v.proc);
             repl_nvm = false;
+            if (repl == invalidAddr) {
+                // Nowhere to rescue the page: kill its owner rather
+                // than the machine (the teardown is durable, so the
+                // kill is crash-consistent like any other exit).
+                warn("retire: no frame to rescue pid {} page {}; "
+                     "killing process", v.proc->pid, v.vaddr);
+                exitProcess(*v.proc);
+                continue;
+            }
             ++nvmDegradedAllocs;
         }
         // The copy reads through ECC (functional latest + correction);
@@ -917,8 +1116,10 @@ Kernel::retireNvmFrame(Addr frame, const char *reason)
     }
 
     // The bitmap bit clears durably; the retired frame never returns
-    // to the free pool.
-    nvmAlloc->free(bad);
+    // to the free pool.  (An OOM-killed owner's exit may already have
+    // released it through the normal unmap path.)
+    if (nvmAlloc->isAllocated(bad))
+        nvmAlloc->free(bad);
 }
 
 void

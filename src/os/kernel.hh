@@ -26,8 +26,10 @@
 #include <memory>
 #include <vector>
 
+#include "base/random.hh"
 #include "base/stats.hh"
 #include "cpu/core.hh"
+#include "fault/fault.hh"
 #include "mem/hybrid_memory.hh"
 #include "os/frame_alloc.hh"
 #include "os/kernel_mem.hh"
@@ -40,6 +42,7 @@ namespace kindle::os
 {
 
 class BadFrameTable;
+class ReclaimEngine;
 
 /** Kernel configuration. */
 struct KernelParams
@@ -60,6 +63,16 @@ struct KernelParams
      * to the reserve (rather than failing outright).
      */
     std::uint64_t nvmReserveFrames = 8;
+
+    /**
+     * Memory-pressure configuration (zone shrink, injected transient
+     * allocation failures, watermark reclaim, OOM).  Disabled by
+     * default: an unpressured kernel registers no pressure stats and
+     * behaves identically to the pre-pressure tree until a zone
+     * genuinely runs dry — at which point allocation now fails
+     * gracefully (ENOMEM) instead of aborting the simulation.
+     */
+    fault::PressurePlan pressure{};
 };
 
 /** The kernel. */
@@ -159,6 +172,27 @@ class Kernel : public cpu::FaultHandler
     /** The persistent bad-frame registry. */
     BadFrameTable &badFrameTable() { return *badFrames_; }
     const BadFrameTable &badFrameTable() const { return *badFrames_; }
+
+    /**
+     * Demote one DRAM-backed page of @p proc to an NVM frame (the
+     * reclaim engine's work unit): copy, remap under the active PT
+     * policy, shoot down stale translations, free the DRAM frame.
+     * @return false when the page is not demotable (absent, already
+     *         NVM, HSCC-remapped) or no NVM frame is available above
+     *         the retirement reserve.
+     */
+    bool demotePage(Process &proc, Addr vaddr);
+
+    /** The reclaim engine (null unless a pressure plan is armed). */
+    ReclaimEngine *reclaimEngine() { return reclaim_.get(); }
+
+    /**
+     * Deterministic last-resort OOM kill: the non-pinned, non-shell
+     * victim with the largest RSS (ties to the lowest pid), excluding
+     * @p requester.  @return the victim, or null when no process is
+     * eligible.
+     */
+    Process *oomKill(Process *requester);
 
     /** @name TLB shootdown (also used by the HSCC/SSP engines). */
     /// @{
@@ -282,6 +316,18 @@ class Kernel : public cpu::FaultHandler
     void unmapPages(Process &proc, const Vma &piece);
     unsigned allocSlot();
 
+    /**
+     * Allocate one DRAM user frame with the pressure machinery in the
+     * loop: injected transient failures, retry with backoff, direct
+     * reclaim on exhaustion, OOM kill as the last resort.  Returns
+     * invalidAddr (ENOMEM) instead of aborting when nothing helps.
+     */
+    Addr allocUserFrame(Process *proc);
+
+    /** Register-on-first-use pressure stats (absent by default). */
+    statistics::Scalar &lazyScalar(statistics::Scalar *&slot,
+                                   const char *name, const char *desc);
+
     KernelParams _params;
     sim::Simulation &sim;
     mem::HybridMemory &memory;
@@ -294,6 +340,10 @@ class Kernel : public cpu::FaultHandler
     std::unique_ptr<FrameAllocator> dramAlloc;
     std::unique_ptr<FrameAllocator> nvmAlloc;
     std::unique_ptr<BadFrameTable> badFrames_;
+    std::unique_ptr<ReclaimEngine> reclaim_;
+
+    /** Seeded coin for injected transient allocation failures. */
+    Random allocRng;
 
     PlainPtWrite plainPtWrite;
     PolicyProxy policyProxy;
@@ -320,6 +370,13 @@ class Kernel : public cpu::FaultHandler
     statistics::Scalar *tlbShootdownsSent = nullptr;
     statistics::Scalar *tlbShootdownIpis = nullptr;
     statistics::Scalar *migrations = nullptr;
+    /** Pressure stats; registered lazily on first use so default
+     *  (unpressured, never-exhausted) runs export no extra stats. */
+    statistics::Scalar *enomemFaults = nullptr;
+    statistics::Scalar *allocRetries = nullptr;
+    statistics::Scalar *allocFailuresInjected = nullptr;
+    statistics::Scalar *oomKills = nullptr;
+    statistics::Scalar *oomPagesFreed = nullptr;
 };
 
 } // namespace kindle::os

@@ -31,7 +31,15 @@ PageTableManager::PageTableManager(KernelMem &kmem_arg,
 Addr
 PageTableManager::allocTable()
 {
-    const Addr frame = tableAlloc.alloc();
+    Addr frame = tableAlloc.tryAlloc();
+    if (frame == invalidAddr && exhaustionHandler) {
+        exhaustionHandler();
+        frame = tableAlloc.tryAlloc();
+    }
+    if (frame == invalidAddr) {
+        kindle_fatal("pageTables: table zone exhausted ({} frames)",
+                     tableAlloc.totalFrames());
+    }
     ++tablePages;
     presentCounts[frame] = 0;
     // New tables must read as all-absent.  Zero the frame with a

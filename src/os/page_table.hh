@@ -120,6 +120,19 @@ class PageTableManager
 
     FrameAllocator &tableAllocator() { return tableAlloc; }
 
+    /**
+     * Last-chance hook for table-zone exhaustion: invoked once when a
+     * table allocation finds the zone empty, expected to free frames
+     * (direct reclaim, OOM kill).  The allocation is retried after the
+     * hook; only a still-empty zone is fatal — table frames have no
+     * caller-visible ENOMEM path.
+     */
+    void
+    setExhaustionHandler(std::function<void()> fn)
+    {
+        exhaustionHandler = std::move(fn);
+    }
+
     statistics::StatGroup &stats() { return statGroup; }
 
   private:
@@ -132,6 +145,7 @@ class PageTableManager
     KernelMem &kmem;
     FrameAllocator &tableAlloc;
     PtWritePolicy &policy;
+    std::function<void()> exhaustionHandler;
 
     /** Present-entry counts per table frame (host bookkeeping for
      *  the table-reclaim path; a real kernel keeps these in struct

@@ -62,6 +62,10 @@ class Process
     /** Set when the process was reconstructed by crash recovery. */
     bool restored = false;
 
+    /** Physical frames currently mapped (RSS); the OOM killer's
+     *  victim metric. */
+    std::uint64_t residentPages = 0;
+
     /** @name SMP scheduling. */
     /// @{
     /** Hard affinity: only this core may run the process (-1 = any). */

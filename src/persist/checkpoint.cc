@@ -100,6 +100,76 @@ PersistDomain::stop()
 }
 
 void
+PersistDomain::enableBackpressure(double fraction)
+{
+    kindle_assert(fraction > 0.0 && fraction <= 1.0,
+                  "backpressure fraction {} out of (0, 1]", fraction);
+    backpressure = true;
+    armPressureStats();
+    const std::uint64_t cap = metaLog->capacityRecords();
+    const std::uint64_t threshold = std::max<std::uint64_t>(
+        1, std::min(cap, static_cast<std::uint64_t>(
+                             static_cast<double>(cap) * fraction)));
+    metaLog->setHighWater(threshold,
+                          [this] { requestEarlyCheckpoint(); });
+}
+
+void
+PersistDomain::armPressureStats()
+{
+    if (earlyCheckpoints)
+        return;
+    earlyCheckpoints = &statGroup.addScalar(
+        "earlyCheckpoints",
+        "checkpoints pulled forward by redo-log high water");
+    slotsCompacted = &statGroup.addScalar(
+        "slotsCompacted",
+        "dead saved-state slots compacted under pressure");
+}
+
+void
+PersistDomain::requestEarlyCheckpoint()
+{
+    if (!started || inCheckpoint)
+        return;
+    armPressureStats();
+    ++*earlyCheckpoints;
+    compactNext = true;
+    sim::Simulation &sim = kernel.simulation();
+    trace::dprintf(trace::Flag::checkpoint, sim.now(),
+                   "redo log at high water ({} pending): checkpoint "
+                   "pulled forward", metaLog->pending());
+    // Re-arm the periodic event for "now": it fires at the kernel's
+    // next event-queue service point, i.e. between instructions rather
+    // than in the middle of whatever protocol did the append.
+    if (event.scheduled())
+        sim.eventq().deschedule(&event);
+    sim.eventq().schedule(&event, sim.now());
+}
+
+void
+PersistDomain::compactSlots()
+{
+    // Durably invalidate (idempotent) and drop the host object of any
+    // slot no live process owns: exited tenants leave stale working
+    // and consistent copies behind, and under pressure those stale
+    // regions are the cheapest durable state to retire.
+    std::uint32_t live = 0;
+    for (const auto &proc : kernel.processes()) {
+        if (proc->state != os::ProcState::zombie)
+            live |= (1u << proc->slot);
+    }
+    for (unsigned i = 0; i < os::maxProcs; ++i) {
+        if ((live & (1u << i)) || !slots[i])
+            continue;
+        slots[i]->invalidate();
+        slots[i].reset();
+        incState[i].reset();
+        ++*slotsCompacted;
+    }
+}
+
+void
 PersistDomain::scheduleNext()
 {
     if (!started) {
@@ -355,6 +425,16 @@ PersistDomain::checkpointNow()
     sim::Simulation &sim = kernel.simulation();
     const Tick t0 = sim.now();
 
+    // Guard against high-water re-arming while we run (the log resets
+    // below anyway); exception-safe because a crash site inside the
+    // checkpoint can throw PowerLoss through here.
+    struct InCkptGuard
+    {
+        bool &flag;
+        explicit InCkptGuard(bool &f) : flag(f) { flag = true; }
+        ~InCkptGuard() { flag = false; }
+    } guard(inCheckpoint);
+
     // The enclosing span covers every tick ckptTicks attributes to
     // checkpointing: the trace decomposition tests rely on the two
     // agreeing.
@@ -387,6 +467,11 @@ PersistDomain::checkpointNow()
         if (proc->state == os::ProcState::zombie)
             continue;
         checkpointProcess(*proc);
+    }
+
+    if (backpressure || compactNext) {
+        compactSlots();
+        compactNext = false;
     }
 
     {

@@ -77,6 +77,25 @@ class PersistDomain : public os::OsEventListener
     /** Run one full checkpoint immediately. */
     void checkpointNow();
 
+    /**
+     * Redo-log backpressure: once appends fill the log to @p fraction
+     * of its record capacity, the next periodic checkpoint is pulled
+     * forward to "now" so the log truncates *before* it can wrap and
+     * destroy un-replayed records; pressure checkpoints also compact
+     * saved-state slots left behind by exited processes.  Off by
+     * default (the stats and the redo.pre_truncate crash site only
+     * exist once enabled, keeping default-run output byte-identical).
+     */
+    void enableBackpressure(double fraction);
+
+    /**
+     * Pull the next periodic checkpoint forward to "now" (no-op while
+     * stopped or mid-checkpoint).  Called by the redo-log high-water
+     * callback and by the reclaim engine under NVM pressure; the
+     * checkpoint it provokes also compacts dead saved-state slots.
+     */
+    void requestEarlyCheckpoint();
+
     PtScheme scheme() const { return _params.scheme; }
     Tick interval() const { return _params.checkpointInterval; }
     RedoLog &redoLog() { return *metaLog; }
@@ -152,6 +171,8 @@ class PersistDomain : public os::OsEventListener
     };
 
     void scheduleNext();
+    void armPressureStats();
+    void compactSlots();
     SavedStateSlot &slotFor(const os::Process &proc);
     void checkpointProcess(os::Process &proc);
     void updateMappingListFull(os::Process &proc,
@@ -169,6 +190,13 @@ class PersistDomain : public os::OsEventListener
 
     CkptEvent event;
     bool started = false;
+    bool backpressure = false;
+    /** Re-entrancy guard: appends made *during* a checkpoint must not
+     *  pull the timer forward (the checkpoint resets the log itself). */
+    bool inCheckpoint = false;
+    /** An early checkpoint was requested: compact slots when it runs
+     *  (even if redo-log backpressure itself is not enabled). */
+    bool compactNext = false;
 
     statistics::StatGroup statGroup;
     statistics::Scalar &checkpoints;
@@ -176,6 +204,9 @@ class PersistDomain : public os::OsEventListener
     statistics::Histogram &ckptDuration;
     statistics::Scalar &mappingEntries;
     statistics::Scalar &redoRecords;
+    /** Backpressure stats; registered only by enableBackpressure(). */
+    statistics::Scalar *earlyCheckpoints = nullptr;
+    statistics::Scalar *slotsCompacted = nullptr;
 };
 
 } // namespace kindle::persist

@@ -27,7 +27,7 @@ namespace
 void
 collectPtFrames(os::Kernel &kernel, Addr table, unsigned level,
                 std::unordered_set<Addr> &live,
-                std::uint64_t &dangling)
+                std::uint64_t &dangling, std::uint64_t *leaves = nullptr)
 {
     if (!kernel.kmem().mem().nvmRange().contains(table) ||
         !live.insert(table).second) {
@@ -41,6 +41,8 @@ collectPtFrames(os::Kernel &kernel, Addr table, unsigned level,
         if (!pte.present())
             continue;
         if (level == 0) {
+            if (leaves)
+                ++*leaves;
             if (pte.nvmBacked()) {
                 if (mem.nvmRange().contains(pte.frameAddr()))
                     live.insert(pte.frameAddr());
@@ -49,7 +51,7 @@ collectPtFrames(os::Kernel &kernel, Addr table, unsigned level,
             }
         } else {
             collectPtFrames(kernel, pte.frameAddr(), level - 1, live,
-                            dangling);
+                            dangling, leaves);
         }
     }
 }
@@ -255,7 +257,8 @@ recover(os::Kernel &kernel, PtScheme scheme)
             kernel.pageTables().adopt(proc.ptRoot);
             std::uint64_t dangling = 0;
             collectPtFrames(kernel, proc.ptRoot, cpu::ptLevels - 1,
-                            live_frames, dangling);
+                            live_frames, dangling,
+                            &proc.residentPages);
             if (dangling > 0) {
                 fail(RecoveryErrorCode::danglingMapping, idx,
                      csprintf("{} dangling page-table pointers",
@@ -288,6 +291,7 @@ recover(os::Kernel &kernel, PtScheme scheme)
                 kernel.pageTables().map(
                     proc.ptRoot, m.vpn << pageShift, frame,
                     /*writable=*/true, /*nvm_backed=*/true);
+                ++proc.residentPages;
                 live_frames.insert(frame);
                 ++report.mappingsRestored;
             }

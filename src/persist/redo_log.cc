@@ -71,11 +71,27 @@ RedoLog::append(RedoRecord rec)
 {
     if (seq >= maxRecords) {
         // The region is sized so this only happens under extreme
-        // checkpoint intervals; fold the tail forward.  Correctness is
-        // preserved because the consistent copy is still intact; only
-        // the replay-cost model loses the overwritten records.
+        // checkpoint intervals; fold the tail forward.  The consistent
+        // copy is still intact, but every record overwritten between
+        // here and the next reset() is gone as far as replay is
+        // concerned — count each one and leave a flight-recorder
+        // breadcrumb instead of losing them silently.
+        KINDLE_CRASH_SITE("redo.pre_wrap");
         ++wraps;
+        wrapped = true;
+        if (!wrapDestroyed) {
+            wrapDestroyed = &statGroup.addScalar(
+                "wrapDestroyed",
+                "un-replayed records destroyed by in-epoch wraps");
+        }
+        KINDLE_TRACE_INSTANT_ARGS(redo, redo, "redo.wrap",
+                                  "capacity={} destroyedSoFar={}",
+                                  maxRecords, wrapDestroyedCount);
         seq = 0;
+    }
+    if (wrapped) {
+        ++wrapDestroyedCount;
+        ++*wrapDestroyed;
     }
     rec.magic = RedoRecord::magicValue;
     rec.epoch = epoch;
@@ -91,6 +107,12 @@ RedoLog::append(RedoRecord rec)
     ++seq;
     ++appends;
     KINDLE_CRASH_SITE("redo.after_append");
+    if (highWaterThreshold != 0 && seq == highWaterThreshold &&
+        highWaterCb) {
+        // Fires once per climb past the threshold; reset() re-arms by
+        // pulling seq back to zero.
+        highWaterCb();
+    }
 }
 
 void
@@ -110,8 +132,15 @@ RedoLog::replay(const std::function<void(const RedoRecord &)> &fn)
 void
 RedoLog::reset()
 {
+    if (highWaterThreshold != 0) {
+        // Only instrumented under backpressure: a default-config run
+        // resets on every checkpoint and an unconditional probe here
+        // would perturb its fault.siteHits accounting.
+        KINDLE_CRASH_SITE("redo.pre_truncate");
+    }
     ++epoch;
     seq = 0;
+    wrapped = false;
     ++resets;
     LogHeader hdr{LogHeader::magicValue, epoch, 0, 0};
     hdr.checksum = logHeaderChecksum(hdr);

@@ -97,6 +97,26 @@ class RedoLog
     std::uint64_t pending() const { return seq; }
 
     /**
+     * Fire @p fn once when an append fills the log to @p threshold
+     * records (re-armed by reset()).  The checkpoint layer uses this
+     * to truncate the log *before* it can wrap and destroy un-replayed
+     * records.  @p threshold 0 disables.
+     */
+    void
+    setHighWater(std::uint64_t threshold, std::function<void()> fn)
+    {
+        highWaterThreshold = threshold;
+        highWaterCb = std::move(fn);
+    }
+
+    /** Records overwritten by in-epoch wraps (0 when never wrapped). */
+    std::uint64_t
+    wrapDestroyedRecords() const
+    {
+        return wrapDestroyedCount;
+    }
+
+    /**
      * Read back every record of the current epoch (charged as
      * uncached NVM reads — the checkpoint's "apply" scan).
      */
@@ -141,11 +161,21 @@ class RedoLog
     std::uint32_t epoch = 1;
     std::uint64_t seq = 0;
 
+    std::uint64_t highWaterThreshold = 0;
+    std::function<void()> highWaterCb;
+    /** Set once the current epoch has wrapped: every append from here
+     *  on lands on a record replay can no longer see. */
+    bool wrapped = false;
+    std::uint64_t wrapDestroyedCount = 0;
+
     statistics::StatGroup statGroup;
     statistics::Scalar &appends;
     statistics::Scalar &replays;
     statistics::Scalar &resets;
     statistics::Scalar &wraps;
+    /** Un-replayed records destroyed by wraps; registered lazily on
+     *  the first wrap so default runs export no extra stat. */
+    statistics::Scalar *wrapDestroyed = nullptr;
 };
 
 } // namespace kindle::persist

@@ -187,7 +187,20 @@ SspEngine::onTlbFill(cpu::TlbEntry &entry, const cpu::Pte &leaf)
     if (it == shadowOf.end()) {
         // First touch: allocate the supplementary physical page in the
         // page-allocation routine and record the pair in the SSP cache.
-        const Addr shadow = kernel.nvmAllocator().alloc();
+        const Addr shadow = kernel.nvmAllocator().tryAlloc();
+        if (shadow == invalidAddr) {
+            // NVM zone exhausted: the page runs untracked this FASE
+            // (writes go straight to the current frame, exactly the
+            // semantics of SSP having no shadow to give it).
+            entry.sspTracked = false;
+            if (!shadowAllocFailures) {
+                shadowAllocFailures = &statGroup.addScalar(
+                    "shadowAllocFailures",
+                    "pages left untracked for lack of a shadow frame");
+            }
+            ++*shadowAllocFailures;
+            return;
+        }
         ++shadowAllocs;
         SspCacheEntry meta;
         meta.magic = SspCacheEntry::magicValue;

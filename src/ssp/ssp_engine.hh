@@ -140,6 +140,8 @@ class SspEngine : public cpu::CoreHooks, public os::OsEventListener
     statistics::Scalar &consolidateTicks;
     statistics::Scalar &commitTicks;
     statistics::Scalar &metadataInspections;
+    /** Registered lazily: only exists once an alloc actually fails. */
+    statistics::Scalar *shadowAllocFailures = nullptr;
 };
 
 } // namespace kindle::ssp

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
+#include "base/random.hh"
 #include "os/bad_frames.hh"
 #include "os/frame_alloc.hh"
 #include "os/nvm_layout.hh"
@@ -227,6 +229,146 @@ TEST(FrameAllocTest, VolatileRecoveryPanics)
     FrameAllocator alloc("t", AddrRange(0, oneMiB), rig.kmem);
     EXPECT_THROW(alloc.recoverFromBitmap(), SimError);
     setErrorsThrow(false);
+}
+
+TEST(FrameAllocTest, AllFramesRetiredZoneNeverAborts)
+{
+    setErrorsThrow(true);
+    Rig rig;
+    const AddrRange zone =
+        AddrRange::withSize(rig.layout.userPool, 4 * pageSize);
+    BadFrameTable bad(rig.memory.nvmRange(), rig.kmem,
+                      rig.layout.badFrameBitmap);
+    FrameAllocator alloc("t", zone, rig.kmem,
+                         rig.layout.allocBitmap);
+    alloc.setBadFrames(&bad);
+
+    // The pathological endgame: every frame of the zone has worn out.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        ASSERT_TRUE(bad.retire(zone.start() + i * pageSize));
+
+    // tryAlloc must report exhaustion gracefully — repeatedly, since
+    // the pressure retry loop will hammer it — and never panic.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(alloc.tryAlloc(), invalidAddr);
+    EXPECT_EQ(alloc.freeFrames(), 0u);
+    EXPECT_EQ(alloc.allocatedFrames(), 0u);
+    setErrorsThrow(false);
+}
+
+TEST(FrameAllocTest, FullySetBadFrameBitmapRecovery)
+{
+    setErrorsThrow(true);
+    Rig rig;
+    const AddrRange zone =
+        AddrRange::withSize(rig.layout.userPool, 4 * pageSize);
+    {
+        BadFrameTable bad(rig.memory.nvmRange(), rig.kmem,
+                          rig.layout.badFrameBitmap);
+        for (std::uint64_t i = 0; i < 4; ++i)
+            ASSERT_TRUE(bad.retire(zone.start() + i * pageSize));
+    }
+
+    rig.memory.crash();
+
+    // A reboot over a fully-retired zone must come up empty-handed
+    // but alive: adoption, recovery and allocation all stay graceful.
+    BadFrameTable bad2(rig.memory.nvmRange(), rig.kmem,
+                       rig.layout.badFrameBitmap);
+    bad2.loadFromNvm();
+    EXPECT_EQ(bad2.retiredCount(), 4u);
+    FrameAllocator fresh("t", zone, rig.kmem,
+                         rig.layout.allocBitmap);
+    fresh.setBadFrames(&bad2);
+    fresh.recoverFromBitmap();
+    EXPECT_EQ(fresh.freeFrames(), 0u);
+    EXPECT_EQ(fresh.tryAlloc(), invalidAddr);
+    setErrorsThrow(false);
+}
+
+TEST(FrameAllocTest, TryAllocFreeRetireInterleavings)
+{
+    setErrorsThrow(true);
+    Rig rig;
+    const AddrRange zone =
+        AddrRange::withSize(rig.layout.userPool, 8 * pageSize);
+    BadFrameTable bad(rig.memory.nvmRange(), rig.kmem,
+                      rig.layout.badFrameBitmap);
+    FrameAllocator alloc("t", zone, rig.kmem,
+                         rig.layout.allocBitmap);
+    alloc.setBadFrames(&bad);
+
+    // Seeded storm of tryAlloc / free / retire in random order; the
+    // allocator must hold its invariants through every interleaving
+    // and never abort — even as the pool shrinks to nothing.
+    Random rng(42);
+    std::vector<Addr> live;
+    std::uint64_t retired = 0;
+    for (int step = 0; step < 400; ++step) {
+        const std::uint64_t roll = rng.uniform(3);
+        if (roll == 0) {
+            const Addr f = alloc.tryAlloc();
+            if (f != invalidAddr) {
+                EXPECT_TRUE(alloc.isAllocated(f));
+                live.push_back(f);
+            }
+        } else if (roll == 1 && !live.empty()) {
+            const std::uint64_t idx = rng.uniform(live.size());
+            const Addr f = live[idx];
+            live.erase(live.begin() + static_cast<long>(idx));
+            alloc.free(f);
+            EXPECT_FALSE(alloc.isAllocated(f));
+        } else if (roll == 2 && retired < 6) {
+            // Retire any frame — mapped or free — as media wear does.
+            const Addr f =
+                zone.start() + rng.uniform(8) * pageSize;
+            if (bad.retire(f))
+                ++retired;
+        }
+        EXPECT_LE(alloc.allocatedFrames() + alloc.freeFrames(),
+                  alloc.totalFrames());
+    }
+    // Drain: every remaining frame must still free cleanly, and the
+    // pool must end consistent with what wear removed.
+    for (const Addr f : live)
+        alloc.free(f);
+    EXPECT_EQ(alloc.allocatedFrames(), 0u);
+    EXPECT_LE(alloc.freeFrames(), alloc.totalFrames() - retired);
+    setErrorsThrow(false);
+}
+
+TEST(FrameAllocTest, WatermarkGaugesAndExhaustionStat)
+{
+    Rig rig;
+    FrameAllocator alloc("t", AddrRange(0, 8 * pageSize), rig.kmem);
+    // No watermarks armed: belowLow never trips, no gauges exported
+    // (gauge lookup is fatal when the stat was never registered).
+    EXPECT_FALSE(alloc.belowLow());
+    setErrorsThrow(true);
+    EXPECT_THROW(alloc.stats().gaugeValue("lowWatermark"), SimError);
+    setErrorsThrow(false);
+
+    alloc.setWatermarks(2, 4);
+    EXPECT_EQ(alloc.lowWatermark(), 2u);
+    EXPECT_EQ(alloc.highWatermark(), 4u);
+    EXPECT_EQ(alloc.stats().gaugeValue("lowWatermark"), 2);
+    EXPECT_EQ(alloc.stats().gaugeValue("highWatermark"), 4);
+
+    // 8 free frames: above low.  Draw down to 2 free: at/below low.
+    EXPECT_FALSE(alloc.belowLow());
+    std::vector<Addr> held;
+    for (int i = 0; i < 6; ++i)
+        held.push_back(alloc.tryAlloc());
+    EXPECT_TRUE(alloc.belowLow());
+
+    // The exhaustion counter registers lazily on the first failure.
+    EXPECT_FALSE(alloc.stats().hasScalar("exhaustedAllocs"));
+    while (alloc.tryAlloc() != invalidAddr) {}
+    EXPECT_EQ(alloc.stats().scalarValue("exhaustedAllocs"), 1);
+
+    for (const Addr f : held)
+        alloc.free(f);
+    EXPECT_FALSE(alloc.belowLow());
 }
 
 } // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "fault/fault.hh"
 #include "os/nvm_layout.hh"
 #include "persist/redo_log.hh"
 
@@ -196,6 +197,76 @@ TEST(RedoLogTest, WrapAroundIsCountedNotFatal)
     for (int i = 0; i < 6; ++i)
         log.append(RedoRecord{});
     EXPECT_EQ(log.stats().scalarValue("wraps"), 1);
+    // Two post-wrap appends landed on slots replay can no longer see.
+    EXPECT_EQ(log.wrapDestroyedRecords(), 2u);
+    EXPECT_EQ(log.stats().scalarValue("wrapDestroyed"), 2);
+    // reset() re-opens the full window: subsequent appends are whole
+    // again and the destruction counter stops climbing.
+    log.reset();
+    log.append(RedoRecord{});
+    EXPECT_EQ(log.wrapDestroyedRecords(), 2u);
+}
+
+TEST(RedoLogTest, WrapDestroyedStatAbsentUntilFirstWrap)
+{
+    Rig rig;
+    RedoLog log(rig.kmem, rig.layout.redoLog, oneMiB, "log");
+    log.append(RedoRecord{});
+    // Lazily registered: a run that never wraps exports no stat, so
+    // default-config figure output stays byte-identical.
+    EXPECT_FALSE(log.stats().hasScalar("wrapDestroyed"));
+}
+
+TEST(RedoLogTest, CrashAtPreWrapSalvagesTheFullConsistentPrefix)
+{
+    Rig rig;
+
+    // Arm power loss on the wrap itself: the append that would fold
+    // the tail forward dies *before* overwriting slot 0.
+    fault::FaultPlan plan;
+    plan.site = "redo.pre_wrap";
+    fault::CrashInjector injector(
+        plan, [&rig] { return rig.sim.now(); });
+    fault::InjectorScope scope(&injector);
+    injector.activate();
+
+    {
+        RedoLog log(rig.kmem, rig.layout.redoLog, 5 * 64, "log");
+        for (std::uint32_t i = 0; i < 4; ++i) {
+            RedoRecord rec;
+            rec.type = RedoType::vmaAdded;
+            rec.pid = i;
+            log.append(rec);
+        }
+        // The fifth append trips the wrap path and the lights go out.
+        RedoRecord doomed;
+        doomed.type = RedoType::cpuState;
+        EXPECT_THROW(log.append(doomed), fault::PowerLoss);
+        EXPECT_EQ(log.stats().scalarValue("wraps"), 0);
+    }
+    rig.memory.crash();
+
+    // Every record durable before the wrap survives as a consistent
+    // prefix: the log is full, uncorrupted, and in append order.
+    const RedoScan scan =
+        RedoLog::audit(rig.kmem, rig.layout.redoLog, 5 * 64);
+    EXPECT_FALSE(scan.headerCorrupt);
+    EXPECT_FALSE(scan.truncatedTail);
+    ASSERT_EQ(scan.records.size(), 4u);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(scan.records[i].pid, i);
+        EXPECT_EQ(scan.records[i].type, RedoType::vmaAdded);
+    }
+
+    // A recovering log adopts the salvaged prefix and keeps going.
+    injector.deactivate();
+    RedoLog fresh(rig.kmem, rig.layout.redoLog, 5 * 64, "log");
+    const RedoScan rescan = fresh.recoverScan();
+    EXPECT_EQ(rescan.records.size(), 4u);
+    EXPECT_EQ(fresh.pending(), 4u);
+    fresh.reset();
+    fresh.append(RedoRecord{});
+    EXPECT_EQ(fresh.pending(), 1u);
 }
 
 } // namespace
