@@ -1,0 +1,614 @@
+/**
+ * @file
+ * Core-loss fuzz harness: CPU faults meet crash points.
+ *
+ * The third golden-run fuzzer (after fuzz_crash_recovery and
+ * fuzz_pressure), aimed at the CPU-fault subsystem: every bucket arms
+ * a fault::CoreFaultPlan — a chosen core fail-stops or transiently
+ * stalls at a tick or Nth-received-IPI trigger — and drives the
+ * shootdown-heavy crash-fuzz workload across an SMP machine (default
+ * 4 cores) while the kernel rides the IPI ack-timeout/retry protocol
+ * into watchdog detection and hotplug-style offlining.
+ *
+ * Three fault specs:
+ *
+ *   die_tick   core 1 fail-stops at t=2ms — the watchdog finds the
+ *              silent core at the next epoch and offlines it (runqueue
+ *              re-placed, occupant killed crash-consistently, private
+ *              caches flushed through the directory),
+ *   die_ipi    core 2 fail-stops at its 2nd received shootdown IPI —
+ *              the *initiator* discovers the death when the ack never
+ *              comes, burns its resend budget and declares the core
+ *              dead inline,
+ *   stall_ipi  core 1 stalls for 1.5 ack-timeouts at its 1st IPI —
+ *              the retry path must resend, succeed, and *not* offline
+ *              a core that was merely slow,
+ *
+ * each crossed with three machine variants — clean, --media-faults
+ * (NVM bit flips + scrubber), pressure (shrunken zones, reclaim, OOM)
+ * — for nine buckets per page-table scheme.  Every bucket takes its
+ * own golden run (core faults armed, injector observe-only: the
+ * oracle must describe the *faulted* machine, offlining and all),
+ * then sweeps a site × occurrence grid over the bucket's crash-point
+ * space — which includes the new sites core.pre_offline and
+ * ipi.pre_retry — padded with seeded Nth-durable-write points.  Each
+ * point audits:
+ *
+ *   - oracle: every recovered process resumes from a committed state,
+ *   - recovery idempotence: crash the recovered image again without
+ *     running it; the second recovery must land on identical states,
+ *   - liveness: the twice-recovered machine still checkpoints.
+ *
+ * Reboots re-arm the same CoreFaultPlan (dead hardware stays dead),
+ * so recovery itself runs on the degraded machine.
+ *
+ * Before any sweep (unless --filter narrows the run) the harness
+ * self-checks the zero-cost contract: two fault-free 4-core runs must
+ * produce byte-identical stat snapshots containing none of the
+ * core-fault stats (no ipiRetries/ipiTimeouts, no coresOfflined, no
+ * affinityBroken, no coreLossKills).
+ *
+ * Flags (besides the common runner set):
+ *   --points N      crash points per scheme, split over the nine
+ *                   buckets (KINDLE_FUZZ_POINTS; default 135)
+ *   --seed N        sweep seed (KINDLE_FUZZ_SEED)
+ *   --cores N       machine width (default 4; minimum 3 — the specs
+ *                   target cores 1 and 2)
+ *   --filter STR    run only points whose name contains STR
+ *
+ * Deterministic: a fixed seed reproduces the same sweep and
+ * byte-identical BENCH_fuzz_core_loss.json (wall-clock omitted).
+ * FAILED points print a repro line and dump the flight recorder as
+ * FLIGHT_coreloss.<point>.json (or to --flight-out).
+ */
+
+#include <cstring>
+#include <utility>
+
+#include "bench_util.hh"
+#include "fuzz_common.hh"
+#include "kindle/kindle.hh"
+#include "kindle/microbench.hh"
+#include "runner/options.hh"
+#include "runner/report.hh"
+
+namespace
+{
+
+using namespace kindle;
+using namespace kindle::bench;
+
+struct FuzzOptions
+{
+    fuzz::CommonFuzzOptions common;
+};
+
+enum class Variant { clean, media, pressure };
+
+const char *
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::clean: return "clean";
+      case Variant::media: return "media";
+      case Variant::pressure: return "pressure";
+    }
+    return "?";
+}
+
+/** One seeded core fault, plus what its golden run must prove. */
+struct Spec
+{
+    const char *name;
+    fault::CoreFault fault;
+    bool expectOffline;  // golden must hit core.pre_offline
+    bool expectRetry;    // golden must hit ipi.pre_retry
+};
+
+std::vector<Spec>
+makeSpecs()
+{
+    std::vector<Spec> specs;
+    {
+        Spec s;
+        s.name = "die_tick";
+        s.fault.cpu = 1;
+        s.fault.atTick = 2 * oneMs;
+        s.expectOffline = true;
+        s.expectRetry = false;
+        specs.push_back(s);
+    }
+    {
+        Spec s;
+        s.name = "die_ipi";
+        s.fault.cpu = 2;
+        s.fault.atNthIpi = 2;
+        s.expectOffline = true;
+        s.expectRetry = true;
+        specs.push_back(s);
+    }
+    {
+        // 1.5 ack-timeouts: long enough that the first resend still
+        // finds the core stalled, short enough that the budget (3
+        // resends) is never exhausted — retry must succeed.
+        Spec s;
+        s.name = "stall_ipi";
+        s.fault.cpu = 1;
+        s.fault.atNthIpi = 1;
+        s.fault.stallTicks = 3 * oneUs;
+        s.expectOffline = false;
+        s.expectRetry = true;
+        specs.push_back(s);
+    }
+    return specs;
+}
+
+/** fuzz_pressure's exact regime — proven to demote and OOM on a
+ *  4-core machine.  Do not tighten reclaimInterval below the cost of
+ *  a patrol pass: nested patrols livelock the event queue. */
+fault::PressurePlan
+pressurePlan()
+{
+    fault::PressurePlan pp;
+    pp.dramZoneFrames = 160;
+    pp.nvmZoneFrames = 96;
+    pp.allocFailRate = 0.02;
+    pp.seed = 7;
+    pp.oomEnabled = true;
+    pp.nvmLowWatermark = 12;
+    pp.nvmHighWatermark = 24;
+    return pp;
+}
+
+KindleConfig
+baseConfig(persist::PtScheme scheme, Variant variant,
+           const Spec *spec, unsigned cores)
+{
+    KindleConfig cfg;
+    cfg.memory.dramBytes = 128 * oneMiB;
+    cfg.memory.nvmBytes = 256 * oneMiB;
+    cfg.numCores = cores;
+    cfg.persistence = persist::PersistParams{scheme, oneMs / 4};
+    if (spec) {
+        fault::CoreFaultPlan plan;
+        plan.faults.push_back(spec->fault);
+        cfg.coreFault = plan;
+    }
+    if (variant == Variant::media) {
+        cfg.fault = fault::FaultPlan{};  // unarmed: media config only
+        cfg.fault->media = fuzz::mediaPlan();
+        cfg.scrub = mem::ScrubParams{oneMs / 4, 16 * oneMiB};
+    }
+    if (variant == Variant::pressure) {
+        // Short quantum so the hog and the churner exhaust the zones
+        // together (see fuzz_pressure).
+        cfg.kernel.timeslice = 50 * oneUs;
+        cfg.pressure = pressurePlan();
+    }
+    return cfg;
+}
+
+/**
+ * The foreground.  Clean and media variants run the shootdown-heavy
+ * churner from fuzz_crash_recovery — the munmaps broadcast IPIs, which
+ * is what arms the Nth-IPI fault triggers.  The pressure variant runs
+ * fuzz_pressure's storm instead: DRAM extras mostly kept mapped, so
+ * the zone actually exhausts and reclaim demotes (demotion shootdowns
+ * then supply the IPI traffic the triggers need).
+ */
+std::unique_ptr<cpu::OpStream>
+makeWorkload(Variant variant)
+{
+    micro::ScriptBuilder b;
+    if (variant == Variant::pressure) {
+        b.mmapFixed(micro::scriptBase, 32 * pageSize, true);
+        b.touchPages(micro::scriptBase, 32 * pageSize);
+        for (int r = 0; r < 10; ++r) {
+            b.compute(250000);
+            const Addr extra =
+                micro::scriptBase + (64 + Addr(r) * 24) * pageSize;
+            b.mmapFixed(extra, 16 * pageSize, false);
+            b.touchPages(extra, 16 * pageSize);
+            if (r % 4 == 3)
+                b.munmap(extra, 16 * pageSize);
+        }
+    } else {
+        b.mmapFixed(micro::scriptBase, 48 * pageSize, true);
+        b.touchPages(micro::scriptBase, 48 * pageSize);
+        for (int r = 0; r < 10; ++r) {
+            b.compute(500000);
+            const Addr extra =
+                micro::scriptBase + (64 + Addr(r) * 16) * pageSize;
+            b.mmapFixed(extra, 8 * pageSize, true);
+            b.touchPages(extra, 8 * pageSize);
+            if (r % 2)
+                b.munmap(extra, 8 * pageSize);
+        }
+    }
+    b.exit();
+    return b.build();
+}
+
+constexpr Addr hogBase = micro::scriptBase + Addr(0x8000) * pageSize;
+
+/** The pressure variant's DRAM glutton (see fuzz_pressure). */
+std::unique_ptr<cpu::OpStream>
+makeHog()
+{
+    micro::ScriptBuilder b;
+    for (int r = 0; r < 10; ++r) {
+        b.compute(300000);
+        const Addr chunk = hogBase + Addr(r) * 20 * pageSize;
+        b.mmapFixed(chunk, 20 * pageSize, false);
+        b.touchPages(chunk, 20 * pageSize);
+    }
+    b.exit();
+    return b.build();
+}
+
+/**
+ * N-1 background mutators: runqueue depth on every core, so a dying
+ * core always has state worth migrating.  Under pressure they are
+ * DRAM-backed and long-lived (fuzz_pressure's shape) so the reclaim
+ * engine always has an off-core victim with real DRAM leaves; on the
+ * other variants they are the crash fuzzer's NVM-backed churners.
+ */
+void
+spawnBackground(KindleSystem &sys, Variant variant, unsigned cores)
+{
+    const bool pressured = variant == Variant::pressure;
+    for (unsigned i = 1; i < cores; ++i) {
+        micro::ScriptBuilder b;
+        const Addr base =
+            micro::scriptBase + Addr(0x1000) * pageSize * i;
+        b.mmapFixed(base, 16 * pageSize, !pressured);
+        b.touchPages(base, 16 * pageSize);
+        for (int r = 0; r < (pressured ? 20 : 6); ++r) {
+            b.compute(200000 + 50000 * static_cast<int>(i));
+            b.touchPages(base, 8 * pageSize);
+        }
+        b.exit();
+        sys.kernel().spawn(b.build(), "bg" + std::to_string(i));
+    }
+}
+
+void
+spawnAll(KindleSystem &sys, Variant variant, unsigned cores)
+{
+    if (variant == Variant::pressure)
+        sys.kernel().spawn(makeHog(), "hog");
+    spawnBackground(sys, variant, cores);
+}
+
+fuzz::Golden
+goldenRun(persist::PtScheme scheme, Variant variant, const Spec &spec,
+          unsigned cores)
+{
+    fuzz::Golden g;
+    KindleSystem sys(baseConfig(scheme, variant, &spec, cores));
+    fuzz::observeCommitted(sys, g);
+    spawnAll(sys, variant, cores);
+    sys.run(makeWorkload(variant), "golden");
+    g.hits = sys.injector().allHits();
+    g.durableWrites = sys.injector().durableWrites();
+    return g;
+}
+
+/** The golden run must actually exercise what its bucket claims to
+ *  cover, or the grid silently stops reaching the new sites. */
+void
+checkGoldenTripwires(const fuzz::Golden &g, Variant variant,
+                     const Spec &spec, const std::string &bucket)
+{
+    kindle_assert(!g.committed.empty(),
+                  "{}: golden run took no checkpoints — workload or "
+                  "interval mistuned", bucket);
+    const auto hit = [&](const char *site) {
+        return g.hits.count(site) != 0;
+    };
+    if (spec.expectOffline) {
+        kindle_assert(hit("core.pre_offline"),
+                      "{}: golden run never offlined core {} — fault "
+                      "trigger mistuned", bucket, spec.fault.cpu);
+    } else {
+        kindle_assert(!hit("core.pre_offline"),
+                      "{}: stall escalated to an offline — retry "
+                      "budget or stall length mistuned", bucket);
+    }
+    if (spec.expectRetry) {
+        kindle_assert(hit("ipi.pre_retry"),
+                      "{}: golden run never retried an IPI — the "
+                      "ack-timeout path is not being exercised",
+                      bucket);
+    }
+    if (variant == Variant::pressure) {
+        kindle_assert(hit("reclaim.pre_demote"),
+                      "{}: pressure golden never demoted — plan "
+                      "mistuned", bucket);
+    }
+}
+
+runner::Scenario
+makeScenario(persist::PtScheme scheme, Variant variant,
+             const Spec &spec, const fuzz::Point &point,
+             const fuzz::Golden &golden, const FuzzOptions &fz)
+{
+    const std::string scheme_name = persist::ptSchemeName(scheme);
+    runner::Scenario sc;
+    sc.name = scheme_name + "/" + variantName(variant) + "/" +
+              spec.name + "/" + point.label;
+    sc.axes = {{"scheme", scheme_name},
+               {"variant", variantName(variant)},
+               {"spec", spec.name},
+               {"site", point.plan.site.empty() ? "durable_write"
+                                                : point.plan.site},
+               {"trigger", point.label}};
+    sc.config = baseConfig(scheme, variant, &spec, fz.common.cores);
+    const auto media = sc.config.fault ? sc.config.fault->media
+                                       : fault::MediaFaultPlan{};
+    sc.config.fault = point.plan;
+    sc.config.fault->media = media;
+    sc.drive = [oracle = &golden.committed, name = sc.name,
+                variant, cores = fz.common.cores](
+                   KindleSystem &sys,
+                   statistics::StatSnapshot &extra) -> Tick {
+        const Tick t0 = sys.now();
+        bool fired = false;
+        try {
+            spawnAll(sys, variant, cores);
+            sys.run(makeWorkload(variant), "fuzz");
+        } catch (const fault::PowerLoss &) {
+            fired = true;
+        }
+        sys.crash();
+        const persist::RecoveryReport report = sys.reboot();
+
+        // Audit 1: every recovered process resumes from a state the
+        // golden run committed.
+        std::uint64_t recovered = 0;
+        std::uint64_t divergences = 0;
+        const fuzz::RecoveredSet first = fuzz::recoveredSet(sys);
+        for (const auto &[pid, rip, mapped] : first) {
+            (void)pid;
+            ++recovered;
+            if (!oracle->count({rip, mapped}))
+                ++divergences;
+        }
+        if (divergences > 0) {
+            fuzz::dumpDivergence(sys, "FLIGHT_coreloss.", name,
+                                 "oracle-divergence");
+        }
+
+        // Audit 2: recovery idempotence — on the *degraded* machine
+        // (the reboot re-armed the same core faults).
+        sys.crash();
+        const persist::RecoveryReport report2 = sys.reboot();
+        const fuzz::RecoveredSet second = fuzz::recoveredSet(sys);
+        const bool idempotent = first == second;
+        if (!idempotent) {
+            fuzz::dumpDivergence(sys, "FLIGHT_coreloss.", name,
+                                 "recovery-not-idempotent");
+        }
+
+        // Audit 3: the survivor still checkpoints.
+        bool post_ok = true;
+        try {
+            sys.persistence()->checkpointNow();
+        } catch (const std::exception &) {
+            post_ok = false;
+        }
+
+        const bool failed = divergences > 0 || !idempotent || !post_ok;
+        const bool clean = !failed && report.clean();
+        const auto hits = sys.injector().allHits();
+        const auto hitCount = [&](const char *site) -> double {
+            const auto it = hits.find(site);
+            return it == hits.end()
+                       ? 0.0
+                       : static_cast<double>(it->second);
+        };
+        extra.set("fuzz.fired", fired ? 1 : 0);
+        extra.set("fuzz.recovered", static_cast<double>(recovered));
+        extra.set("fuzz.quarantined",
+                  static_cast<double>(report.processesQuarantined));
+        extra.set("fuzz.recoveryErrors",
+                  static_cast<double>(report.errors.size()));
+        extra.set("fuzz.oracleDivergences",
+                  static_cast<double>(divergences));
+        extra.set("fuzz.idempotenceBreaks", idempotent ? 0 : 1);
+        extra.set("fuzz.rerecovered",
+                  static_cast<double>(report2.processesRecovered));
+        extra.set("fuzz.offlineSiteHits",
+                  hitCount("core.pre_offline"));
+        extra.set("fuzz.retrySiteHits", hitCount("ipi.pre_retry"));
+        extra.set("fuzz.clean", clean ? 1 : 0);
+        extra.set("fuzz.salvaged", (!clean && !failed) ? 1 : 0);
+        extra.set("fuzz.failed", failed ? 1 : 0);
+        return sys.now() - t0;
+    };
+    return sc;
+}
+
+/**
+ * The zero-cost contract: a fault-free SMP machine must produce
+ * byte-identical stats run to run, and none of the core-fault stats
+ * may exist in its tree (they register lazily, on first fault event).
+ */
+void
+selfCheckUnfaulted(unsigned cores)
+{
+    const auto once = [cores] {
+        KindleConfig cfg =
+            baseConfig(persist::PtScheme::rebuild, Variant::clean,
+                       nullptr, cores);
+        KindleSystem sys(cfg);
+        spawnBackground(sys, Variant::clean, cores);
+        sys.run(makeWorkload(Variant::clean), "plain");
+        return sys.snapshotStats();
+    };
+    const auto s1 = once();
+    const auto s2 = once();
+    kindle_assert(s1 == s2,
+                  "unfaulted SMP runs diverged — determinism broken");
+    static const char *const forbidden[] = {
+        "ipiRetries",     "ipiTimeouts",   "coresOfflined",
+        "affinityBroken", "coreLossKills",
+    };
+    for (const auto &[path, value] : s1.entries()) {
+        (void)value;
+        for (const char *marker : forbidden) {
+            kindle_assert(path.find(marker) == std::string::npos,
+                          "core-fault stat '{}' leaked into the "
+                          "unfaulted default tree", path);
+        }
+    }
+    std::printf("self-check: unfaulted %u-core tree clean "
+                "(%zu stats, byte-identical across runs)\n",
+                cores, s1.entries().size());
+}
+
+FuzzOptions
+parseFuzzOptions(int argc, char **argv, std::vector<char *> &pass_argv)
+{
+    FuzzOptions fz;
+    fz.common.points = fuzz::envCount("KINDLE_FUZZ_POINTS", 135);
+    fz.common.seed = fuzz::envCount("KINDLE_FUZZ_SEED", 13579);
+    fz.common.cores = 4;
+    pass_argv.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (fuzz::parseCommonFuzzFlag(i, argc, argv, fz.common))
+            continue;
+        pass_argv.push_back(argv[i]);
+    }
+    if (fz.common.cores < 3) {
+        kindle_fatal("fuzz_core_loss needs --cores >= 3 (the fault "
+                     "specs target cores 1 and 2)");
+    }
+    return fz;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace kindle::bench;
+
+    std::vector<char *> pass_argv;
+    const FuzzOptions fz = parseFuzzOptions(argc, argv, pass_argv);
+    const auto opts = runner::parseOptions(
+        static_cast<int>(pass_argv.size()), pass_argv.data());
+    printHeader(
+        "Core-loss fuzz",
+        "seeded CPU faults × crash points, " +
+            std::to_string(fz.common.points) + " points/scheme, seed " +
+            std::to_string(fz.common.seed) + ", cores " +
+            std::to_string(fz.common.cores));
+
+    if (fz.common.filter.empty())
+        selfCheckUnfaulted(fz.common.cores);
+
+    const std::vector<persist::PtScheme> schemes = {
+        persist::PtScheme::rebuild, persist::PtScheme::persistent};
+    const std::vector<Variant> variants = {
+        Variant::clean, Variant::media, Variant::pressure};
+    const auto specs = makeSpecs();
+
+    const std::uint64_t buckets =
+        variants.size() * specs.size();
+    const std::uint64_t per_bucket =
+        (fz.common.points + buckets - 1) / buckets;
+
+    runner::BenchReport report("fuzz_core_loss", opts.jobs);
+    report.omitWallClock();
+    report.keepStatPrefixes({"fuzz.", "fault.", "recovery.",
+                             "persist.checkpoints",
+                             "kernel.ipiRetries",
+                             "kernel.ipiTimeouts",
+                             "kernel.coresOfflined",
+                             "kernel.affinityBroken",
+                             "kernel.coreLossKills",
+                             "kernel.reclaim.", "kernel.oomKills"});
+
+    TablePrinter table({"Scheme", "Variant", "Spec", "Points",
+                        "Fired", "Clean", "Salvaged", "Failed",
+                        "IdemBreaks"});
+    bool any_failed = false;
+
+    for (const auto scheme : schemes) {
+        std::uint64_t bucket_index = 0;
+        for (const auto variant : variants) {
+            for (const auto &spec : specs) {
+                const std::string bucket =
+                    std::string(persist::ptSchemeName(scheme)) + "/" +
+                    variantName(variant) + "/" + spec.name;
+                const fuzz::Golden golden =
+                    goldenRun(scheme, variant, spec, fz.common.cores);
+                checkGoldenTripwires(golden, variant, spec, bucket);
+                // A distinct seed lane per bucket, stable across
+                // --filter (points are generated before filtering).
+                const auto points = fuzz::makePoints(
+                    golden, per_bucket,
+                    fz.common.seed + 1000 * bucket_index);
+                ++bucket_index;
+
+                std::vector<runner::Scenario> scenarios;
+                scenarios.reserve(points.size());
+                for (const auto &p : points) {
+                    auto sc = makeScenario(scheme, variant, spec, p,
+                                           golden, fz);
+                    if (!fz.common.filter.empty() &&
+                        sc.name.find(fz.common.filter) ==
+                            std::string::npos) {
+                        continue;
+                    }
+                    scenarios.push_back(std::move(sc));
+                }
+
+                runner::SweepRunner pool(opts);
+                const auto results = pool.run(scenarios);
+                requireAllOk(results);
+                report.add(results);
+
+                std::uint64_t fired = 0, clean = 0, salvaged = 0;
+                std::uint64_t failed = 0, idem_breaks = 0;
+                for (const auto &r : results) {
+                    fired += static_cast<std::uint64_t>(
+                        r.stats.get("fuzz.fired"));
+                    clean += static_cast<std::uint64_t>(
+                        r.stats.get("fuzz.clean"));
+                    salvaged += static_cast<std::uint64_t>(
+                        r.stats.get("fuzz.salvaged"));
+                    failed += static_cast<std::uint64_t>(
+                        r.stats.get("fuzz.failed"));
+                    idem_breaks += static_cast<std::uint64_t>(
+                        r.stats.get("fuzz.idempotenceBreaks"));
+                    if (r.stats.get("fuzz.failed") > 0) {
+                        std::printf(
+                            "FAILED %s\n  repro: %s\n",
+                            r.name.c_str(),
+                            fuzz::reproCommand(argv[0], fz.common, "",
+                                               r.name)
+                                .c_str());
+                    }
+                }
+                any_failed = any_failed || failed > 0;
+                table.addRow({persist::ptSchemeName(scheme),
+                              variantName(variant), spec.name,
+                              std::to_string(results.size()),
+                              std::to_string(fired),
+                              std::to_string(clean),
+                              std::to_string(salvaged),
+                              std::to_string(failed),
+                              std::to_string(idem_breaks)});
+            }
+        }
+    }
+    table.print();
+
+    printJsonFooter(report.writeJsonFile(), opts.jobs);
+    if (any_failed)
+        kindle_fatal("core-loss fuzz found divergent or "
+                     "non-idempotent recoveries");
+    return 0;
+}

@@ -53,16 +53,17 @@
  * FLIGHT_fuzz.<scheme>.<point>.json — or to the --flight-out routing
  * when given — so a divergence leaves a timeline of the moments before
  * the crash even when it cannot be reproduced interactively.
+ *
+ * The golden-run / point-grid / divergence-dump machinery itself
+ * lives in fuzz_common.hh, shared with fuzz_pressure and
+ * fuzz_core_loss.
  */
 
 #include <cstring>
-#include <fstream>
-#include <map>
-#include <set>
 #include <utility>
 
-#include "base/random.hh"
 #include "bench_util.hh"
+#include "fuzz_common.hh"
 #include "kindle/kindle.hh"
 #include "kindle/microbench.hh"
 #include "runner/options.hh"
@@ -72,39 +73,15 @@ namespace
 {
 
 using namespace kindle;
+using namespace kindle::bench;
 
 /** Harness-local flags, pre-parsed before runner::parseOptions (which
  *  is fatal on anything it does not recognize). */
 struct FuzzOptions
 {
-    std::uint64_t points;
-    std::uint64_t seed;
-    unsigned cores = 1;
-    bool mediaFaults = false;
+    fuzz::CommonFuzzOptions common;
     bool forceDivergence = false;
-    std::string filter;
 };
-
-/** Committed states a recovered process may legally resume from. */
-using Oracle = std::set<std::pair<std::uint64_t, std::uint64_t>>;
-
-struct Golden
-{
-    std::map<std::string, std::uint64_t> hits;
-    std::uint64_t durableWrites = 0;
-    Oracle committed;
-};
-
-std::uint64_t
-envCount(const char *name, std::uint64_t fallback)
-{
-    if (const char *env = std::getenv(name)) {
-        const auto v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
-            return v;
-    }
-    return fallback;
-}
 
 std::unique_ptr<cpu::OpStream>
 makeWorkload()
@@ -128,17 +105,6 @@ makeWorkload()
     return b.build();
 }
 
-/** The media plan shared by golden run and every crash point: the
- *  oracle is only meaningful if both run over the same medium. */
-fault::MediaFaultPlan
-mediaPlan()
-{
-    fault::MediaFaultPlan media;
-    media.bitFlipRate = 1e-3;  // per line write; SECDED-correctable
-    media.seed = 99;           // fixed: independent of the sweep seed
-    return media;
-}
-
 KindleConfig
 baseConfig(persist::PtScheme scheme, bool media_faults,
            unsigned cores)
@@ -150,7 +116,7 @@ baseConfig(persist::PtScheme scheme, bool media_faults,
     cfg.persistence = persist::PersistParams{scheme, oneMs / 4};
     if (media_faults) {
         cfg.fault = fault::FaultPlan{};  // unarmed: media config only
-        cfg.fault->media = mediaPlan();
+        cfg.fault->media = fuzz::mediaPlan();
         cfg.scrub = mem::ScrubParams{oneMs / 4, 16 * oneMiB};
     }
     return cfg;
@@ -181,30 +147,12 @@ spawnBackground(KindleSystem &sys, unsigned cores)
     }
 }
 
-/** The committed (rip, mappedBytes) of @p proc — the exact register
- *  source checkpointProcess() serializes. */
-std::pair<std::uint64_t, std::uint64_t>
-committedState(KindleSystem &sys, const os::Process &proc)
-{
-    return {sys.kernel().contextOf(proc).rip,
-            proc.aspace.mappedBytes()};
-}
-
-Golden
+fuzz::Golden
 goldenRun(persist::PtScheme scheme, bool media_faults, unsigned cores)
 {
-    Golden g;
+    fuzz::Golden g;
     KindleSystem sys(baseConfig(scheme, media_faults, cores));
-    sys.injector().setObserver(
-        [&](const std::string &name, std::uint64_t) {
-            if (name != "ckpt.after_commit")
-                return;
-            for (const auto &proc : sys.kernel().processes()) {
-                if (proc->state == os::ProcState::zombie)
-                    continue;
-                g.committed.insert(committedState(sys, *proc));
-            }
-        });
+    fuzz::observeCommitted(sys, g);
     spawnBackground(sys, cores);
     sys.run(makeWorkload(), "golden");
     g.hits = sys.injector().allHits();
@@ -212,86 +160,11 @@ goldenRun(persist::PtScheme scheme, bool media_faults, unsigned cores)
     return g;
 }
 
-struct Point
-{
-    std::string label;
-    fault::FaultPlan plan;
-};
-
-/**
- * Crash points: a site × occurrence grid first (every site the golden
- * run hit, occurrence levels round-robin so scarce sites are fully
- * covered before frequent ones repeat), then seeded-random
- * Nth-durable-write points up to @p total.
- */
-std::vector<Point>
-makePoints(const Golden &g, std::uint64_t total, std::uint64_t seed)
-{
-    std::vector<Point> pts;
-    const std::uint64_t grid_target = total * 3 / 5;
-    for (std::uint64_t occ = 1; pts.size() < grid_target; ++occ) {
-        bool any = false;
-        for (const auto &[site, hits] : g.hits) {
-            if (hits < occ)
-                continue;
-            any = true;
-            Point p;
-            p.label = site + "#" + std::to_string(occ);
-            p.plan.site = site;
-            p.plan.occurrence = occ;
-            p.plan.seed = seed + pts.size();
-            pts.push_back(std::move(p));
-            if (pts.size() >= grid_target)
-                break;
-        }
-        if (!any)
-            break;
-    }
-    Random rng(seed);
-    while (pts.size() < total) {
-        Point p;
-        p.plan.atNthDurableWrite = 1 + rng.uniform(g.durableWrites);
-        p.plan.seed = seed + pts.size();
-        p.label = "durable_write#" +
-                  std::to_string(p.plan.atNthDurableWrite);
-        pts.push_back(std::move(p));
-    }
-    return pts;
-}
-
-/**
- * Write the flight recorder for a diverged point.  The dump goes to
- * the path the --flight-out routing configured for this system, or to
- * FLIGHT_fuzz.<point>.json in the working directory as a fallback —
- * a divergence must always leave its timeline behind.
- */
-void
-dumpDivergence(KindleSystem &sys, const std::string &point_name)
-{
-    std::string path = sys.traceSink().params().flightDumpPath;
-    if (path.empty()) {
-        std::string safe = point_name;
-        for (char &c : safe) {
-            if (c == '/')
-                c = '.';
-        }
-        path = "FLIGHT_fuzz." + safe + ".json";
-    }
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "cannot write flight dump to %s\n",
-                     path.c_str());
-        return;
-    }
-    sys.dumpFlightRecorder(out, "oracle-divergence");
-    std::printf("flight recorder: %s\n", path.c_str());
-}
-
 runner::Scenario
-makeScenario(persist::PtScheme scheme, const Point &point,
-             const Golden &golden, const FuzzOptions &fz)
+makeScenario(persist::PtScheme scheme, const fuzz::Point &point,
+             const fuzz::Golden &golden, const FuzzOptions &fz)
 {
-    const bool media_faults = fz.mediaFaults;
+    const bool media_faults = fz.common.mediaFaults;
     const std::string scheme_name = persist::ptSchemeName(scheme);
     runner::Scenario sc;
     sc.name = scheme_name + "/" + point.label;
@@ -299,12 +172,12 @@ makeScenario(persist::PtScheme scheme, const Point &point,
                {"site", point.plan.site.empty() ? "durable_write"
                                                 : point.plan.site},
                {"trigger", point.label}};
-    sc.config = baseConfig(scheme, media_faults, fz.cores);
+    sc.config = baseConfig(scheme, media_faults, fz.common.cores);
     sc.config.fault = point.plan;
     if (media_faults)
-        sc.config.fault->media = mediaPlan();
+        sc.config.fault->media = fuzz::mediaPlan();
     sc.drive = [oracle = &golden.committed, name = sc.name,
-                force = fz.forceDivergence, cores = fz.cores](
+                force = fz.forceDivergence, cores = fz.common.cores](
                    KindleSystem &sys,
                    statistics::StatSnapshot &extra) -> Tick {
         const Tick t0 = sys.now();
@@ -332,8 +205,10 @@ makeScenario(persist::PtScheme scheme, const Point &point,
         }
         if (force)
             ++divergences;
-        if (divergences > 0)
-            dumpDivergence(sys, name);
+        if (divergences > 0) {
+            fuzz::dumpDivergence(sys, "FLIGHT_fuzz.", name,
+                                 "oracle-divergence");
+        }
 
         // The recovered machine must still be able to checkpoint.
         bool post_ok = true;
@@ -373,54 +248,19 @@ FuzzOptions
 parseFuzzOptions(int argc, char **argv, std::vector<char *> &pass_argv)
 {
     FuzzOptions fz;
-    fz.points = envCount("KINDLE_FUZZ_POINTS", 128);
-    fz.seed = envCount("KINDLE_FUZZ_SEED", 12345);
+    fz.common.points = fuzz::envCount("KINDLE_FUZZ_POINTS", 128);
+    fz.common.seed = fuzz::envCount("KINDLE_FUZZ_SEED", 12345);
     pass_argv.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
-        const auto numeric = [&](const char *flag) -> std::uint64_t {
-            if (i + 1 >= argc)
-                kindle_fatal("{} needs a value", flag);
-            return std::strtoull(argv[++i], nullptr, 10);
-        };
-        if (std::strcmp(argv[i], "--points") == 0) {
-            fz.points = numeric("--points");
-            if (fz.points == 0)
-                kindle_fatal("--points must be positive");
-        } else if (std::strcmp(argv[i], "--seed") == 0) {
-            fz.seed = numeric("--seed");
-        } else if (std::strcmp(argv[i], "--cores") == 0) {
-            fz.cores = static_cast<unsigned>(numeric("--cores"));
-            if (fz.cores == 0 || fz.cores > 32)
-                kindle_fatal("--cores must be in 1..32");
-        } else if (std::strcmp(argv[i], "--media-faults") == 0) {
-            fz.mediaFaults = true;
+        if (fuzz::parseCommonFuzzFlag(i, argc, argv, fz.common)) {
+            continue;
         } else if (std::strcmp(argv[i], "--force-divergence") == 0) {
             fz.forceDivergence = true;
-        } else if (std::strcmp(argv[i], "--filter") == 0) {
-            if (i + 1 >= argc)
-                kindle_fatal("--filter needs a value");
-            fz.filter = argv[++i];
         } else {
             pass_argv.push_back(argv[i]);
         }
     }
     return fz;
-}
-
-/** The exact command line that re-runs one point alone. */
-std::string
-reproCommand(const char *argv0, const FuzzOptions &fz,
-             const std::string &point_name)
-{
-    std::string cmd = argv0;
-    cmd += " --points " + std::to_string(fz.points);
-    cmd += " --seed " + std::to_string(fz.seed);
-    if (fz.cores > 1)
-        cmd += " --cores " + std::to_string(fz.cores);
-    if (fz.mediaFaults)
-        cmd += " --media-faults";
-    cmd += " --filter '" + point_name + "' --jobs 1";
-    return cmd;
 }
 
 } // namespace
@@ -434,14 +274,15 @@ main(int argc, char **argv)
     const FuzzOptions fz = parseFuzzOptions(argc, argv, pass_argv);
     const auto opts = runner::parseOptions(
         static_cast<int>(pass_argv.size()), pass_argv.data());
-    const std::uint64_t total = fz.points;
-    const std::uint64_t seed = fz.seed;
+    const std::uint64_t total = fz.common.points;
+    const std::uint64_t seed = fz.common.seed;
     printHeader(
         "Crash-recovery fuzz",
         "crash-point exploration, " + std::to_string(total) +
             " points/scheme, seed " + std::to_string(seed) +
-            ", cores " + std::to_string(fz.cores) +
-            (fz.mediaFaults ? ", media faults + scrubber armed" : ""));
+            ", cores " + std::to_string(fz.common.cores) +
+            (fz.common.mediaFaults
+                 ? ", media faults + scrubber armed" : ""));
 
     const std::vector<persist::PtScheme> schemes = {
         persist::PtScheme::rebuild, persist::PtScheme::persistent};
@@ -458,22 +299,22 @@ main(int argc, char **argv)
     bool any_failed = false;
 
     for (const auto scheme : schemes) {
-        const Golden golden =
-            goldenRun(scheme, fz.mediaFaults, fz.cores);
+        const fuzz::Golden golden =
+            goldenRun(scheme, fz.common.mediaFaults, fz.common.cores);
         kindle_assert(!golden.committed.empty(),
                       "golden run took no checkpoints — workload or "
                       "interval mistuned");
         // Points are generated *before* filtering so a point's plan
         // (seeded by its index) is identical whether it runs inside
         // the full sweep or alone under --filter.
-        const auto points = makePoints(golden, total, seed);
+        const auto points = fuzz::makePoints(golden, total, seed);
 
         std::vector<runner::Scenario> scenarios;
         scenarios.reserve(points.size());
         for (const auto &p : points) {
             auto sc = makeScenario(scheme, p, golden, fz);
-            if (!fz.filter.empty() &&
-                sc.name.find(fz.filter) == std::string::npos) {
+            if (!fz.common.filter.empty() &&
+                sc.name.find(fz.common.filter) == std::string::npos) {
                 continue;
             }
             scenarios.push_back(std::move(sc));
@@ -498,9 +339,10 @@ main(int argc, char **argv)
             torn += static_cast<std::uint64_t>(
                 r.stats.get("fuzz.tornPtStoresRolledBack"));
             if (r.stats.get("fuzz.failed") > 0) {
-                std::printf("FAILED %s\n  repro: %s\n",
-                            r.name.c_str(),
-                            reproCommand(argv[0], fz, r.name).c_str());
+                std::printf(
+                    "FAILED %s\n  repro: %s\n", r.name.c_str(),
+                    fuzz::reproCommand(argv[0], fz.common, "", r.name)
+                        .c_str());
             }
         }
         any_failed = any_failed || failed > 0;

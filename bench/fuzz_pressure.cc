@@ -45,17 +45,17 @@
  *
  * Deterministic: a fixed seed reproduces the same sweep and
  * byte-identical BENCH_fuzz_pressure.json (wall-clock omitted).
+ *
+ * The golden-run / point-grid / divergence-dump machinery itself
+ * lives in fuzz_common.hh, shared with fuzz_crash_recovery and
+ * fuzz_core_loss.
  */
 
 #include <cstring>
-#include <fstream>
-#include <map>
-#include <set>
-#include <tuple>
 #include <utility>
 
-#include "base/random.hh"
 #include "bench_util.hh"
+#include "fuzz_common.hh"
 #include "kindle/kindle.hh"
 #include "kindle/microbench.hh"
 #include "runner/options.hh"
@@ -65,44 +65,16 @@ namespace
 {
 
 using namespace kindle;
+using namespace kindle::bench;
 
 struct FuzzOptions
 {
-    std::uint64_t points;
-    std::uint64_t seed;
-    unsigned cores = 1;
-    bool mediaFaults = false;
+    fuzz::CommonFuzzOptions common;
     bool oom = true;
     std::uint64_t pressureDram = 160;
     std::uint64_t pressureNvm = 96;
     double pressureFail = 0.02;
-    std::string filter;
 };
-
-/** Committed states a recovered process may legally resume from. */
-using Oracle = std::set<std::pair<std::uint64_t, std::uint64_t>>;
-
-/** Per-process recovered state, for the idempotence comparison. */
-using RecoveredSet =
-    std::set<std::tuple<Pid, std::uint64_t, std::uint64_t>>;
-
-struct Golden
-{
-    std::map<std::string, std::uint64_t> hits;
-    std::uint64_t durableWrites = 0;
-    Oracle committed;
-};
-
-std::uint64_t
-envCount(const char *name, std::uint64_t fallback)
-{
-    if (const char *env = std::getenv(name)) {
-        const auto v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
-            return v;
-    }
-    return fallback;
-}
 
 constexpr Addr hogBase = micro::scriptBase + Addr(0x8000) * pageSize;
 
@@ -154,15 +126,6 @@ makeStorm()
     return b.build();
 }
 
-fault::MediaFaultPlan
-mediaPlan()
-{
-    fault::MediaFaultPlan media;
-    media.bitFlipRate = 1e-3;  // per line write; SECDED-correctable
-    media.seed = 99;           // fixed: independent of the sweep seed
-    return media;
-}
-
 fault::PressurePlan
 pressurePlan(const FuzzOptions &fz)
 {
@@ -186,7 +149,7 @@ baseConfig(persist::PtScheme scheme, const FuzzOptions &fz)
     KindleConfig cfg;
     cfg.memory.dramBytes = 128 * oneMiB;
     cfg.memory.nvmBytes = 256 * oneMiB;
-    cfg.numCores = fz.cores;
+    cfg.numCores = fz.common.cores;
     // A short quantum keeps the hog and the churner genuinely
     // time-shared, so their resident sets overlap at peak — with the
     // default 1ms slice they run in near-sequential chunks and the
@@ -194,9 +157,9 @@ baseConfig(persist::PtScheme scheme, const FuzzOptions &fz)
     cfg.kernel.timeslice = 50 * oneUs;
     cfg.persistence = persist::PersistParams{scheme, oneMs / 4};
     cfg.pressure = pressurePlan(fz);
-    if (fz.mediaFaults) {
+    if (fz.common.mediaFaults) {
         cfg.fault = fault::FaultPlan{};  // unarmed: media config only
-        cfg.fault->media = mediaPlan();
+        cfg.fault->media = fuzz::mediaPlan();
         cfg.scrub = mem::ScrubParams{oneMs / 4, 16 * oneMiB};
     }
     return cfg;
@@ -226,30 +189,14 @@ spawnBackground(KindleSystem &sys, unsigned cores)
     }
 }
 
-std::pair<std::uint64_t, std::uint64_t>
-committedState(KindleSystem &sys, const os::Process &proc)
-{
-    return {sys.kernel().contextOf(proc).rip,
-            proc.aspace.mappedBytes()};
-}
-
-Golden
+fuzz::Golden
 goldenRun(persist::PtScheme scheme, const FuzzOptions &fz)
 {
-    Golden g;
+    fuzz::Golden g;
     KindleSystem sys(baseConfig(scheme, fz));
-    sys.injector().setObserver(
-        [&](const std::string &name, std::uint64_t) {
-            if (name != "ckpt.after_commit")
-                return;
-            for (const auto &proc : sys.kernel().processes()) {
-                if (proc->state == os::ProcState::zombie)
-                    continue;
-                g.committed.insert(committedState(sys, *proc));
-            }
-        });
+    fuzz::observeCommitted(sys, g);
     sys.kernel().spawn(makeHog(), "hog");
-    spawnBackground(sys, fz.cores);
+    spawnBackground(sys, fz.common.cores);
     sys.run(makeStorm(), "storm");
     g.hits = sys.injector().allHits();
     g.durableWrites = sys.injector().durableWrites();
@@ -266,73 +213,9 @@ goldenRun(persist::PtScheme scheme, const FuzzOptions &fz)
     return g;
 }
 
-struct Point
-{
-    std::string label;
-    fault::FaultPlan plan;
-};
-
-std::vector<Point>
-makePoints(const Golden &g, std::uint64_t total, std::uint64_t seed)
-{
-    std::vector<Point> pts;
-    const std::uint64_t grid_target = total * 3 / 5;
-    for (std::uint64_t occ = 1; pts.size() < grid_target; ++occ) {
-        bool any = false;
-        for (const auto &[site, hits] : g.hits) {
-            if (hits < occ)
-                continue;
-            any = true;
-            Point p;
-            p.label = site + "#" + std::to_string(occ);
-            p.plan.site = site;
-            p.plan.occurrence = occ;
-            p.plan.seed = seed + pts.size();
-            pts.push_back(std::move(p));
-            if (pts.size() >= grid_target)
-                break;
-        }
-        if (!any)
-            break;
-    }
-    Random rng(seed);
-    while (pts.size() < total) {
-        Point p;
-        p.plan.atNthDurableWrite = 1 + rng.uniform(g.durableWrites);
-        p.plan.seed = seed + pts.size();
-        p.label = "durable_write#" +
-                  std::to_string(p.plan.atNthDurableWrite);
-        pts.push_back(std::move(p));
-    }
-    return pts;
-}
-
-void
-dumpDivergence(KindleSystem &sys, const std::string &point_name,
-               const char *reason)
-{
-    std::string path = sys.traceSink().params().flightDumpPath;
-    if (path.empty()) {
-        std::string safe = point_name;
-        for (char &c : safe) {
-            if (c == '/')
-                c = '.';
-        }
-        path = "FLIGHT_pressure." + safe + ".json";
-    }
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "cannot write flight dump to %s\n",
-                     path.c_str());
-        return;
-    }
-    sys.dumpFlightRecorder(out, reason);
-    std::printf("flight recorder: %s\n", path.c_str());
-}
-
 runner::Scenario
-makeScenario(persist::PtScheme scheme, const Point &point,
-             const Golden &golden, const FuzzOptions &fz)
+makeScenario(persist::PtScheme scheme, const fuzz::Point &point,
+             const fuzz::Golden &golden, const FuzzOptions &fz)
 {
     const std::string scheme_name = persist::ptSchemeName(scheme);
     runner::Scenario sc;
@@ -347,9 +230,9 @@ makeScenario(persist::PtScheme scheme, const Point &point,
     sc.config.fault = point.plan;
     sc.config.fault->media = media;
     sc.drive = [oracle = &golden.committed, name = sc.name,
-                cores = fz.cores](KindleSystem &sys,
-                                  statistics::StatSnapshot &extra)
-        -> Tick {
+                cores = fz.common.cores](KindleSystem &sys,
+                                         statistics::StatSnapshot
+                                             &extra) -> Tick {
         const Tick t0 = sys.now();
         bool fired = false;
         try {
@@ -366,35 +249,29 @@ makeScenario(persist::PtScheme scheme, const Point &point,
         // golden run committed.
         std::uint64_t recovered = 0;
         std::uint64_t divergences = 0;
-        RecoveredSet first;
-        for (const auto &proc : sys.kernel().processes()) {
-            if (!proc->restored)
-                continue;
+        const fuzz::RecoveredSet first = fuzz::recoveredSet(sys);
+        for (const auto &[pid, rip, mapped] : first) {
+            (void)pid;
             ++recovered;
-            first.insert({proc->pid, proc->context.rip,
-                          proc->aspace.mappedBytes()});
-            if (!oracle->count(
-                    {proc->context.rip, proc->aspace.mappedBytes()}))
+            if (!oracle->count({rip, mapped}))
                 ++divergences;
         }
-        if (divergences > 0)
-            dumpDivergence(sys, name, "oracle-divergence");
+        if (divergences > 0) {
+            fuzz::dumpDivergence(sys, "FLIGHT_pressure.", name,
+                                 "oracle-divergence");
+        }
 
         // Audit 2: recovery idempotence.  Crash the freshly recovered
         // machine before it executes anything and recover again: the
         // second pass must land on exactly the same process states.
         sys.crash();
         const persist::RecoveryReport report2 = sys.reboot();
-        RecoveredSet second;
-        for (const auto &proc : sys.kernel().processes()) {
-            if (!proc->restored)
-                continue;
-            second.insert({proc->pid, proc->context.rip,
-                           proc->aspace.mappedBytes()});
-        }
+        const fuzz::RecoveredSet second = fuzz::recoveredSet(sys);
         const bool idempotent = first == second;
-        if (!idempotent)
-            dumpDivergence(sys, name, "recovery-not-idempotent");
+        if (!idempotent) {
+            fuzz::dumpDivergence(sys, "FLIGHT_pressure.", name,
+                                 "recovery-not-idempotent");
+        }
 
         // Audit 3: the survivor still checkpoints.
         bool post_ok = true;
@@ -484,41 +361,24 @@ FuzzOptions
 parseFuzzOptions(int argc, char **argv, std::vector<char *> &pass_argv)
 {
     FuzzOptions fz;
-    fz.points = envCount("KINDLE_FUZZ_POINTS", 128);
-    fz.seed = envCount("KINDLE_FUZZ_SEED", 24680);
+    fz.common.points = fuzz::envCount("KINDLE_FUZZ_POINTS", 128);
+    fz.common.seed = fuzz::envCount("KINDLE_FUZZ_SEED", 24680);
     pass_argv.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
-        const auto numeric = [&](const char *flag) -> std::uint64_t {
-            if (i + 1 >= argc)
-                kindle_fatal("{} needs a value", flag);
-            return std::strtoull(argv[++i], nullptr, 10);
-        };
-        if (std::strcmp(argv[i], "--points") == 0) {
-            fz.points = numeric("--points");
-            if (fz.points == 0)
-                kindle_fatal("--points must be positive");
-        } else if (std::strcmp(argv[i], "--seed") == 0) {
-            fz.seed = numeric("--seed");
-        } else if (std::strcmp(argv[i], "--cores") == 0) {
-            fz.cores = static_cast<unsigned>(numeric("--cores"));
-            if (fz.cores == 0 || fz.cores > 32)
-                kindle_fatal("--cores must be in 1..32");
-        } else if (std::strcmp(argv[i], "--media-faults") == 0) {
-            fz.mediaFaults = true;
+        if (fuzz::parseCommonFuzzFlag(i, argc, argv, fz.common)) {
+            continue;
         } else if (std::strcmp(argv[i], "--no-oom") == 0) {
             fz.oom = false;
         } else if (std::strcmp(argv[i], "--pressure-dram") == 0) {
-            fz.pressureDram = numeric("--pressure-dram");
+            fz.pressureDram =
+                fuzz::fuzzNumeric(i, argc, argv, "--pressure-dram");
         } else if (std::strcmp(argv[i], "--pressure-nvm") == 0) {
-            fz.pressureNvm = numeric("--pressure-nvm");
+            fz.pressureNvm =
+                fuzz::fuzzNumeric(i, argc, argv, "--pressure-nvm");
         } else if (std::strcmp(argv[i], "--pressure-fail") == 0) {
             if (i + 1 >= argc)
                 kindle_fatal("--pressure-fail needs a value");
             fz.pressureFail = std::strtod(argv[++i], nullptr);
-        } else if (std::strcmp(argv[i], "--filter") == 0) {
-            if (i + 1 >= argc)
-                kindle_fatal("--filter needs a value");
-            fz.filter = argv[++i];
         } else {
             pass_argv.push_back(argv[i]);
         }
@@ -526,21 +386,11 @@ parseFuzzOptions(int argc, char **argv, std::vector<char *> &pass_argv)
     return fz;
 }
 
+/** Harness-local flags that must survive into a repro line. */
 std::string
-reproCommand(const char *argv0, const FuzzOptions &fz,
-             const std::string &point_name)
+extraReproFlags(const FuzzOptions &fz)
 {
-    std::string cmd = argv0;
-    cmd += " --points " + std::to_string(fz.points);
-    cmd += " --seed " + std::to_string(fz.seed);
-    if (fz.cores > 1)
-        cmd += " --cores " + std::to_string(fz.cores);
-    if (fz.mediaFaults)
-        cmd += " --media-faults";
-    if (!fz.oom)
-        cmd += " --no-oom";
-    cmd += " --filter '" + point_name + "' --jobs 1";
-    return cmd;
+    return fz.oom ? "" : " --no-oom";
 }
 
 } // namespace
@@ -556,15 +406,16 @@ main(int argc, char **argv)
         static_cast<int>(pass_argv.size()), pass_argv.data());
     printHeader(
         "Memory-pressure fuzz",
-        "exhaustion storms, " + std::to_string(fz.points) +
-            " points/scheme, seed " + std::to_string(fz.seed) +
-            ", cores " + std::to_string(fz.cores) +
+        "exhaustion storms, " + std::to_string(fz.common.points) +
+            " points/scheme, seed " + std::to_string(fz.common.seed) +
+            ", cores " + std::to_string(fz.common.cores) +
             ", dram/nvm zones " + std::to_string(fz.pressureDram) +
             "/" + std::to_string(fz.pressureNvm) + " frames" +
             (fz.oom ? "" : ", oom off") +
-            (fz.mediaFaults ? ", media faults + scrubber armed" : ""));
+            (fz.common.mediaFaults
+                 ? ", media faults + scrubber armed" : ""));
 
-    if (fz.filter.empty())
+    if (fz.common.filter.empty())
         selfCheckUnpressured();
 
     const std::vector<persist::PtScheme> schemes = {
@@ -584,7 +435,7 @@ main(int argc, char **argv)
     bool any_failed = false;
 
     for (const auto scheme : schemes) {
-        const Golden golden = goldenRun(scheme, fz);
+        const fuzz::Golden golden = goldenRun(scheme, fz);
         std::printf("golden[%s]: %llu durable writes, sites:",
                     persist::ptSchemeName(scheme),
                     static_cast<unsigned long long>(
@@ -608,14 +459,15 @@ main(int argc, char **argv)
                           "golden run never OOM-killed — pressure "
                           "plan mistuned");
         }
-        const auto points = makePoints(golden, fz.points, fz.seed);
+        const auto points =
+            fuzz::makePoints(golden, fz.common.points, fz.common.seed);
 
         std::vector<runner::Scenario> scenarios;
         scenarios.reserve(points.size());
         for (const auto &p : points) {
             auto sc = makeScenario(scheme, p, golden, fz);
-            if (!fz.filter.empty() &&
-                sc.name.find(fz.filter) == std::string::npos) {
+            if (!fz.common.filter.empty() &&
+                sc.name.find(fz.common.filter) == std::string::npos) {
                 continue;
             }
             scenarios.push_back(std::move(sc));
@@ -640,9 +492,11 @@ main(int argc, char **argv)
             idem_breaks += static_cast<std::uint64_t>(
                 r.stats.get("fuzz.idempotenceBreaks"));
             if (r.stats.get("fuzz.failed") > 0) {
-                std::printf("FAILED %s\n  repro: %s\n",
-                            r.name.c_str(),
-                            reproCommand(argv[0], fz, r.name).c_str());
+                std::printf(
+                    "FAILED %s\n  repro: %s\n", r.name.c_str(),
+                    fuzz::reproCommand(argv[0], fz.common,
+                                       extraReproFlags(fz), r.name)
+                        .c_str());
             }
         }
         any_failed = any_failed || failed > 0;

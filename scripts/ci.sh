@@ -13,6 +13,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc)}
+ARTIFACTS=${CI_ARTIFACTS:-ci-artifacts}
+
+# Run a fuzz harness; on failure, sweep its FLIGHT_*.json flight
+# recorder dumps into ${ARTIFACTS}/ so the divergence timeline
+# survives the CI run, then fail the gate.
+run_fuzz() {
+    if ! "$@"; then
+        mkdir -p "${ARTIFACTS}"
+        mv -f FLIGHT_*.json "${ARTIFACTS}/" 2>/dev/null || true
+        echo "fuzz FAILED: $* (flight dumps in ${ARTIFACTS}/)" >&2
+        exit 1
+    fi
+    rm -f FLIGHT_*.json
+}
 
 echo "=== ASan/UBSan build + full test suite ==="
 cmake -B build-asan -S . -G Ninja \
@@ -27,12 +41,12 @@ echo "=== Crash-recovery fuzz smoke (ASan/UBSan) ==="
 # for a CI gate.  The harness exits non-zero on any unexplained
 # recovery divergence.  Run once clean and once with the NVM media
 # error model + patrol scrubber armed underneath the protocols.
-./build-asan/bench/fuzz_crash_recovery --points 64
-./build-asan/bench/fuzz_crash_recovery --points 64 --media-faults
+run_fuzz ./build-asan/bench/fuzz_crash_recovery --points 64
+run_fuzz ./build-asan/bench/fuzz_crash_recovery --points 64 --media-faults
 # The same sweep on a 4-core system: background mutator processes on
 # the extra cores widen the crash interleavings (shootdown IPIs and
 # runqueue state in flight at the crash point).
-./build-asan/bench/fuzz_crash_recovery --points 64 --cores 4
+run_fuzz ./build-asan/bench/fuzz_crash_recovery --points 64 --cores 4
 rm -f BENCH_fuzz_crash_recovery.json
 
 echo "=== Memory-pressure fuzz smoke (ASan/UBSan) ==="
@@ -41,9 +55,20 @@ echo "=== Memory-pressure fuzz smoke (ASan/UBSan) ==="
 # sweep.  Exits non-zero on any recovery divergence, any
 # non-idempotent second recovery, or if the pressured golden run fails
 # to actually exercise reclaim and the OOM path (mistuning tripwire).
-./build-asan/bench/fuzz_pressure --points 64
-./build-asan/bench/fuzz_pressure --points 64 --media-faults
+run_fuzz ./build-asan/bench/fuzz_pressure --points 64
+run_fuzz ./build-asan/bench/fuzz_pressure --points 64 --media-faults
 rm -f BENCH_fuzz_pressure.json
+
+echo "=== Core-loss fuzz smoke (ASan/UBSan) ==="
+# The CPU-fault fuzzer: seeded fail-stop/stall core faults, the IPI
+# ack-timeout/retry protocol, watchdog offlining, and recovery on the
+# degraded machine underneath the crash-point sweep — 45 points split
+# over the nine fault × variant buckets per scheme.  Exits non-zero on
+# any divergence, any non-idempotent recovery, or if a golden run
+# fails to exercise its bucket's protocol (offline / retry / reclaim
+# tripwires).
+run_fuzz ./build-asan/bench/fuzz_core_loss --points 45
+rm -f BENCH_fuzz_core_loss.json
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     echo "=== TSan build + SweepRunner/fault/persist tests ==="
@@ -52,7 +77,8 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
         -DCMAKE_CXX_FLAGS="-fsanitize=thread"
     cmake --build build-tsan -j "${JOBS}" \
         --target test_runner test_fault test_persist test_trace \
-        fig4a_seq_alloc ablation_multiprocess fuzz_pressure
+        fig4a_seq_alloc ablation_multiprocess fuzz_pressure \
+        fuzz_core_loss
     # The runner tests exercise every cross-thread path: the work
     # queue, result placement, and the shared trace-flag/error-mode
     # globals that concurrent KindleSystem instances touch.
@@ -109,8 +135,18 @@ PY
     # pressure subsystem sees.  Single simulation thread, but the
     # sweep shares injector routing and trace globals with any
     # concurrent system, so TSan must stay quiet here too.
-    KINDLE_FUZZ_POINTS=32 ./build-tsan/bench/fuzz_pressure --cores 4
+    run_fuzz env KINDLE_FUZZ_POINTS=32 \
+        ./build-tsan/bench/fuzz_pressure --cores 4
     rm -f BENCH_fuzz_pressure.json
+
+    echo "=== 4-core core-loss sweep under TSan ==="
+    # Cores dying mid-protocol: IPI retries against a fail-stopped
+    # target, watchdog offlining with runqueue re-placement, private
+    # cache flushes through the directory — all riding the same
+    # shared-global routing the sweep workers use.
+    run_fuzz env KINDLE_FUZZ_POINTS=18 \
+        ./build-tsan/bench/fuzz_core_loss --cores 4
+    rm -f BENCH_fuzz_core_loss.json
 fi
 
 echo "ci.sh: all checks passed"

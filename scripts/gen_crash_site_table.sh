@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerate the crash-site inventory table in DESIGN.md from a bench
+# binary's --list-crash-sites output (which prints
+# fault::crashSiteCatalog(), the single source of truth).
+#
+#   scripts/gen_crash_site_table.sh [path-to-any-bench-binary]
+#
+# Run after adding a crash site; CI does not enforce freshness, but
+# the table carries begin/end markers so the regeneration is exact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${1:-build/bench/fig4a_seq_alloc}
+if [[ ! -x "${BIN}" ]]; then
+    echo "no such binary: ${BIN} (build the tree first)" >&2
+    exit 1
+fi
+
+TABLE=$("${BIN}" --list-crash-sites | awk '{
+    site = $1; $1 = ""; sub(/^ +/, "");
+    printf "| `%s` | %s |\n", site, $0
+}')
+
+TABLE="${TABLE}" python3 - <<'PY'
+import os
+import pathlib
+
+table = os.environ["TABLE"]
+doc = pathlib.Path("DESIGN.md")
+text = doc.read_text()
+begin = "<!-- crash-site-table:begin (scripts/gen_crash_site_table.sh) -->"
+end = "<!-- crash-site-table:end -->"
+head = "| Site | Meaning |\n| --- | --- |\n"
+i = text.index(begin) + len(begin)
+j = text.index(end)
+doc.write_text(text[:i] + "\n" + head + table + "\n" + text[j:])
+print(f"DESIGN.md: crash-site table regenerated "
+      f"({table.count(chr(10)) + 1} sites)")
+PY

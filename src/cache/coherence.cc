@@ -151,6 +151,26 @@ MesiDirectory::reset()
     lines.clear();
 }
 
+void
+MesiDirectory::offlineCore(CpuId cpu)
+{
+    kindle_assert(cpu < numCores, "offlining core {} of {}", cpu,
+                  numCores);
+    const std::uint32_t cpu_bit = 1u << cpu;
+    for (auto it = lines.begin(); it != lines.end();) {
+        DirEntry &entry = it->second;
+        const bool owned = (entry.state == MesiState::exclusive ||
+                            entry.state == MesiState::modified) &&
+                           entry.owner == cpu;
+        entry.sharers &= ~cpu_bit;
+        if (owned || entry.sharers == 0) {
+            it = lines.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
 DirEntry
 MesiDirectory::lookup(Addr line_addr) const
 {

@@ -96,6 +96,14 @@ class MesiDirectory
     /** Crash / flushAll: no private copy survives anywhere. */
     void reset();
 
+    /**
+     * Hotplug offlining: @p cpu's private caches have been flushed and
+     * invalidated, so drop its sharer/owner claims from every line.
+     * Lines it owned in E/M (and lines left with no sharers) become
+     * untracked — the flushed copy in the LLC is now authoritative.
+     */
+    void offlineCore(CpuId cpu);
+
     /** Directory view of @p line_addr (invalid entry if untracked). */
     DirEntry lookup(Addr line_addr) const;
 

@@ -233,6 +233,21 @@ Hierarchy::flushAll(Tick now)
     return latency;
 }
 
+Tick
+Hierarchy::offlineCore(CpuId cpu, Tick now)
+{
+    kindle_assert(cpu < nCores, "offlining core {} of {}", cpu,
+                  nCores);
+    Tick latency = 0;
+    latency += l1Caches[cpu]->flushAll(now + latency);
+    latency += l2Caches[cpu]->flushAll(now + latency);
+    l1Caches[cpu]->invalidateAll();
+    l2Caches[cpu]->invalidateAll();
+    if (directory_)
+        directory_->offlineCore(cpu);
+    return latency;
+}
+
 void
 Hierarchy::invalidateAll()
 {

@@ -104,6 +104,14 @@ class Hierarchy
     /** Power loss: every cached line vanishes un-written-back. */
     void invalidateAll();
 
+    /**
+     * Hotplug offlining of @p cpu: flush its private L1/L2 (dirty
+     * lines land in the shared LLC — nothing is stranded), invalidate
+     * both, and drop the core's claims from the MESI directory.
+     * Returns the flush latency (charged to the surviving initiator).
+     */
+    Tick offlineCore(CpuId cpu, Tick now);
+
     Cache &l1(CpuId cpu = 0) { return *l1Caches.at(cpu); }
     Cache &l2(CpuId cpu = 0) { return *l2Caches.at(cpu); }
     Cache &llc() { return *llcCache; }

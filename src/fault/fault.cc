@@ -125,42 +125,66 @@ onDurableNvmWrite(Tick now)
         inj->durableWrite(now);
 }
 
-const std::vector<std::string> &
-knownCrashSites()
+const std::vector<CrashSiteInfo> &
+crashSiteCatalog()
 {
     // Keep in sync with every KINDLE_CRASH_SITE() in the tree; the
     // crash-site parameterized test cross-checks this list by crashing
-    // at each entry and asserting the probe actually fired.
-    static const std::vector<std::string> sites = {
-        "ckpt.before_cpu_log",      // checkpoint: before CPU redo record
-        "ckpt.after_log_append",    // checkpoint: CPU record durable
-        "ckpt.after_replay",        // checkpoint: metadata log replayed
-        "ckpt.after_working_write", // checkpoint: working context written
-        "ckpt.after_mapping_update",// checkpoint: mapping list / pt root
-        "ckpt.after_commit",        // checkpoint: slot flipped consistent
-        "ckpt.complete",            // checkpoint: log reset + undo retire
-        "redo.after_append",        // redo log: record fully durable
-        "redo.append_pre_fence",    // redo log: record clwb'd, unfenced
-        "pt.after_undo_append",     // pt policy: undo record durable
-        "pt.after_store",           // pt policy: PTE stored, not flushed
-        "pt.after_clwb",            // pt policy: PTE clwb'd, unfenced
-        "slot.mid_working_write",   // saved state: context half-flushed
-        "slot.commit_pre_fence",    // saved state: header clwb'd, unfenced
-        "alloc.bitmap_pre_fence",   // frame alloc: bitmap clwb'd, unfenced
-        "hscc.after_copy",          // hscc: page copied, PTE not remapped
-        "badframe.retire_pre_fence",// bad-frame table: bit clwb'd, unfenced
-        "recover.after_bitmap",     // recovery: allocator bitmap adopted
-        "recover.after_log_audit",  // recovery: redo log audited
-        "recover.after_pt_rollback",// recovery: torn PT stores undone
-        "recover.after_slot_restore",// recovery: one slot restored
-        "recover.after_quarantine", // recovery: one slot fenced off
-        "recover.before_reclaim",   // recovery: leak reclaim starting
-        "recover.complete",         // recovery: procedure finished
-        "redo.pre_wrap",            // redo log: tail about to fold forward
-        "redo.pre_truncate",        // redo log: backpressure epoch bump next
-        "reclaim.pre_demote",       // reclaim: NVM frame held, page not moved
-        "oom.pre_kill",             // oom: victim chosen, teardown next
+    // at each entry and asserting the probe actually fired.  The
+    // descriptions feed --list-crash-sites and the DESIGN.md table.
+    static const std::vector<CrashSiteInfo> sites = {
+        {"ckpt.before_cpu_log", "checkpoint: before CPU redo record"},
+        {"ckpt.after_log_append", "checkpoint: CPU record durable"},
+        {"ckpt.after_replay", "checkpoint: metadata log replayed"},
+        {"ckpt.after_working_write",
+         "checkpoint: working context written"},
+        {"ckpt.after_mapping_update",
+         "checkpoint: mapping list / pt root"},
+        {"ckpt.after_commit", "checkpoint: slot flipped consistent"},
+        {"ckpt.complete", "checkpoint: log reset + undo retire"},
+        {"redo.after_append", "redo log: record fully durable"},
+        {"redo.append_pre_fence", "redo log: record clwb'd, unfenced"},
+        {"pt.after_undo_append", "pt policy: undo record durable"},
+        {"pt.after_store", "pt policy: PTE stored, not flushed"},
+        {"pt.after_clwb", "pt policy: PTE clwb'd, unfenced"},
+        {"slot.mid_working_write", "saved state: context half-flushed"},
+        {"slot.commit_pre_fence",
+         "saved state: header clwb'd, unfenced"},
+        {"alloc.bitmap_pre_fence",
+         "frame alloc: bitmap clwb'd, unfenced"},
+        {"hscc.after_copy", "hscc: page copied, PTE not remapped"},
+        {"badframe.retire_pre_fence",
+         "bad-frame table: bit clwb'd, unfenced"},
+        {"recover.after_bitmap", "recovery: allocator bitmap adopted"},
+        {"recover.after_log_audit", "recovery: redo log audited"},
+        {"recover.after_pt_rollback",
+         "recovery: torn PT stores undone"},
+        {"recover.after_slot_restore", "recovery: one slot restored"},
+        {"recover.after_quarantine", "recovery: one slot fenced off"},
+        {"recover.before_reclaim", "recovery: leak reclaim starting"},
+        {"recover.complete", "recovery: procedure finished"},
+        {"redo.pre_wrap", "redo log: tail about to fold forward"},
+        {"redo.pre_truncate",
+         "redo log: backpressure epoch bump next"},
+        {"reclaim.pre_demote",
+         "reclaim: NVM frame held, page not moved"},
+        {"oom.pre_kill", "oom: victim chosen, teardown next"},
+        {"core.pre_offline",
+         "hotplug: core declared dead, teardown next"},
+        {"ipi.pre_retry", "shootdown: ack timed out, resend next"},
     };
+    return sites;
+}
+
+const std::vector<std::string> &
+knownCrashSites()
+{
+    static const std::vector<std::string> sites = [] {
+        std::vector<std::string> names;
+        for (const CrashSiteInfo &info : crashSiteCatalog())
+            names.emplace_back(info.name);
+        return names;
+    }();
     return sites;
 }
 

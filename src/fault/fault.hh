@@ -128,6 +128,45 @@ struct PressurePlan
     }
 };
 
+/**
+ * One seeded CPU-core fault.  A fault either *fail-stops* the core
+ * (stallTicks == 0: the core never executes or acknowledges anything
+ * again, and the kernel watchdog eventually declares it dead and
+ * offlines it) or *transiently stalls* it (stallTicks > 0: the core is
+ * unresponsive — IPIs go unacknowledged, its timeslices are skipped —
+ * until the stall window elapses, exercising the retry path without
+ * killing the core).  The trigger is either an absolute simulation
+ * tick or the Nth TLB-shootdown IPI the core *receives* (1-based),
+ * which plants the fault precisely inside the ack-timeout protocol.
+ */
+struct CoreFault
+{
+    /** Victim core. */
+    CpuId cpu = 0;
+    /** Fire at the first evaluation at or after this tick (0 = off). */
+    Tick atTick = 0;
+    /** Fire when the core receives its Nth shootdown IPI (0 = off). */
+    std::uint64_t atNthIpi = 0;
+    /** 0 = fail-stop (permanent); >0 = stall for this many ticks. */
+    Tick stallTicks = 0;
+};
+
+/**
+ * CPU-fault configuration: a list of seeded core faults.  Orthogonal
+ * to the crash trigger, the media model, and the pressure plan — plain
+ * data so config plumbing stays header-only, like the plans above.
+ * An empty plan is guaranteed zero-cost: the kernel never evaluates
+ * triggers, takes no extra event-queue bumps, and registers no stats,
+ * so runs without a plan stay byte-identical to a tree without the
+ * subsystem.
+ */
+struct CoreFaultPlan
+{
+    std::vector<CoreFault> faults;
+
+    bool enabled() const { return !faults.empty(); }
+};
+
 /** What to crash on.  At most one trigger should be armed. */
 struct FaultPlan
 {
@@ -280,6 +319,19 @@ CrashInjector *current();
 /** Probe entry points used by instrumented code. */
 void crashSite(const char *name);
 void onDurableNvmWrite(Tick now);
+
+/** One entry of the crash-site inventory: name + what the protocol
+ *  has (and has not) done when the probe fires. */
+struct CrashSiteInfo
+{
+    const char *name;
+    const char *description;
+};
+
+/** Inventory of every named crash site compiled into the tree, with
+ *  a one-line description per site (drives --list-crash-sites and the
+ *  generated DESIGN.md table). */
+const std::vector<CrashSiteInfo> &crashSiteCatalog();
 
 /** Inventory of every named crash site compiled into the tree. */
 const std::vector<std::string> &knownCrashSites();

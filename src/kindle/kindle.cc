@@ -58,6 +58,12 @@ KindleSystem::KindleSystem(const KindleConfig &config_arg)
         config.memory.nvmCtrl.trackStalls = true;
     }
 
+    // A core-fault plan rides into the kernel.  It lives in `config`,
+    // so reboot()'s fresh kernel re-arms it: dead hardware stays dead
+    // across boots of the same machine.
+    if (config.coreFault)
+        config.kernel.coreFaults = *config.coreFault;
+
     // The injector exists even when no fault is configured: an unarmed
     // plan just counts probe hits (observe mode).  Registering it on
     // the thread-local routing stack also shadows any outer system's

@@ -92,6 +92,17 @@ struct KindleConfig
     std::optional<fault::PressurePlan> pressure;
 
     /**
+     * Arm seeded CPU-core faults (see fault::CoreFaultPlan): chosen
+     * cores fail-stop or transiently stall at a tick / Nth-received-IPI
+     * trigger, exercising the kernel's IPI ack-timeout/retry protocol
+     * and hotplug-style offlining.  Survives reboot(): dead hardware
+     * stays dead, so the same core re-fails on every boot of the same
+     * configuration.  Requires numCores >= 2 (a fail-stop of the last
+     * core halts the machine).
+     */
+    std::optional<fault::CoreFaultPlan> coreFault;
+
+    /**
      * Patrol-scrubber cadence.  The scrubber is built whenever the
      * media model is enabled (using defaults if this is unset); set
      * this to tune the patrol interval/chunk or to run the scrubber

@@ -22,9 +22,10 @@ Kernel::TlbIpiEvent::TlbIpiEvent(Kernel &kernel_arg, CpuId cpu_arg)
 void
 Kernel::TlbIpiEvent::process()
 {
-    const std::vector<ShootdownRequest> reqs = std::move(pending);
-    pending.clear();
-    kernel.deliverTlbIpi(cpu, reqs);
+    // The pending batch stays attached to the doorbell until the
+    // target actually services it: an unresponsive core leaves the
+    // requests in place for the initiator's retry to redeliver.
+    kernel.deliverTlbIpi(cpu);
 }
 
 Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
@@ -104,6 +105,18 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
     for (CpuId c = 0; c < cores_.size(); ++c) {
         cores_[c]->setFaultHandler(this);
         cpus[c].ipi = std::make_unique<TlbIpiEvent>(*this, c);
+    }
+
+    coreFaultArmed_ = _params.coreFaults.enabled();
+    pendingCoreFaults = _params.coreFaults.faults;
+    if (coreFaultArmed_) {
+        for (const fault::CoreFault &f : pendingCoreFaults) {
+            kindle_assert(f.cpu < cores_.size(),
+                          "core fault targets core {} of {}", f.cpu,
+                          cores_.size());
+            kindle_assert(f.atTick != 0 || f.atNthIpi != 0,
+                          "core fault with no trigger armed");
+        }
     }
 
     if (cores_.size() > 1) {
@@ -247,13 +260,21 @@ Kernel::contextOf(const Process &proc) const
     return proc.context;
 }
 
-void
+bool
 Kernel::setAffinity(Process &proc, int cpu)
 {
     kindle_assert(cpu < static_cast<int>(cores_.size()),
                   "pinning pid {} to nonexistent core {}", proc.pid,
                   cpu);
+    if (cpu >= 0 && !cpus[static_cast<CpuId>(cpu)].online) {
+        // A dead core can never run anything: refuse the pin and
+        // leave the previous affinity in force.
+        warn("pid {}: setAffinity to offlined core {} refused",
+             proc.pid, cpu);
+        return false;
+    }
     proc.pinnedCpu = cpu;
+    return true;
 }
 
 void
@@ -268,13 +289,18 @@ Kernel::makeReady(Process &proc)
 CpuId
 Kernel::placementFor(const Process &proc) const
 {
-    if (proc.pinnedCpu >= 0)
+    if (proc.pinnedCpu >= 0 &&
+        cpus[static_cast<CpuId>(proc.pinnedCpu)].online) {
         return static_cast<CpuId>(proc.pinnedCpu);
-    // Least-loaded core, ties to the lowest id (on one core: core 0).
+    }
+    // Least-loaded online core, ties to the lowest id (on one core:
+    // core 0).
     CpuId best = 0;
     std::size_t best_load = ~std::size_t(0);
     for (CpuId c = 0; c < cores_.size(); ++c) {
         const CpuSlot &slot = cpus[c];
+        if (!slot.online)
+            continue;
         const std::size_t load =
             slot.runq.size() +
             (slot.running &&
@@ -336,7 +362,7 @@ Kernel::stealWork(CpuId thief)
     CpuId donor = thief;
     std::size_t best = 0;
     for (CpuId c = 0; c < cores_.size(); ++c) {
-        if (c == thief)
+        if (c == thief || !cpus[c].online)
             continue;
         std::size_t count = 0;
         for (const Process *p : cpus[c].runq) {
@@ -430,12 +456,31 @@ Kernel::runUntil(Tick deadline)
         // and runs one timeslice of its runqueue; the global clock
         // then advances to the latest per-core finish time.  On one
         // core the warps are no-ops and this is the classic loop.
+        if (coreFaultArmed_)
+            watchdogPass();
         const Tick epoch_start = sim.now();
         Tick epoch_end = epoch_start;
         bool ran_any = false;
         for (CpuId c = 0; c < n; ++c) {
+            if (!cpus[c].online)
+                continue;
             if (n > 1)
                 sim.warpTo(epoch_start);
+            if (coreFaultArmed_ &&
+                sim.now() < cpus[c].stalledUntil) {
+                // Transiently stalled: the core freezes through this
+                // epoch.  Its queued work stays put (the occupant
+                // resumes once the stall clears), but the machine
+                // must keep advancing toward the stall's end.
+                if (cpus[c].running || !cpus[c].runq.empty()) {
+                    ran_any = true;
+                    epoch_end = std::max(
+                        epoch_end,
+                        std::min(cpus[c].stalledUntil,
+                                 epoch_start + _params.timeslice));
+                }
+                continue;
+            }
             Process *proc = pickNext(c);
             if (!proc) {
                 epoch_end = std::max(epoch_end, sim.now());
@@ -464,6 +509,22 @@ Kernel::runSlice(CpuId cpu, Process &proc, Tick slice_end)
     while (sim.now() < slice_end &&
            proc.state == ProcState::running) {
         sim.service();
+        if (coreFaultArmed_ && evalCoreFaults(cpu)) {
+            CpuSlot &slot = cpus[cpu];
+            if (slot.failStopped) {
+                // The core dies holding the process: its live
+                // register state is gone.  The occupant stays
+                // `running` so the watchdog's offline pass kills it
+                // (crash-consistently) rather than rescheduling a
+                // context that no longer exists.
+                return;
+            }
+            if (sim.now() < slot.stalledUntil) {
+                // Frozen mid-slice: time passes, nothing retires.
+                sim.bump(slot.stalledUntil - sim.now());
+                continue;
+            }
+        }
         if (!proc.program || !proc.program->next(op)) {
             exitProcess(proc);
             return;
@@ -754,29 +815,82 @@ Kernel::shootdownRemote(Pid pid, AddrRange range, bool flush_all)
 {
     if (cores_.size() == 1)
         return;
+    std::vector<CpuId> targets;
     for (CpuId c = 0; c < cores_.size(); ++c) {
-        if (c == activeCpu_)
+        if (c == activeCpu_ || !cpus[c].online)
             continue;
         TlbIpiEvent &ipi = *cpus[c].ipi;
+        cpus[c].ipiAcked = false;
         ipi.pending.push_back({pid, range, flush_all});
         if (!ipi.scheduled()) {
             sim.eventq().schedule(&ipi,
                                   sim.now() + _params.ipiLatency);
         }
         ++*tlbShootdownsSent;
+        targets.push_back(c);
     }
+    if (targets.empty())
+        return;  // every other core is offline: nothing to wait for
     // The initiator spins until every target acknowledges: wait out
     // the delivery latency, then service the queue so the handlers
     // run; each handler bumps its cost, serializing into the
     // initiator's wait — the classic shootdown stall.
     sim.bump(_params.ipiLatency);
     sim.service();
+    if (!coreFaultArmed_)
+        return;  // healthy machine: every target acked synchronously
+    // Ack-timeout/retry protocol: an unresponsive target gets the IPI
+    // resent ipiRetries times, each a full ack-timeout apart; a core
+    // that never answers is escalated to the watchdog and declared
+    // dead (its pending requests die with it — a dead TLB holds no
+    // translations anyone can use).
+    for (const CpuId c : targets) {
+        unsigned resends = 0;
+        while (!cpus[c].ipiAcked && cpus[c].online) {
+            if (resends >= _params.ipiRetries) {
+                ++lazyScalar(ipiTimeoutsStat, "ipiTimeouts",
+                             "shootdown targets that never acked");
+                warn("cpu{}: shootdown ack timeout after {} resends; "
+                     "escalating to watchdog", c, resends);
+                watchdogDeclareDead(c);
+                break;
+            }
+            ++resends;
+            ++lazyScalar(ipiRetriesStat, "ipiRetries",
+                         "shootdown IPIs resent after ack timeout");
+            KINDLE_CRASH_SITE("ipi.pre_retry");
+            TlbIpiEvent &ipi = *cpus[c].ipi;
+            if (!ipi.scheduled()) {
+                sim.eventq().schedule(
+                    &ipi, sim.now() + _params.ipiAckTimeout);
+            }
+            sim.bump(_params.ipiAckTimeout);
+            sim.service();
+        }
+    }
 }
 
 void
-Kernel::deliverTlbIpi(CpuId cpu,
-                      const std::vector<ShootdownRequest> &reqs)
+Kernel::deliverTlbIpi(CpuId cpu)
 {
+    CpuSlot &slot = cpus[cpu];
+    if (coreFaultArmed_) {
+        ++slot.ipisReceived;
+        evalCoreFaults(cpu);
+        if (!coreResponsive(cpu)) {
+            // The doorbell rang but nobody answered: the batch stays
+            // pending for the initiator's retry (or dies with the
+            // core when the watchdog offlines it).
+            trace::dprintf(trace::Flag::sched, sim.now(),
+                           "cpu{} unresponsive to shootdown IPI",
+                           cpu);
+            return;
+        }
+    }
+    const std::vector<ShootdownRequest> reqs =
+        std::move(slot.ipi->pending);
+    slot.ipi->pending.clear();
+    slot.ipiAcked = true;
     cpu::Tlb &tlb = cores_[cpu]->tlb();
     for (const ShootdownRequest &req : reqs) {
         if (req.flushAll) {
@@ -793,6 +907,148 @@ Kernel::deliverTlbIpi(CpuId cpu,
     trace::dprintf(trace::Flag::sched, sim.now(),
                    "cpu{} serviced shootdown IPI ({} requests)", cpu,
                    reqs.size());
+}
+
+bool
+Kernel::evalCoreFaults(CpuId cpu)
+{
+    if (!coreFaultArmed_ || !cpus[cpu].online)
+        return false;
+    bool fired = false;
+    for (auto it = pendingCoreFaults.begin();
+         it != pendingCoreFaults.end();) {
+        const fault::CoreFault &f = *it;
+        const bool tick_due = f.atTick != 0 && sim.now() >= f.atTick;
+        const bool ipi_due = f.atNthIpi != 0 &&
+                             cpus[cpu].ipisReceived >= f.atNthIpi;
+        if (f.cpu != cpu || (!tick_due && !ipi_due)) {
+            ++it;
+            continue;
+        }
+        if (f.stallTicks > 0) {
+            cpus[cpu].stalledUntil = std::max(
+                cpus[cpu].stalledUntil, sim.now() + f.stallTicks);
+            warn("cpu{}: transient stall injected for {} ticks", cpu,
+                 f.stallTicks);
+        } else {
+            cpus[cpu].failStopped = true;
+            warn("cpu{}: fail-stop fault injected", cpu);
+        }
+        KINDLE_TRACE_INSTANT_ARGS(sched, os, "core.fault",
+                                  "cpu={} stall={}", cpu,
+                                  f.stallTicks);
+        fired = true;
+        it = pendingCoreFaults.erase(it);
+    }
+    return fired;
+}
+
+bool
+Kernel::coreResponsive(CpuId cpu) const
+{
+    const CpuSlot &slot = cpus[cpu];
+    return slot.online && !slot.failStopped &&
+           sim.now() >= slot.stalledUntil;
+}
+
+void
+Kernel::watchdogPass()
+{
+    for (CpuId c = 0; c < cores_.size(); ++c) {
+        if (!cpus[c].online)
+            continue;
+        evalCoreFaults(c);
+        if (cpus[c].failStopped)
+            watchdogDeclareDead(c);
+    }
+}
+
+void
+Kernel::watchdogDeclareDead(CpuId cpu)
+{
+    if (!cpus[cpu].online)
+        return;
+    cpus[cpu].failStopped = true;
+    warn("watchdog: core {} declared dead", cpu);
+    offlineCore(cpu);
+}
+
+void
+Kernel::offlineCore(CpuId dead)
+{
+    CpuSlot &slot = cpus[dead];
+    kindle_assert(slot.online, "offlining core {} twice", dead);
+    CpuId survivor = dead;
+    for (CpuId c = 0; c < cores_.size(); ++c) {
+        if (c != dead && cpus[c].online) {
+            survivor = c;
+            break;
+        }
+    }
+    if (survivor == dead)
+        kindle_fatal("last online core {} died; machine halted", dead);
+
+    // A crash here must replay as a clean offline on the next boot:
+    // nothing durable has been touched yet, and everything below goes
+    // through crash-consistent paths (exitProcess, shootdowns).
+    KINDLE_CRASH_SITE("core.pre_offline");
+    slot.online = false;
+    ++lazyScalar(coresOfflined, "coresOfflined",
+                 "cores declared dead and hotplug-offlined");
+    KINDLE_TRACE_INSTANT_ARGS(sched, os, "core.offline", "cpu={}",
+                              dead);
+
+    // The teardown itself executes on a surviving core.
+    if (activeCpu_ == dead) {
+        activeCpu_ = survivor;
+        caches.setInitiator(survivor);
+    }
+
+    // The occupant that held the core when it died lost its live
+    // register state mid-slice: kill it crash-consistently.  An
+    // occupant parked in `ready` (its context was saved at the slice
+    // boundary) is merely rescheduled below.
+    Process *occ = slot.running;
+    slot.running = nullptr;
+    if (occ && occ->state == ProcState::running) {
+        ++lazyScalar(coreLossKills, "coreLossKills",
+                     "processes killed with the core they occupied");
+        warn("pid {} ({}) died with core {}", occ->pid, occ->name,
+             dead);
+        exitProcess(*occ);
+    }
+
+    // Pinned processes lose their affinity: a pin to a dead core is
+    // unsatisfiable, and leaving it set would strand lazy migration.
+    for (const auto &p : procs) {
+        if (p->pinnedCpu == static_cast<int>(dead)) {
+            p->pinnedCpu = -1;
+            ++lazyScalar(affinityBroken, "affinityBroken",
+                         "pins dropped because their core died");
+        }
+    }
+
+    // Drain and re-place the dead runqueue on surviving cores.
+    std::deque<Process *> drained = std::move(slot.runq);
+    slot.runq.clear();
+    for (Process *p : drained) {
+        p->queued = false;
+        if (p->state != ProcState::ready || !p->program)
+            continue;
+        if (migrations)
+            ++*migrations;
+        enqueue(*p, placementFor(*p));
+    }
+
+    // Flush the dead core's private caches through the directory so
+    // no dirty line is stranded above the LLC, then drop its TLB.
+    sim.bump(caches.offlineCore(dead, sim.now()));
+    cores_[dead]->tlb().flushAll();
+
+    // Remove the core from the IPI broadcast set: pending requests
+    // die with it (its TLB holds nothing anyone can reach).
+    slot.ipi->pending.clear();
+    sim.eventq().deschedule(slot.ipi.get());
 }
 
 void

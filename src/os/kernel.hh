@@ -53,6 +53,12 @@ struct KernelParams
     Tick pageFaultTrapCost = 800 * oneNs;
     Tick ipiLatency = 500 * oneNs;    ///< TLB-shootdown IPI delivery
     Tick ipiHandlerCost = 200 * oneNs; ///< remote shootdown handler
+    /** How long a shootdown initiator waits for a target's ack before
+     *  resending the IPI (only consulted once a core fault is armed —
+     *  a healthy machine never times out). */
+    Tick ipiAckTimeout = 2 * oneUs;
+    /** Resends before the watchdog declares the target core dead. */
+    unsigned ipiRetries = 3;
     bool ptInNvm = false;  ///< host page tables in NVM (persistent
                            ///  scheme) instead of DRAM (rebuild)
     /** DRAM reserved below this for the kernel image. */
@@ -73,6 +79,14 @@ struct KernelParams
      * gracefully (ENOMEM) instead of aborting the simulation.
      */
     fault::PressurePlan pressure{};
+
+    /**
+     * Seeded CPU-core faults (fail-stop / transient stall).  Disabled
+     * by default: with an empty plan the kernel evaluates no triggers,
+     * registers no core-fault stats, and takes no extra event-queue
+     * bumps, so runs stay byte-identical to a fault-free tree.
+     */
+    fault::CoreFaultPlan coreFaults{};
 };
 
 /** The kernel. */
@@ -131,8 +145,13 @@ class Kernel : public cpu::FaultHandler
     /**
      * Pin @p proc to core @p cpu (-1 clears the pin).  A process
      * queued on another core migrates lazily at its next pick.
+     * @return false (and leaves the pin unchanged) when @p cpu has
+     *         been offlined — a dead core can never run anything.
      */
-    void setAffinity(Process &proc, int cpu);
+    bool setAffinity(Process &proc, int cpu);
+
+    /** Whether core @p cpu is still part of the scheduling set. */
+    bool coreOnline(CpuId cpu) const { return cpus.at(cpu).online; }
     /// @}
 
     /** @name Execution. */
@@ -299,6 +318,18 @@ class Kernel : public cpu::FaultHandler
         Process *running = nullptr;       ///< resident process
         std::deque<Process *> runq;       ///< ready queue
         std::unique_ptr<TlbIpiEvent> ipi; ///< shootdown doorbell
+        /** Hotplug state: offlined cores leave the scheduling set,
+         *  the shootdown broadcast set, and the steal donor set. */
+        bool online = true;
+        /** A fired fail-stop fault: the core never executes or acks
+         *  again; the watchdog offlines it at the next opportunity. */
+        bool failStopped = false;
+        /** A fired transient stall: unresponsive until this tick. */
+        Tick stalledUntil = 0;
+        /** Shootdown IPI delivery attempts seen (fault triggers). */
+        std::uint64_t ipisReceived = 0;
+        /** Ack flag for the initiator's timeout/retry protocol. */
+        bool ipiAcked = false;
     };
 
     Process *pickNext(CpuId cpu);
@@ -311,9 +342,38 @@ class Kernel : public cpu::FaultHandler
     bool dispatch(CpuId cpu, Process &proc, const cpu::Op &op);
     void invalidateTlbRange(Pid pid, AddrRange range);
     void shootdownRemote(Pid pid, AddrRange range, bool flush_all);
-    void deliverTlbIpi(CpuId cpu,
-                       const std::vector<ShootdownRequest> &reqs);
+    void deliverTlbIpi(CpuId cpu);
     void unmapPages(Process &proc, const Vma &piece);
+
+    /** @name CPU-fault machinery (no-ops unless a plan is armed). */
+    /// @{
+    /**
+     * Evaluate the armed core faults against @p cpu at the current
+     * tick / IPI count; fired faults are consumed.  @return true when
+     * a fault fired here.
+     */
+    bool evalCoreFaults(CpuId cpu);
+
+    /** Whether @p cpu would acknowledge an IPI right now. */
+    bool coreResponsive(CpuId cpu) const;
+
+    /** Epoch-boundary sweep: fire due tick faults, offline the dead. */
+    void watchdogPass();
+
+    /** Escalation endpoint: mark @p cpu dead and offline it. */
+    void watchdogDeclareDead(CpuId cpu);
+
+    /**
+     * Hotplug-style offlining of a dead core: re-place its runqueue
+     * (the occupant that held the core when it died is killed via the
+     * crash-consistent exitProcess path; pinned processes lose their
+     * affinity), flush/invalidate its private caches through the
+     * coherence directory, and remove it from the shootdown broadcast
+     * and work-stealing sets.  Fatal when it would take the last
+     * online core down.
+     */
+    void offlineCore(CpuId cpu);
+    /// @}
     unsigned allocSlot();
 
     /**
@@ -352,6 +412,11 @@ class Kernel : public cpu::FaultHandler
     std::vector<std::unique_ptr<Process>> procs;
     std::vector<CpuSlot> cpus;
     CpuId activeCpu_ = 0;
+
+    /** Armed-plan gate: false keeps every fault hook zero-cost. */
+    bool coreFaultArmed_ = false;
+    /** Faults not yet fired (entries are consumed as they fire). */
+    std::vector<fault::CoreFault> pendingCoreFaults;
     Pid nextPid = 1;
     std::uint32_t slotsUsed = 0;
 
@@ -377,6 +442,13 @@ class Kernel : public cpu::FaultHandler
     statistics::Scalar *allocFailuresInjected = nullptr;
     statistics::Scalar *oomKills = nullptr;
     statistics::Scalar *oomPagesFreed = nullptr;
+    /** Core-fault stats; registered lazily on first use so fault-free
+     *  runs export no extra stats (byte-identity guarantee). */
+    statistics::Scalar *ipiRetriesStat = nullptr;
+    statistics::Scalar *ipiTimeoutsStat = nullptr;
+    statistics::Scalar *coresOfflined = nullptr;
+    statistics::Scalar *affinityBroken = nullptr;
+    statistics::Scalar *coreLossKills = nullptr;
 };
 
 } // namespace kindle::os

@@ -63,7 +63,80 @@ valueOf(const char *arg, const char *name, int argc, char **argv,
     return argv[++i];
 }
 
+std::uint64_t
+parseUint(const char *text, const char **end_out, const char *origin)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text)
+        kindle_fatal("{}: expected a number at '{}'", origin, text);
+    *end_out = end;
+    return static_cast<std::uint64_t>(v);
+}
+
+Tick
+parseTimeoutNs(const char *text, const char *origin)
+{
+    const char *end = nullptr;
+    const std::uint64_t v = parseUint(text, &end, origin);
+    if (*end != '\0')
+        kindle_fatal("{}: bad timeout '{}' (want nanoseconds)",
+                     origin, text);
+    return static_cast<Tick>(v) * oneNs;
+}
+
 } // namespace
+
+fault::CoreFaultPlan
+parseCoreFaultSpec(const std::string &spec, const char *origin)
+{
+    fault::CoreFaultPlan plan;
+    const char *p = spec.c_str();
+    while (*p != '\0') {
+        fault::CoreFault f;
+        const char *end = nullptr;
+        const std::uint64_t cpu = parseUint(p, &end, origin);
+        if (cpu >= 32)
+            kindle_fatal("{}: bad core id {} in '{}'", origin, cpu,
+                         spec);
+        f.cpu = static_cast<CpuId>(cpu);
+        if (*end == '@') {
+            f.atTick =
+                static_cast<Tick>(parseUint(end + 1, &end, origin)) *
+                oneNs;
+            if (f.atTick == 0)
+                kindle_fatal("{}: zero tick trigger in '{}'", origin,
+                             spec);
+        } else if (*end == '#') {
+            f.atNthIpi = parseUint(end + 1, &end, origin);
+            if (f.atNthIpi == 0)
+                kindle_fatal("{}: zero IPI trigger in '{}'", origin,
+                             spec);
+        } else {
+            kindle_fatal("{}: expected '@TICKNS' or '#NTHIPI' after "
+                         "core id in '{}'", origin, spec);
+        }
+        if (*end == '+') {
+            f.stallTicks =
+                static_cast<Tick>(parseUint(end + 1, &end, origin)) *
+                oneNs;
+            if (f.stallTicks == 0)
+                kindle_fatal("{}: zero stall in '{}'", origin, spec);
+        }
+        plan.faults.push_back(f);
+        if (*end == ',') {
+            p = end + 1;
+        } else if (*end == '\0') {
+            break;
+        } else {
+            kindle_fatal("{}: trailing garbage '{}' in '{}'", origin,
+                         end, spec);
+        }
+    }
+    if (plan.faults.empty())
+        kindle_fatal("{}: empty core-fault spec", origin);
+    return plan;
+}
 
 Options
 parseOptions(int argc, char **argv)
@@ -87,6 +160,14 @@ parseOptions(int argc, char **argv)
     }
     if (const char *env = std::getenv("KINDLE_FLIGHT_OUT"))
         opts.flightOut = env;
+    if (const char *env = std::getenv("KINDLE_CORE_FAIL")) {
+        if (*env)
+            opts.coreFault = parseCoreFaultSpec(env, "KINDLE_CORE_FAIL");
+    }
+    if (const char *env = std::getenv("KINDLE_IPI_TIMEOUT")) {
+        if (*env)
+            opts.ipiTimeout = parseTimeoutNs(env, "KINDLE_IPI_TIMEOUT");
+    }
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -106,8 +187,22 @@ parseOptions(int argc, char **argv)
                 "  --trace-ring N    flight-recorder depth; 0 "
                 "disables the ring (env KINDLE_TRACE_RING)\n"
                 "  --flight-out P    auto flight-recorder dump "
-                "destination (env KINDLE_FLIGHT_OUT)\n",
+                "destination (env KINDLE_FLIGHT_OUT)\n"
+                "  --core-fail S     seeded CPU-core faults, e.g. "
+                "1@2000000 or 2#2+3000 (env KINDLE_CORE_FAIL)\n"
+                "  --ipi-timeout NS  shootdown ack timeout before a "
+                "resend (env KINDLE_IPI_TIMEOUT)\n"
+                "  --list-crash-sites  print the crash-site "
+                "inventory and exit\n",
                 argv[0]);
+            std::exit(0);
+        }
+        if (std::strcmp(arg, "--list-crash-sites") == 0) {
+            for (const fault::CrashSiteInfo &info :
+                 fault::crashSiteCatalog()) {
+                std::printf("%-28s %s\n", info.name,
+                            info.description);
+            }
             std::exit(0);
         }
         if (const char *v = valueOf(arg, "--jobs", argc, argv, i)) {
@@ -135,6 +230,16 @@ parseOptions(int argc, char **argv)
         if (const char *v =
                 valueOf(arg, "--flight-out", argc, argv, i)) {
             opts.flightOut = v;
+            continue;
+        }
+        if (const char *v =
+                valueOf(arg, "--core-fail", argc, argv, i)) {
+            opts.coreFault = parseCoreFaultSpec(v, "--core-fail");
+            continue;
+        }
+        if (const char *v =
+                valueOf(arg, "--ipi-timeout", argc, argv, i)) {
+            opts.ipiTimeout = parseTimeoutNs(v, "--ipi-timeout");
             continue;
         }
         kindle_fatal("unknown argument '{}' (try --help)", arg);

@@ -13,6 +13,13 @@
  *                     (KINDLE_TRACE_RING)
  *   --flight-out P    write flight-recorder dumps here on power loss /
  *                     recovery errors (KINDLE_FLIGHT_OUT)
+ *   --core-fail S     arm seeded CPU-core faults (KINDLE_CORE_FAIL);
+ *                     spec: comma-separated CPU@TICKNS or CPU#NTHIPI
+ *                     entries, each with an optional +STALLNS suffix
+ *                     (absent = fail-stop), e.g. "1@2000000,2#2+3000"
+ *   --ipi-timeout NS  shootdown ack timeout before an IPI resend
+ *                     (KINDLE_IPI_TIMEOUT; 0 keeps the kernel default)
+ *   --list-crash-sites  print the crash-site inventory and exit
  *   --help            print usage for the common flags
  *
  * Unrecognized arguments are fatal so a typo cannot silently fall
@@ -25,6 +32,9 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+
+#include "base/types.hh"
+#include "fault/fault.hh"
 
 namespace kindle::runner
 {
@@ -58,7 +68,27 @@ struct Options
 
     /** Automatic flight-dump destination (same routing as traceOut). */
     std::string flightOut;
+
+    /**
+     * Seeded CPU-core faults parsed from --core-fail /
+     * KINDLE_CORE_FAIL (unset = no plan armed; benches that honor the
+     * flag copy it into KindleConfig::coreFault).
+     */
+    std::optional<fault::CoreFaultPlan> coreFault;
+
+    /** Shootdown ack timeout override in ticks (0 = kernel default). */
+    Tick ipiTimeout = 0;
 };
+
+/**
+ * Parse a --core-fail spec: comma-separated entries, each
+ * "CPU@TICKNS" (fail at the first evaluation at/after TICKNS
+ * nanoseconds) or "CPU#N" (fail at the core's Nth received shootdown
+ * IPI), with an optional "+STALLNS" suffix turning the fail-stop into
+ * a transient stall of STALLNS nanoseconds.  Fatal on malformed input.
+ */
+fault::CoreFaultPlan parseCoreFaultSpec(const std::string &spec,
+                                        const char *origin);
 
 /**
  * Parse @p argc / @p argv.  Precedence: command line over the

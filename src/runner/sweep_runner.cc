@@ -82,6 +82,10 @@ SweepRunner::runRouted(const Scenario &scenario,
     KindleConfig config = scenario.config;
     if (_opts.cores > 1)
         config.numCores = _opts.cores;
+    if (_opts.coreFault && !config.coreFault)
+        config.coreFault = _opts.coreFault;
+    if (_opts.ipiTimeout != 0)
+        config.kernel.ipiAckTimeout = _opts.ipiTimeout;
     if (!trace_path.empty())
         config.trace.spans = true;
     if (!_opts.traceFlags.empty())

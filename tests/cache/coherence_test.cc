@@ -209,6 +209,43 @@ TEST(MesiDirectoryTest, StatsCountProtocolTraffic)
     EXPECT_EQ(st.scalarValue("sharedFills"), 2);
 }
 
+TEST(MesiDirectoryTest, OfflineCoreDropsOwnedLines)
+{
+    MesiDirectory dir(4);
+    dir.access(0x1000, 1, wr);  // M, owned by 1
+    dir.access(0x2000, 1, rd);  // E, owned by 1
+    dir.access(0x3000, 0, wr);  // M, owned by a survivor
+    dir.offlineCore(1);
+    // The dead core's private caches were flushed: the LLC copy is
+    // authoritative and the lines go untracked.
+    EXPECT_EQ(dir.lookup(0x1000).state, MesiState::invalid);
+    EXPECT_EQ(dir.lookup(0x2000).state, MesiState::invalid);
+    // Other cores' claims are untouched.
+    EXPECT_EQ(dir.lookup(0x3000).state, MesiState::modified);
+    EXPECT_EQ(dir.lookup(0x3000).owner, 0u);
+}
+
+TEST(MesiDirectoryTest, OfflineCoreClearsSharerBit)
+{
+    MesiDirectory dir(4);
+    dir.access(0x1000, 0, rd);
+    dir.access(0x1000, 1, rd);  // S {0,1}
+    dir.offlineCore(1);
+    EXPECT_EQ(dir.lookup(0x1000).state, MesiState::shared);
+    EXPECT_EQ(dir.lookup(0x1000).sharers, 0b01u);
+}
+
+TEST(MesiDirectoryTest, OfflineCoreErasesLineWithNoSharersLeft)
+{
+    MesiDirectory dir(4);
+    dir.access(0x1000, 1, rd);
+    dir.access(0x1000, 2, rd);  // S {1,2}
+    dir.offlineCore(1);
+    EXPECT_EQ(dir.lookup(0x1000).state, MesiState::shared);
+    dir.offlineCore(2);
+    EXPECT_EQ(dir.lookup(0x1000).state, MesiState::invalid);
+}
+
 TEST(MesiDirectoryTest, StateNamesAreStable)
 {
     EXPECT_STREQ(mesiStateName(MesiState::invalid), "I");
@@ -289,6 +326,28 @@ TEST(HierarchySmpTest, CoherenceTrafficCostsLatency)
     // Pulling a dirty line out of another core's private cache is
     // strictly slower than re-reading one's own copy.
     EXPECT_GT(shared_read, local_read);
+}
+
+TEST(HierarchySmpTest, OfflineCoreFlushesPrivateCachesThroughLlc)
+{
+    SmpRig rig(2);
+    rig.hier.access(1, mem::MemCmd::write, 0x50000, 8, 0);
+    ASSERT_TRUE(rig.hier.l1(1).contains(0x50000));
+    const Tick cost = rig.hier.offlineCore(1, 0);
+    EXPECT_GT(cost, 0u);  // the dirty line had to be written back
+    EXPECT_FALSE(rig.hier.l1(1).contains(0x50000));
+    EXPECT_FALSE(rig.hier.l2(1).contains(0x50000));
+    EXPECT_EQ(rig.hier.directory()->lookup(0x50000).state,
+              MesiState::invalid);
+    // The survivor reads the flushed data without coherence traffic
+    // to the dead core.
+    const auto inval_before =
+        rig.hier.directory()->stats().scalarValue("invalidations");
+    rig.hier.access(0, mem::MemCmd::read, 0x50000, 8, 0);
+    EXPECT_TRUE(rig.hier.l1(0).contains(0x50000));
+    EXPECT_EQ(rig.hier.directory()->stats().scalarValue(
+                  "invalidations"),
+              inval_before);
 }
 
 TEST(HierarchySmpTest, FlushAllResetsDirectory)

@@ -115,7 +115,22 @@ TEST_P(CrashSiteTest, CrashAtSiteRecoversOrSalvages)
     const SiteCase &param = GetParam();
 
     const bool hscc_site = param.site.rfind("hscc.", 0) == 0;
+    const bool smp_site = param.site.rfind("core.", 0) == 0 ||
+                          param.site.rfind("ipi.", 0) == 0;
     KindleConfig cfg = crashConfig(param.scheme);
+    if (smp_site) {
+        // The core-fault sites only fire on an SMP machine with a
+        // core fault armed: fail-stop core 1 at its first received
+        // shootdown IPI, so the initiator rides the retry path
+        // (ipi.pre_retry) into watchdog offlining (core.pre_offline).
+        cfg.numCores = 2;
+        fault::CoreFaultPlan plan;
+        fault::CoreFault f;
+        f.cpu = 1;
+        f.atNthIpi = 1;
+        plan.faults.push_back(f);
+        cfg.coreFault = plan;
+    }
     if (hscc_site) {
         // HSCC sites only fire with the migration engine running and a
         // hot NVM working set worth promoting.
