@@ -15,6 +15,12 @@
  * the committed-state observer, point generation, divergence dumps,
  * the common flag set and the repro-line builder — so the harnesses
  * differ only in their workloads, their extra knobs and their audits.
+ *
+ * The audits and tripwires read the per-point stat snapshots through
+ * StatSnapshot::get()/getOr(), which resolve paths through the
+ * snapshot's lazily built O(1) name index — hundreds of sweep points
+ * times dozens of lookups stays cheap, and the telemetry sampler's
+ * per-sample channel extraction rides the same path.
  */
 
 #ifndef KINDLE_BENCH_FUZZ_COMMON_HH

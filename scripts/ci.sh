@@ -5,9 +5,12 @@
 #
 #   scripts/ci.sh            # asan/ubsan suite + tsan runner tests
 #   SKIP_TSAN=1 scripts/ci.sh  # asan/ubsan only (fast path)
+#   SKIP_PERF=1 scripts/ci.sh  # skip the Release perf-regression gate
 #
 # TSan and ASan cannot share a build tree, so each sanitizer gets its
-# own build directory.
+# own build directory; the perf gate needs an unsanitized Release
+# build on top (sanitizer slowdown would drown real regressions), so
+# it gets a third.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -69,6 +72,34 @@ echo "=== Core-loss fuzz smoke (ASan/UBSan) ==="
 # tripwires).
 run_fuzz ./build-asan/bench/fuzz_core_loss --points 45
 rm -f BENCH_fuzz_core_loss.json
+
+echo "=== DESIGN.md crash-site table drift check ==="
+# The table is generated from fault::crashSiteCatalog(); regenerate it
+# and fail if the committed DESIGN.md had gone stale.
+scripts/gen_crash_site_table.sh build-asan/bench/fig4a_seq_alloc
+if ! git diff --exit-code -- DESIGN.md; then
+    echo "DESIGN.md crash-site table is stale: commit the" \
+         "regenerated table above" >&2
+    exit 1
+fi
+
+if [[ "${SKIP_PERF:-0}" != "1" ]]; then
+    echo "=== Perf-regression gate (Release fig5 vs baselines.json) ==="
+    # Wall-clock regression check with prof.* attribution: a Release
+    # (unsanitized) run of the fig5 sweep must stay within 1.5x of the
+    # committed bench/baselines.json.  --prof attaches the
+    # self-profiler so a failure names the subsystem that slowed down;
+    # --jobs 1 keeps the wall numbers free of scheduling noise.
+    cmake -B build-perf -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-perf -j "${JOBS}" --target fig5_ssp_interval
+    PERF_DIR=$(mktemp -d)
+    REPO=$(pwd)
+    (cd "${PERF_DIR}" &&
+        "${REPO}/build-perf/bench/fig5_ssp_interval" --jobs 1 --prof)
+    python3 scripts/perf_gate.py check \
+        "${PERF_DIR}/BENCH_fig5_ssp_interval.json"
+    rm -rf "${PERF_DIR}"
+fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     echo "=== TSan build + SweepRunner/fault/persist tests ==="

@@ -5,8 +5,9 @@
 #
 #   scripts/gen_crash_site_table.sh [path-to-any-bench-binary]
 #
-# Run after adding a crash site; CI does not enforce freshness, but
-# the table carries begin/end markers so the regeneration is exact.
+# Run after adding a crash site; scripts/ci.sh regenerates the table
+# and fails on drift, and the begin/end markers keep the regeneration
+# exact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

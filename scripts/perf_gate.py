@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over a BENCH_*.json report.
+
+    scripts/perf_gate.py check  BENCH_fig5_ssp_interval.json
+    scripts/perf_gate.py update BENCH_fig5_ssp_interval.json
+
+``check`` compares the report's total wall_ms against the committed
+baseline in bench/baselines.json and exits non-zero when the run is
+more than ``tolerance`` times slower.  The failure message includes a
+per-category diff of the ``prof.*`` self-profiler stats (run the bench
+with --prof) so the regression is attributed to a subsystem, not just
+detected.
+
+``update`` rewrites the bench's entry in bench/baselines.json from the
+report — run it on the reference CI machine after an intentional
+perf-relevant change, and commit the result.
+
+Wall-clock baselines are machine-relative; the generous default
+tolerance (1.5x) absorbs host jitter and modest hardware skew while
+still catching algorithmic regressions (accidental O(n^2), a probe
+left enabled, a lost fast path), which shift wall time by integer
+factors.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = pathlib.Path(__file__).parent.parent / "bench" / "baselines.json"
+PROF_PREFIX = "prof."
+PROF_SUFFIX = "Ns"
+
+
+def summarize(report_path):
+    """Reduce a BENCH report to (name, total wall_ms, prof ms per cat)."""
+    doc = json.loads(pathlib.Path(report_path).read_text())
+    wall_ms = 0.0
+    prof_ms = {}
+    for point in doc["points"]:
+        if not point.get("ok"):
+            raise SystemExit(f"{report_path}: point {point['name']} failed: "
+                             f"{point.get('error', '?')}")
+        wall_ms += point["wall_ms"]
+        for path, value in point.get("stats", {}).items():
+            if path.startswith(PROF_PREFIX) and path.endswith(PROF_SUFFIX):
+                cat = path[len(PROF_PREFIX):-len(PROF_SUFFIX)]
+                prof_ms[cat] = prof_ms.get(cat, 0.0) + value / 1e6
+    return doc["bench"], wall_ms, prof_ms
+
+
+def load_baselines(path):
+    if path.exists():
+        return json.loads(path.read_text())
+    return {"schema_version": 1, "benches": {}}
+
+
+def cmd_update(args):
+    name, wall_ms, prof_ms = summarize(args.report)
+    doc = load_baselines(args.baseline)
+    doc["benches"][name] = {
+        "wall_ms": round(wall_ms, 3),
+        "prof_ms": {c: round(ms, 3) for c, ms in sorted(prof_ms.items())},
+    }
+    args.baseline.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"{args.baseline}: {name} baseline set to {wall_ms:.1f} ms")
+    return 0
+
+
+def cmd_check(args):
+    name, wall_ms, prof_ms = summarize(args.report)
+    doc = load_baselines(args.baseline)
+    base = doc["benches"].get(name)
+    if base is None:
+        raise SystemExit(f"{args.baseline}: no baseline for '{name}' "
+                         f"(run: scripts/perf_gate.py update {args.report})")
+    limit = base["wall_ms"] * args.tolerance
+    verdict = "OK" if wall_ms <= limit else "REGRESSION"
+    print(f"perf[{name}]: {wall_ms:.1f} ms vs baseline "
+          f"{base['wall_ms']:.1f} ms (limit {limit:.1f} ms at "
+          f"{args.tolerance}x): {verdict}")
+    if wall_ms <= limit:
+        if wall_ms * args.tolerance < base["wall_ms"]:
+            print(f"perf[{name}]: note: >{args.tolerance}x faster than "
+                  f"baseline — consider refreshing bench/baselines.json")
+        return 0
+    # Attribute the regression: which profiled category grew most?
+    print(f"perf[{name}]: prof.* category diff (self-ms):")
+    base_prof = base.get("prof_ms", {})
+    cats = sorted(set(base_prof) | set(prof_ms),
+                  key=lambda c: prof_ms.get(c, 0.0) - base_prof.get(c, 0.0),
+                  reverse=True)
+    if not cats:
+        print("  (no prof.* stats in report — run the bench with --prof)")
+    for cat in cats:
+        b, n = base_prof.get(cat, 0.0), prof_ms.get(cat, 0.0)
+        print(f"  {cat:<10} {b:10.1f} -> {n:10.1f}  ({n - b:+.1f} ms)")
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=["check", "update"])
+    parser.add_argument("report", help="BENCH_*.json produced by a bench run")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=1.5,
+                        help="allowed slowdown factor (default 1.5)")
+    args = parser.parse_args()
+    return cmd_update(args) if args.command == "update" else cmd_check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -399,26 +399,39 @@ StatSnapshot::Builder::visitHistogram(const std::string &name,
     }
 }
 
+const double *
+StatSnapshot::find(const std::string &path) const
+{
+    if (index.size() != values.size()) {
+        index.clear();
+        index.reserve(values.size());
+        for (const auto &[k, v] : values)
+            index.emplace(std::string_view(k), &v);
+    }
+    const auto it = index.find(std::string_view(path));
+    return it == index.end() ? nullptr : it->second;
+}
+
 bool
 StatSnapshot::has(const std::string &path) const
 {
-    return values.count(path) != 0;
+    return find(path) != nullptr;
 }
 
 double
 StatSnapshot::get(const std::string &path) const
 {
-    const auto it = values.find(path);
-    if (it == values.end())
+    const double *v = find(path);
+    if (!v)
         kindle_fatal("no stat snapshot entry named {}", path);
-    return it->second;
+    return *v;
 }
 
 double
 StatSnapshot::getOr(const std::string &path, double fallback) const
 {
-    const auto it = values.find(path);
-    return it == values.end() ? fallback : it->second;
+    const double *v = find(path);
+    return v ? *v : fallback;
 }
 
 namespace

@@ -5,6 +5,7 @@
 #include "base/intmath.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
+#include "telemetry/profiler.hh"
 
 namespace kindle::cache
 {
@@ -102,6 +103,7 @@ Hierarchy::access(CpuId cpu, mem::MemCmd cmd, Addr paddr,
     kindle_assert(size > 0, "zero-size access");
     kindle_assert(cpu < nCores, "access from core {} of {}", cpu,
                   nCores);
+    KINDLE_PROF_SCOPE(cache);
     ++accesses;
 
     AccessResult result;

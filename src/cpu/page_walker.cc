@@ -1,6 +1,7 @@
 #include "cpu/page_walker.hh"
 
 #include "base/logging.hh"
+#include "telemetry/profiler.hh"
 
 namespace kindle::cpu
 {
@@ -22,6 +23,7 @@ PageWalker::walk(Addr ptbr, Addr vaddr, Tick now)
 {
     kindle_assert(ptbr != invalidAddr && ptbr != 0,
                   "walk with no page table loaded");
+    KINDLE_PROF_SCOPE(tlbWalk);
     ++walks;
 
     WalkResult result;

@@ -74,6 +74,16 @@ KindleSystem::KindleSystem(const KindleConfig &config_arg)
     injectorScope_ =
         std::make_unique<fault::InjectorScope>(injector_.get());
 
+    // The self-profiler exists only on request: prof.* stats are
+    // wall-clock derived and nondeterministic, and the BENCH JSON
+    // contract requires default stat dumps never to contain them.
+    // The scope registers even when null so this system shadows any
+    // outer profiled system on the thread (mirrors SinkScope).
+    if (config.profiling)
+        profiler_ = std::make_unique<telemetry::Profiler>();
+    profilerScope_ =
+        std::make_unique<telemetry::ProfilerScope>(profiler_.get());
+
     const unsigned n = std::max(1u, config.numCores);
     mem_ = std::make_unique<mem::HybridMemory>(config.memory);
     caches_ = std::make_unique<cache::Hierarchy>(config.caches, *mem_,
@@ -102,6 +112,7 @@ KindleSystem::KindleSystem(const KindleConfig &config_arg)
     buildOsLayer();
     if (scrubber_)
         scrubber_->start();
+    buildSampler();
 
     // Activate only after boot so construction-time durable writes do
     // not consume trigger budget.
@@ -147,6 +158,60 @@ KindleSystem::buildOsLayer()
         hscc_->start();
     }
     wirePressureHooks();
+}
+
+void
+KindleSystem::buildSampler()
+{
+    if (config.telemetry.sampleInterval == 0)
+        return;
+    sampler_ = std::make_unique<telemetry::Sampler>(
+        sim, config.telemetry, [this] { return snapshotStats(); });
+    using Kind = telemetry::Sampler::Kind;
+
+    // Levels: the machine's occupancy picture at the sample instant.
+    sampler_->addStatChannel("dramFramesUsed", Kind::level,
+                             "kernel.dramAlloc.framesInUse");
+    sampler_->addStatChannel("nvmFramesUsed", Kind::level,
+                             "kernel.nvmAlloc.framesInUse");
+    sampler_->addCallbackChannel(
+        "residentPages", Kind::level, [this] {
+            return kernel_ ? static_cast<double>(
+                                 kernel_->residentPagesTotal())
+                           : 0.0;
+        });
+    sampler_->addCallbackChannel("runnable", Kind::level, [this] {
+        return kernel_
+                   ? static_cast<double>(kernel_->runnableCount())
+                   : 0.0;
+    });
+    if (config.persistence) {
+        sampler_->addCallbackChannel(
+            "redoLogPending", Kind::level, [this] {
+                return persist_ ? static_cast<double>(
+                                      persist_->redoLog().pending())
+                                : 0.0;
+            });
+    }
+
+    // Rates: per-interval activity deltas.  Paths that do not exist
+    // in a sample (lazily-registered stats, unconfigured subsystems)
+    // read as zero, so channels can cover optional machinery.
+    sampler_->addStatChannel("pageFaults", Kind::rate,
+                             "kernel.pageFaults");
+    sampler_->addStatChannel("reclaimDemotions", Kind::rate,
+                             "kernel.reclaim.pagesDemoted");
+    sampler_->addStatChannel("shootdownIpis", Kind::rate,
+                             "kernel.tlbShootdownIpis");
+    if (config.persistence) {
+        sampler_->addStatChannel("checkpoints", Kind::rate,
+                                 "persist.checkpoints");
+    }
+    if (config.hscc) {
+        sampler_->addStatChannel("hsccMigrations", Kind::rate,
+                                 "hscc.pagesMigrated");
+    }
+    sampler_->start();
 }
 
 void
@@ -302,6 +367,11 @@ KindleSystem::reboot()
     }
     if (scrubber_)
         scrubber_->start();
+    // The crash cleared the sampler's pending event with the rest of
+    // the queue; resume it over the rebooted machine (rate baselines
+    // re-prime, since the fresh kernel's counters restarted).
+    if (sampler_)
+        sampler_->restart();
     wirePressureHooks();
 
     // The injector stays deactivated: its one armed crash has fired
@@ -472,6 +542,8 @@ KindleSystem::acceptStats(statistics::StatVisitor &visitor) const
         hscc_->stats().accept(visitor);
     injector_->stats().accept(visitor);
     recoveryStats.accept(visitor);
+    if (profiler_)
+        profiler_->stats().accept(visitor);
 }
 
 void
@@ -535,6 +607,17 @@ void
 KindleSystem::writeTrace(std::ostream &os) const
 {
     traceSink_->writeChromeJson(os);
+}
+
+void
+KindleSystem::writeTelemetry(std::ostream &os, bool csv) const
+{
+    if (!sampler_)
+        return;
+    if (csv)
+        sampler_->writeCsv(os);
+    else
+        sampler_->writeJson(os);
 }
 
 void

@@ -39,6 +39,8 @@
 #include "persist/recovery.hh"
 #include "sim/simulation.hh"
 #include "ssp/ssp_engine.hh"
+#include "telemetry/profiler.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
 namespace kindle
@@ -116,6 +118,20 @@ struct KindleConfig
      * opt-in because it keeps every record of the run.
      */
     trace::TraceParams trace{};
+
+    /**
+     * Time-series sampling (see telemetry::TelemetryParams).  Off by
+     * default (sampleInterval == 0): no sampler event is scheduled and
+     * runs stay byte-identical to an unsampled tree.
+     */
+    telemetry::TelemetryParams telemetry{};
+
+    /**
+     * Attach the host-side self-profiler (--prof).  Off by default:
+     * prof.* stats are wall-clock derived and nondeterministic, so
+     * they must never appear in a default-config stat dump.
+     */
+    bool profiling = false;
 };
 
 /** The assembled machine. */
@@ -157,6 +173,12 @@ class KindleSystem
     /** The system's trace sink (always present; may be capturing
      *  nothing when both spans and the ring are disabled). */
     trace::TraceSink &traceSink() { return *traceSink_; }
+
+    /** The time-series sampler (null unless sampleInterval > 0). */
+    telemetry::Sampler *sampler() { return sampler_.get(); }
+
+    /** The self-profiler (null unless config.profiling). */
+    telemetry::Profiler *profiler() { return profiler_.get(); }
     /// @}
 
     /** Current simulated time. */
@@ -233,6 +255,12 @@ class KindleSystem
     void writeTrace(std::ostream &os) const;
 
     /**
+     * Export the sampler's time series; @p csv picks the format.
+     * No-op (writes nothing) when the sampler is off.
+     */
+    void writeTelemetry(std::ostream &os, bool csv = false) const;
+
+    /**
      * Dump the flight-recorder ring as JSON, annotated with @p reason
      * ("power-loss", "oracle-divergence", ...), the armed fault plan
      * and the crash site that fired (if any).  Harness code calls
@@ -245,6 +273,7 @@ class KindleSystem
 
   private:
     void buildOsLayer();
+    void buildSampler();
     void wirePressureHooks();
     mem::PowerLossModel lossModel() const;
     void teardownToCrashed();
@@ -265,6 +294,8 @@ class KindleSystem
     std::unique_ptr<trace::SinkScope> traceScope_;
     std::unique_ptr<fault::CrashInjector> injector_;
     std::unique_ptr<fault::InjectorScope> injectorScope_;
+    std::unique_ptr<telemetry::Profiler> profiler_;
+    std::unique_ptr<telemetry::ProfilerScope> profilerScope_;
 
     std::unique_ptr<mem::HybridMemory> mem_;
     std::unique_ptr<mem::PatrolScrubber> scrubber_;
@@ -274,6 +305,7 @@ class KindleSystem
     std::unique_ptr<persist::PersistDomain> persist_;
     std::unique_ptr<ssp::SspEngine> ssp_;
     std::unique_ptr<hscc::HsccEngine> hscc_;
+    std::unique_ptr<telemetry::Sampler> sampler_;
 
     bool isCrashed = false;
     mem::CrashOutcome crashOutcome;

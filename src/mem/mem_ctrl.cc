@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "telemetry/profiler.hh"
 
 namespace kindle::mem
 {
@@ -61,6 +62,7 @@ MemCtrl::submit(const MemRequest &req, Tick now)
 {
     kindle_assert(_range.contains(req.paddr),
                   "request routed to wrong controller");
+    KINDLE_PROF_SCOPE(memCtrl);
 
     switch (req.cmd) {
       case MemCmd::read: {

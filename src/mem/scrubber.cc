@@ -12,6 +12,7 @@
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "mem/hybrid_memory.hh"
+#include "telemetry/profiler.hh"
 #include "trace/trace.hh"
 
 namespace kindle::mem
@@ -71,6 +72,7 @@ PatrolScrubber::scheduleNext()
 void
 PatrolScrubber::patrol()
 {
+    KINDLE_PROF_SCOPE(scrub);
     ++patrolChunks;
     NvmMediaModel *media = memory.media();
     if (!media)

@@ -8,6 +8,7 @@
 #include "base/trace_flags.hh"
 #include "os/bad_frames.hh"
 #include "os/reclaim.hh"
+#include "telemetry/profiler.hh"
 #include "trace/trace.hh"
 
 namespace kindle::os
@@ -456,6 +457,10 @@ Kernel::runUntil(Tick deadline)
         // and runs one timeslice of its runqueue; the global clock
         // then advances to the latest per-core finish time.  On one
         // core the warps are no-ops and this is the classic loop.
+        // The sched probe is the profiler's catch-all: it covers the
+        // whole epoch, and nested probes (cache, event loop, ...)
+        // subtract themselves, leaving scheduling/execution overhead.
+        KINDLE_PROF_SCOPE(sched);
         if (coreFaultArmed_)
             watchdogPass();
         const Tick epoch_start = sim.now();

@@ -255,6 +255,36 @@ class Kernel : public cpu::FaultHandler
     /** The core the kernel is currently executing on. */
     CpuId activeCpu() const { return activeCpu_; }
 
+    /**
+     * Processes ready or running across every online core's runqueue
+     * right now (the telemetry sampler's runqueue-depth channel).
+     */
+    unsigned
+    runnableCount() const
+    {
+        unsigned n = 0;
+        for (const CpuSlot &slot : cpus) {
+            if (!slot.online)
+                continue;
+            n += static_cast<unsigned>(slot.runq.size());
+            if (slot.running)
+                ++n;
+        }
+        return n;
+    }
+
+    /** User pages resident across all live processes right now. */
+    std::uint64_t
+    residentPagesTotal() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &proc : procs) {
+            if (proc->state != ProcState::zombie)
+                n += proc->residentPages;
+        }
+        return n;
+    }
+
     sim::Simulation &simulation() { return sim; }
     const KernelParams &params() const { return _params; }
 

@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "base/trace_flags.hh"
 #include "os/kernel.hh"
+#include "telemetry/profiler.hh"
 #include "trace/trace.hh"
 
 namespace kindle::os
@@ -67,6 +68,7 @@ ReclaimEngine::scheduleNext()
 void
 ReclaimEngine::patrol()
 {
+    KINDLE_PROF_SCOPE(reclaim);
     ++passes;
     if (kernel.dramAllocator().belowLow())
         demoteBatch(_params.batchPages);
@@ -79,6 +81,7 @@ ReclaimEngine::patrol()
 void
 ReclaimEngine::emergencyPass()
 {
+    KINDLE_PROF_SCOPE(reclaim);
     ++emergencyPasses;
     demoteBatch(_params.batchPages);
     // Direct reclaim runs exactly when the machine is at its

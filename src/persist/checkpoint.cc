@@ -4,6 +4,7 @@
 #include "base/trace_flags.hh"
 #include "cpu/pagetable_defs.hh"
 #include "fault/fault.hh"
+#include "telemetry/profiler.hh"
 #include "trace/trace.hh"
 
 namespace kindle::persist
@@ -422,6 +423,7 @@ PersistDomain::onFrameRetired(os::Process *proc, Addr vaddr,
 void
 PersistDomain::checkpointNow()
 {
+    KINDLE_PROF_SCOPE(ckpt);
     sim::Simulation &sim = kernel.simulation();
     const Tick t0 = sim.now();
 

@@ -10,6 +10,7 @@
 #include "os/bad_frames.hh"
 #include "persist/pt_policy.hh"
 #include "persist/redo_log.hh"
+#include "telemetry/profiler.hh"
 #include "trace/trace.hh"
 
 namespace kindle::persist
@@ -91,6 +92,7 @@ recover(os::Kernel &kernel, PtScheme scheme)
     sim::Simulation &sim = kernel.simulation();
     const Tick t0 = sim.now();
     constexpr unsigned noSlot = ~0u;
+    KINDLE_PROF_SCOPE(recovery);
     KINDLE_TRACE_SPAN(recovery, recovery, "recover");
 
     const auto fail = [&report](RecoveryErrorCode code, unsigned slot,

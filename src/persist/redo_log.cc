@@ -4,6 +4,7 @@
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "fault/fault.hh"
+#include "telemetry/profiler.hh"
 #include "trace/trace.hh"
 
 namespace kindle::persist
@@ -69,6 +70,7 @@ RedoLog::RedoLog(os::KernelMem &kmem_arg, Addr base_arg,
 void
 RedoLog::append(RedoRecord rec)
 {
+    KINDLE_PROF_SCOPE(redo);
     if (seq >= maxRecords) {
         // The region is sized so this only happens under extreme
         // checkpoint intervals; fold the tail forward.  The consistent
@@ -118,6 +120,7 @@ RedoLog::append(RedoRecord rec)
 void
 RedoLog::replay(const std::function<void(const RedoRecord &)> &fn)
 {
+    KINDLE_PROF_SCOPE(redo);
     for (std::uint64_t i = 0; i < seq; ++i) {
         RedoRecord rec{};
         // Non-temporal scan: the log is read once and not reused, so

@@ -85,6 +85,17 @@ parseTimeoutNs(const char *text, const char *origin)
     return static_cast<Tick>(v) * oneNs;
 }
 
+Tick
+parseIntervalNs(const char *text, const char *origin)
+{
+    const char *end = nullptr;
+    const std::uint64_t v = parseUint(text, &end, origin);
+    if (*end != '\0')
+        kindle_fatal("{}: bad interval '{}' (want nanoseconds)",
+                     origin, text);
+    return static_cast<Tick>(v) * oneNs;
+}
+
 } // namespace
 
 fault::CoreFaultPlan
@@ -168,6 +179,18 @@ parseOptions(int argc, char **argv)
         if (*env)
             opts.ipiTimeout = parseTimeoutNs(env, "KINDLE_IPI_TIMEOUT");
     }
+    if (const char *env = std::getenv("KINDLE_TELEMETRY")) {
+        if (*env) {
+            opts.sampleInterval =
+                parseIntervalNs(env, "KINDLE_TELEMETRY");
+        }
+    }
+    if (const char *env = std::getenv("KINDLE_TELEMETRY_OUT"))
+        opts.telemetryOut = env;
+    if (const char *env = std::getenv("KINDLE_PROF")) {
+        if (*env && std::strcmp(env, "0") != 0)
+            opts.prof = true;
+    }
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -192,6 +215,12 @@ parseOptions(int argc, char **argv)
                 "1@2000000 or 2#2+3000 (env KINDLE_CORE_FAIL)\n"
                 "  --ipi-timeout NS  shootdown ack timeout before a "
                 "resend (env KINDLE_IPI_TIMEOUT)\n"
+                "  --sample-interval NS  telemetry sampling period; "
+                "0 disables (env KINDLE_TELEMETRY)\n"
+                "  --telemetry-out P per-scenario TELEM_* time-series "
+                "destination (env KINDLE_TELEMETRY_OUT)\n"
+                "  --prof            attach the self-profiler; prof.* "
+                "stats + category table (env KINDLE_PROF=1)\n"
                 "  --list-crash-sites  print the crash-site "
                 "inventory and exit\n",
                 argv[0]);
@@ -242,8 +271,27 @@ parseOptions(int argc, char **argv)
             opts.ipiTimeout = parseTimeoutNs(v, "--ipi-timeout");
             continue;
         }
+        if (const char *v =
+                valueOf(arg, "--sample-interval", argc, argv, i)) {
+            opts.sampleInterval =
+                parseIntervalNs(v, "--sample-interval");
+            continue;
+        }
+        if (const char *v =
+                valueOf(arg, "--telemetry-out", argc, argv, i)) {
+            opts.telemetryOut = v;
+            continue;
+        }
+        if (std::strcmp(arg, "--prof") == 0) {
+            opts.prof = true;
+            continue;
+        }
         kindle_fatal("unknown argument '{}' (try --help)", arg);
     }
+    // An export destination with no explicit period would record
+    // nothing; default to one sample per simulated millisecond.
+    if (!opts.telemetryOut.empty() && opts.sampleInterval == 0)
+        opts.sampleInterval = oneMs;
     return opts;
 }
 

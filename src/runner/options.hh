@@ -19,6 +19,16 @@
  *                     (absent = fail-stop), e.g. "1@2000000,2#2+3000"
  *   --ipi-timeout NS  shootdown ack timeout before an IPI resend
  *                     (KINDLE_IPI_TIMEOUT; 0 keeps the kernel default)
+ *   --sample-interval NS  telemetry sampling period in nanoseconds;
+ *                     0 disables the sampler (KINDLE_TELEMETRY)
+ *   --telemetry-out P write per-scenario TELEM_* time-series here; a
+ *                     ".json"/".csv" path is used directly (and picks
+ *                     the format), any other path is a directory of
+ *                     "TELEM_<scenario>.json" files
+ *                     (KINDLE_TELEMETRY_OUT)
+ *   --prof            attach the host-side self-profiler: prof.*
+ *                     stats in reports plus a sorted category table
+ *                     on stderr per scenario (KINDLE_PROF=1)
  *   --list-crash-sites  print the crash-site inventory and exit
  *   --help            print usage for the common flags
  *
@@ -78,6 +88,21 @@ struct Options
 
     /** Shootdown ack timeout override in ticks (0 = kernel default). */
     Tick ipiTimeout = 0;
+
+    /** Telemetry sampling period in ticks (0 = sampler off). */
+    Tick sampleInterval = 0;
+
+    /**
+     * When non-empty, each scenario's sampler series is exported.
+     * Routing matches traceOut: a ".json"/".csv" path is a single
+     * file (the extension picks the format), anything else a
+     * directory of "TELEM_<scenario>.json" files.  Implies a default
+     * sampleInterval when none was given.
+     */
+    std::string telemetryOut;
+
+    /** Attach the self-profiler (prof.* stats + category table). */
+    bool prof = false;
 };
 
 /**

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string_view>
 #include <thread>
 
@@ -50,9 +52,13 @@ SweepRunner::routeFile(const std::string &base, const std::string &name,
 {
     if (base.empty())
         return {};
-    constexpr std::string_view ext = ".json";
-    if (base.size() > ext.size() &&
-        base.compare(base.size() - ext.size(), ext.size(), ext) == 0) {
+    for (const std::string_view ext : {std::string_view(".json"),
+                                       std::string_view(".csv")}) {
+        if (base.size() <= ext.size() ||
+            base.compare(base.size() - ext.size(), ext.size(), ext) !=
+                0) {
+            continue;
+        }
         if (solo)
             return base;
         // Sweep over a file path: splice the point name in before the
@@ -72,7 +78,8 @@ SweepRunner::routeFile(const std::string &base, const std::string &name,
 RunResult
 SweepRunner::runRouted(const Scenario &scenario,
                        const std::string &trace_path,
-                       const std::string &flight_path) const
+                       const std::string &flight_path,
+                       const std::string &telemetry_path) const
 {
     RunResult result;
     result.name = scenario.name;
@@ -94,6 +101,10 @@ SweepRunner::runRouted(const Scenario &scenario,
         config.trace.ringDepth = *_opts.traceRing;
     if (!flight_path.empty())
         config.trace.flightDumpPath = flight_path;
+    if (_opts.sampleInterval != 0)
+        config.telemetry.sampleInterval = _opts.sampleInterval;
+    if (_opts.prof)
+        config.profiling = true;
 
     const auto wall_start = std::chrono::steady_clock::now();
     try {
@@ -114,6 +125,27 @@ SweepRunner::runRouted(const Scenario &scenario,
             }
             sys.writeTrace(out);
             result.tracePath = trace_path;
+        }
+        if (!telemetry_path.empty() && sys.sampler()) {
+            std::ofstream out(telemetry_path);
+            if (!out) {
+                kindle_fatal("cannot write telemetry to '{}'",
+                             telemetry_path);
+            }
+            const bool csv =
+                telemetry_path.size() > 4 &&
+                telemetry_path.compare(telemetry_path.size() - 4, 4,
+                                       ".csv") == 0;
+            sys.writeTelemetry(out, csv);
+            result.telemetryPath = telemetry_path;
+        }
+        if (config.profiling && sys.profiler()) {
+            std::ostringstream table;
+            table << "prof[" << scenario.name << "]\n";
+            sys.profiler()->printTable(table);
+            // One write per scenario keeps concurrent workers'
+            // tables from interleaving line-by-line.
+            std::cerr << table.str();
         }
         result.ok = true;
     } catch (const SimError &e) {
@@ -137,7 +169,9 @@ SweepRunner::runScenario(const Scenario &scenario) const
         routeFile(_opts.traceOut, scenario.name, /*solo=*/true,
                   ".trace.json"),
         routeFile(_opts.flightOut, scenario.name, /*solo=*/true,
-                  ".flight.json"));
+                  ".flight.json"),
+        routeFile(_opts.telemetryOut, "TELEM_" + scenario.name,
+                  /*solo=*/true, ".json"));
 }
 
 RunResult
@@ -166,7 +200,10 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
                 routeFile(_opts.traceOut, scenarios[i].name, solo,
                           ".trace.json"),
                 routeFile(_opts.flightOut, scenarios[i].name, solo,
-                          ".flight.json"));
+                          ".flight.json"),
+                routeFile(_opts.telemetryOut,
+                          "TELEM_" + scenarios[i].name, solo,
+                          ".json"));
         }
     };
 

@@ -15,7 +15,10 @@
  * --trace-* knobs to every scenario's config and writes one Chrome
  * trace file (and one flight-dump path) *per scenario*, deriving
  * distinct file names from the scenario names — concurrent workers
- * never share a stream, so traces cannot interleave.
+ * never share a stream, so traces cannot interleave.  The
+ * --sample-interval/--telemetry-out/--prof knobs route the same way:
+ * one TELEM_* time-series file per scenario, and one profiler table
+ * on stderr per profiled scenario.
  */
 
 #ifndef KINDLE_RUNNER_SWEEP_RUNNER_HH
@@ -50,6 +53,10 @@ struct RunResult
     /** Chrome trace file written for this run (empty when tracing is
      *  off or the run failed before export). */
     std::string tracePath;
+
+    /** Telemetry time-series file written for this run (empty when
+     *  the sampler is off or the run failed before export). */
+    std::string telemetryPath;
 
     /** False when the scenario threw; error holds the message. */
     bool ok = false;
@@ -86,10 +93,10 @@ class SweepRunner
   private:
     /**
      * Resolve the per-scenario output file under @p base: a ".json"
-     * base names the file directly when @p solo (sweeps splice the
-     * sanitized scenario name in before the extension); any other
-     * base is a directory of "<name><suffix>" files, created on
-     * demand.  Empty base → empty result.
+     * (or ".csv") base names the file directly when @p solo (sweeps
+     * splice the sanitized scenario name in before the extension);
+     * any other base is a directory of "<name><suffix>" files,
+     * created on demand.  Empty base → empty result.
      */
     static std::string routeFile(const std::string &base,
                                  const std::string &name, bool solo,
@@ -97,7 +104,8 @@ class SweepRunner
 
     RunResult runRouted(const Scenario &scenario,
                         const std::string &trace_path,
-                        const std::string &flight_path) const;
+                        const std::string &flight_path,
+                        const std::string &telemetry_path) const;
 
     unsigned _jobs;
     Options _opts;

@@ -44,6 +44,7 @@ class Event
         sched = 3,     ///< scheduler timeslice
         scrub = 4,     ///< NVM patrol scrubber pass
         deflt = 10,
+        telemetry = 20, ///< sampler runs last: observes post-event state
     };
 
     explicit Event(std::string name,

@@ -8,6 +8,7 @@
 
 #include "base/types.hh"
 #include "sim/event.hh"
+#include "telemetry/profiler.hh"
 
 namespace kindle::sim
 {
@@ -64,8 +65,18 @@ class Simulation
     void
     service()
     {
-        while (Event *ev = queue.popDue(curTick))
+        // Probe only when something is actually due: service() is
+        // called on every memory access, and the empty case must stay
+        // a couple of loads.  The eventLoop category then charges for
+        // dispatch itself; handler bodies carry their own probes, so
+        // their time lands in their subsystem categories.
+        Event *ev = queue.popDue(curTick);
+        if (!ev)
+            return;
+        KINDLE_PROF_SCOPE(eventLoop);
+        do {
             ev->process();
+        } while ((ev = queue.popDue(curTick)));
     }
 
     /**

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
 
 #include "base/logging.hh"
 #include "base/stats.hh"
@@ -398,6 +399,34 @@ TEST(StatsTest, SnapshotEqualityAndJson)
     json::Writer w(os);
     a.writeJson(w);
     EXPECT_NE(os.str().find("\"g.v\": 2"), std::string::npos);
+}
+
+TEST(StatsTest, SnapshotLookupIndexSurvivesMutationAndCopy)
+{
+    StatGroup g("g");
+    g.addScalar("a", "") += 1;
+    StatSnapshot snap = StatSnapshot::capture(g);
+    EXPECT_EQ(snap.get("g.a"), 1);
+
+    // set() after a lookup invalidates the lazily built index; the
+    // next lookup must see both old and new entries.
+    snap.set("extra", 7);
+    EXPECT_EQ(snap.get("extra"), 7);
+    EXPECT_EQ(snap.get("g.a"), 1);
+
+    // Copies must not share index pointers into the source's map
+    // nodes; both sides stay consistent after diverging.
+    StatSnapshot copy = snap;
+    copy.set("onlyInCopy", 3);
+    EXPECT_EQ(copy.get("onlyInCopy"), 3);
+    EXPECT_EQ(copy.get("g.a"), 1);
+    EXPECT_FALSE(snap.has("onlyInCopy"));
+    EXPECT_EQ(snap.get("g.a"), 1);
+
+    StatSnapshot moved = std::move(copy);
+    EXPECT_EQ(moved.get("onlyInCopy"), 3);
+    EXPECT_EQ(moved.getOr("missing", -1), -1);
+    EXPECT_FALSE(moved.has("missing"));
 }
 
 TEST(StatsTest, RemoveChildDetachesSubtree)
