@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/rand.hh"
 #include "base/random.hh"
 #include "kindle/kindle.hh"
 
@@ -154,7 +155,10 @@ makePoints(const Golden &g, std::uint64_t total, std::uint64_t seed)
             p.label = site + "#" + std::to_string(occ);
             p.plan.site = site;
             p.plan.occurrence = occ;
-            p.plan.seed = seed + pts.size();
+            // Substream derivation, not `seed + index`: adjacent
+            // xorshift64* states are correlated, splitmix64-derived
+            // ones are not (base/rand.hh).
+            p.plan.seed = rand::deriveSeed(seed, pts.size());
             pts.push_back(std::move(p));
             if (pts.size() >= grid_target)
                 break;
@@ -166,7 +170,7 @@ makePoints(const Golden &g, std::uint64_t total, std::uint64_t seed)
     while (pts.size() < total) {
         Point p;
         p.plan.atNthDurableWrite = 1 + rng.uniform(g.durableWrites);
-        p.plan.seed = seed + pts.size();
+        p.plan.seed = rand::deriveSeed(seed, pts.size());
         p.label = "durable_write#" +
                   std::to_string(p.plan.atNthDurableWrite);
         pts.push_back(std::move(p));

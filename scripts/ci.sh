@@ -73,6 +73,16 @@ echo "=== Core-loss fuzz smoke (ASan/UBSan) ==="
 run_fuzz ./build-asan/bench/fuzz_core_loss --points 45
 rm -f BENCH_fuzz_core_loss.json
 
+echo "=== Fleet-storm smoke (ASan/UBSan) ==="
+# A reduced multi-tenant fleet (DESIGN.md §13) swept on 1 and 4
+# cores: churn through the crash-consistent exit/spawn paths,
+# checkpoint storms over the population, reclaim demotions and OOM
+# kills against the squeezed zones.  The bench self-checks churn
+# determinism (two byte-identical small-fleet runs) before sweeping
+# and exits non-zero if any point fails.
+./build-asan/bench/fleet_storm --tenants 192 --churn 48
+rm -f BENCH_fleet_storm.json
+
 echo "=== DESIGN.md crash-site table drift check ==="
 # The table is generated from fault::crashSiteCatalog(); regenerate it
 # and fail if the committed DESIGN.md had gone stale.
@@ -91,13 +101,23 @@ if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     # self-profiler so a failure names the subsystem that slowed down;
     # --jobs 1 keeps the wall numbers free of scheduling noise.
     cmake -B build-perf -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
-    cmake --build build-perf -j "${JOBS}" --target fig5_ssp_interval
+    cmake --build build-perf -j "${JOBS}" \
+        --target fig5_ssp_interval fleet_storm
     PERF_DIR=$(mktemp -d)
     REPO=$(pwd)
     (cd "${PERF_DIR}" &&
         "${REPO}/build-perf/bench/fig5_ssp_interval" --jobs 1 --prof)
     python3 scripts/perf_gate.py check \
         "${PERF_DIR}/BENCH_fig5_ssp_interval.json"
+    # The fleet storm gates the scale axis: 1024 churning tenants on 1
+    # and 4 cores must stay fast — this is the run that wedges if the
+    # checkpoint sweep ever goes back to O(population) NVM writes or
+    # pressure relief loses its throttle.
+    (cd "${PERF_DIR}" &&
+        "${REPO}/build-perf/bench/fleet_storm" --jobs 1 --prof \
+            --churn 256)
+    python3 scripts/perf_gate.py check \
+        "${PERF_DIR}/BENCH_fleet_storm.json"
     rm -rf "${PERF_DIR}"
 fi
 
@@ -109,7 +129,7 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     cmake --build build-tsan -j "${JOBS}" \
         --target test_runner test_fault test_persist test_trace \
         fig4a_seq_alloc ablation_multiprocess fuzz_pressure \
-        fuzz_core_loss
+        fuzz_core_loss fleet_storm
     # The runner tests exercise every cross-thread path: the work
     # queue, result placement, and the shared trace-flag/error-mode
     # globals that concurrent KindleSystem instances touch.
@@ -178,6 +198,15 @@ PY
     run_fuzz env KINDLE_FUZZ_POINTS=18 \
         ./build-tsan/bench/fuzz_core_loss --cores 4
     rm -f BENCH_fuzz_core_loss.json
+
+    echo "=== 4-core fleet storm under TSan ==="
+    # The fleet sweep's two points run in concurrent workers: clean-
+    # skipped checkpoint sweeps, throttled pressure relief, OOM
+    # teardown and churn respawns on the 4-core scheduler, all sharing
+    # the trace/error-mode globals TSan watches.
+    KINDLE_FLEET_TENANTS=96 KINDLE_FLEET_CHURN=24 \
+        ./build-tsan/bench/fleet_storm
+    rm -f BENCH_fleet_storm.json
 fi
 
 echo "ci.sh: all checks passed"

@@ -6,6 +6,7 @@
 #ifndef KINDLE_BASE_INTMATH_HH
 #define KINDLE_BASE_INTMATH_HH
 
+#include <bit>
 #include <cstdint>
 
 #include "base/logging.hh"
@@ -65,7 +66,25 @@ isAligned(std::uint64_t v, std::uint64_t align)
     return (v & (align - 1)) == 0;
 }
 
+/** Index of the lowest set bit of @p v (64 when v == 0). */
+constexpr unsigned
+countTrailingZeros(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Number of leading zero bits of @p v (64 when v == 0). */
+constexpr unsigned
+countLeadingZeros(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::countl_zero(v));
+}
+
 static_assert(isPowerOf2(4096));
+static_assert(countTrailingZeros(0x8) == 3);
+static_assert(countLeadingZeros(std::uint64_t(1) << 63) == 0);
+static_assert(countLeadingZeros(0) == 64);
+static_assert(countTrailingZeros(0) == 64);
 static_assert(floorLog2(4096) == 12);
 static_assert(ceilLog2(4097) == 13);
 static_assert(divCeil(10, 4) == 3);

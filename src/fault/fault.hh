@@ -112,6 +112,10 @@ struct PressurePlan
     Tick reclaimInterval = oneMs / 4;
     /** Max pages demoted DRAM→NVM per reclaim pass. */
     unsigned reclaimBatchPages = 8;
+    /** Minimum gap between reclaim-requested early checkpoints (an
+     *  NVM zone pinned at its cap sits below-low forever; unthrottled
+     *  relief then checkpoints every patrol pass).  0 = no throttle. */
+    Tick reclaimCheckpointMinGap = 0;
 
     /** Redo-log fill fraction that triggers an early checkpoint
      *  (truncates the log before it can wrap).  0 disables. */

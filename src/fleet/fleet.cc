@@ -1,0 +1,155 @@
+#include "fleet/fleet.hh"
+
+#include "base/logging.hh"
+#include "base/rand.hh"
+
+namespace kindle::fleet
+{
+
+namespace
+{
+
+/** Every tenant maps its heap here — address spaces are private, so
+ *  the fleet shares one canonical layout (mirrors micro::scriptBase). */
+constexpr Addr tenantHeapBase = Addr(0x400000000);
+
+/** YCSB-B read fraction (95/5 is YCSB-B proper; the fleet runs the
+ *  71/29 update-heavier mix so checkpoints always find dirty NVM
+ *  state to persist). */
+constexpr double readFraction = 0.71;
+
+/** Substream tags under a tenant's seed. */
+enum : std::uint64_t
+{
+    streamSizeClass = 0,
+    streamRequests = 1,
+    streamKeys = 2,
+};
+
+} // namespace
+
+const char *
+arrivalName(Arrival a)
+{
+    return a == Arrival::poisson ? "poisson" : "bursty";
+}
+
+TenantSpec
+makeTenantSpec(const FleetParams &params, unsigned ordinal)
+{
+    TenantSpec spec;
+    spec.id = ordinal;
+    spec.seed = rand::deriveSeed(params.seed, ordinal);
+
+    rand::WeightedPicker classes({params.weightSmall,
+                                  params.weightMedium,
+                                  params.weightLarge});
+    Random draw(rand::deriveSeed(spec.seed, streamSizeClass));
+    switch (classes.pick(draw)) {
+      case 0: spec.heapPages = params.smallPages; break;
+      case 1: spec.heapPages = params.mediumPages; break;
+      default: spec.heapPages = params.largePages; break;
+    }
+    kindle_assert(spec.heapPages > 0, "tenant with an empty heap");
+    return spec;
+}
+
+TenantWorkload::TenantWorkload(const FleetParams &params_arg,
+                               TenantSpec spec, FleetCounters *counters)
+    : params(params_arg),
+      _spec(spec),
+      counters(counters),
+      requestsLeft(params_arg.requestsPerTenant),
+      rng(rand::deriveSeed(spec.seed, streamRequests)),
+      keys(spec.heapPages, params_arg.zipfTheta,
+           rand::deriveSeed(spec.seed, streamKeys))
+{
+}
+
+std::uint64_t
+TenantWorkload::thinkCycles()
+{
+    double mean = static_cast<double>(params.meanThinkCycles);
+    if (params.arrival == Arrival::bursty) {
+        if (burstLeft == 0) {
+            burstHot = !burstHot;
+            burstLeft = static_cast<unsigned>(rng.range(4, 12));
+        }
+        --burstLeft;
+        // A hot phase fires requests back to back; an idle phase
+        // sleeps long enough that checkpoints catch the tenant
+        // off-CPU — the two regimes that bracket consolidation.
+        mean *= burstHot ? 0.125 : 4.0;
+    }
+    const double cycles = rand::expInterval(rng, mean);
+    return cycles < 1.0 ? 1 : static_cast<std::uint64_t>(cycles);
+}
+
+bool
+TenantWorkload::next(cpu::Op &op)
+{
+    switch (phase) {
+      case Phase::mapHeap:
+        op.kind = cpu::Op::Kind::mmap;
+        op.addr = tenantHeapBase;
+        op.size = _spec.heapBytes();
+        op.flags = cpu::mapNvm | cpu::mapFixed;
+        phase = requestsLeft > 0 ? Phase::think : Phase::exited;
+        return true;
+
+      case Phase::think:
+        op.kind = cpu::Op::Kind::compute;
+        op.addr = 0;
+        op.size = thinkCycles();
+        op.flags = 0;
+        // Pick the request now so the think draw and the key draw
+        // stay ordered even if the scheduler preempts in between.
+        keyAddr = tenantHeapBase + keys.next() * pageSize;
+        phase = Phase::access;
+        return true;
+
+      case Phase::access: {
+        const bool is_read = rng.chance(readFraction);
+        op.kind = is_read ? cpu::Op::Kind::read
+                          : cpu::Op::Kind::write;
+        op.addr = keyAddr;
+        op.size = 8;
+        op.flags = 0;
+        if (counters) {
+            ++counters->requests;
+            ++(is_read ? counters->reads : counters->writes);
+        }
+        --requestsLeft;
+        phase = requestsLeft > 0 ? Phase::think : Phase::exited;
+        return true;
+      }
+
+      case Phase::exited:
+        op.kind = cpu::Op::Kind::exit;
+        op.addr = 0;
+        op.size = 0;
+        op.flags = 0;
+        phase = Phase::done;
+        return true;
+
+      case Phase::done:
+        return false;
+    }
+    return false;
+}
+
+std::unique_ptr<cpu::OpStream>
+makeTenant(const FleetParams &params, unsigned ordinal,
+           FleetCounters *counters)
+{
+    return std::make_unique<TenantWorkload>(
+        params, makeTenantSpec(params, ordinal), counters);
+}
+
+std::string
+tenantName(unsigned ordinal)
+{
+    return "tenant" + std::to_string(ordinal);
+}
+
+} // namespace kindle::fleet

@@ -185,6 +185,27 @@ KindleSystem::buildSampler()
                    ? static_cast<double>(kernel_->runnableCount())
                    : 0.0;
     });
+    // Fleet-scale population and per-tier occupancy: how many tenants
+    // are alive and what fraction of each zone they hold.
+    sampler_->addCallbackChannel("liveProcs", Kind::level, [this] {
+        return kernel_
+                   ? static_cast<double>(kernel_->liveProcessCount())
+                   : 0.0;
+    });
+    sampler_->addCallbackChannel("dramOccupancy", Kind::level, [this] {
+        if (!kernel_)
+            return 0.0;
+        const os::FrameAllocator &a = kernel_->dramAllocator();
+        return static_cast<double>(a.allocatedFrames()) /
+               static_cast<double>(a.totalFrames());
+    });
+    sampler_->addCallbackChannel("nvmOccupancy", Kind::level, [this] {
+        if (!kernel_)
+            return 0.0;
+        const os::FrameAllocator &a = kernel_->nvmAllocator();
+        return static_cast<double>(a.allocatedFrames()) /
+               static_cast<double>(a.totalFrames());
+    });
     if (config.persistence) {
         sampler_->addCallbackChannel(
             "redoLogPending", Kind::level, [this] {

@@ -5,6 +5,7 @@
 
 #include "os/bad_frames.hh"
 
+#include "base/bitfield.hh"
 #include "base/intmath.hh"
 #include "base/logging.hh"
 #include "fault/fault.hh"
@@ -18,7 +19,7 @@ BadFrameTable::BadFrameTable(AddrRange device, KernelMem &kmem,
       kmem(kmem),
       bitmapAddr(bitmap_addr),
       frameCount(device.size() / pageSize),
-      retired(frameCount, false),
+      retiredWords(divCeil(device.size() / pageSize, 64), 0),
       statGroup("badFrames", "persistent bad-frame table"),
       retirements(statGroup.addScalar("retirements",
                                       "frames durably retired")),
@@ -40,29 +41,31 @@ void
 BadFrameTable::loadFromNvm()
 {
     const std::uint64_t words = divCeil(frameCount, 64);
-    std::vector<std::uint64_t> image(words, 0);
-    kmem.readDurableBuf(bitmapAddr, image.data(), words * 8);
-    _retiredCount = 0;
-    for (std::uint64_t i = 0; i < frameCount; ++i) {
-        retired[i] = (image[i / 64] >> (i % 64)) & 1;
-        if (retired[i])
-            ++_retiredCount;
+    kmem.readDurableBuf(bitmapAddr, retiredWords.data(), words * 8);
+    // Mask bits past frameCount in the tail word; they are outside
+    // the device and must never classify a frame as retired.
+    if (frameCount % 64 != 0) {
+        retiredWords[words - 1] &=
+            (std::uint64_t(1) << (frameCount % 64)) - 1;
     }
+    _retiredCount = 0;
+    for (std::uint64_t w = 0; w < words; ++w)
+        _retiredCount += std::uint64_t(popCount(retiredWords[w]));
 }
 
 bool
 BadFrameTable::isRetired(Addr addr) const
 {
-    return retired[frameIndex(addr)];
+    return testRetired(frameIndex(addr));
 }
 
 bool
 BadFrameTable::retire(Addr addr)
 {
     const std::uint64_t index = frameIndex(addr);
-    if (retired[index])
+    if (testRetired(index))
         return false;
-    retired[index] = true;
+    retiredWords[index / 64] |= std::uint64_t(1) << (index % 64);
     ++_retiredCount;
     ++retirements;
     ++persistWrites;
@@ -83,7 +86,7 @@ BadFrameTable::anyRetired(Addr base, std::uint64_t bytes) const
         return false;
     const Addr first = roundDown(base, pageSize);
     for (Addr frame = first; frame < base + bytes; frame += pageSize) {
-        if (retired[frameIndex(frame)])
+        if (testRetired(frameIndex(frame)))
             return true;
     }
     return false;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "base/addr_range.hh"
+#include "base/intmath.hh"
 #include "base/stats.hh"
 #include "os/kernel_mem.hh"
 
@@ -55,14 +56,21 @@ class BadFrameTable
     std::uint64_t retiredCount() const { return _retiredCount; }
     std::uint64_t totalFrames() const { return frameCount; }
 
-    /** Visit the base address of every retired frame, ascending. */
+    /** Visit the base address of every retired frame, ascending.
+     *  Word-skips clean bitmap words, so a healthy many-GiB device
+     *  costs O(frames/64), not O(frames). */
     template <typename Fn>
     void
     forEachRetired(Fn &&fn) const
     {
-        for (std::uint64_t i = 0; i < frameCount; ++i) {
-            if (retired[i])
+        for (std::uint64_t w = 0; w < retiredWords.size(); ++w) {
+            std::uint64_t bits = retiredWords[w];
+            while (bits != 0) {
+                const std::uint64_t i =
+                    w * 64 + countTrailingZeros(bits);
+                bits &= bits - 1;
                 fn(device.start() + (i << pageShift));
+            }
         }
     }
 
@@ -74,12 +82,18 @@ class BadFrameTable
   private:
     std::uint64_t frameIndex(Addr addr) const;
 
+    bool
+    testRetired(std::uint64_t i) const
+    {
+        return (retiredWords[i / 64] >> (i % 64)) & 1;
+    }
+
     AddrRange device;
     KernelMem &kmem;
     Addr bitmapAddr;
 
     std::uint64_t frameCount;
-    std::vector<bool> retired;
+    std::vector<std::uint64_t> retiredWords;
     std::uint64_t _retiredCount = 0;
 
     statistics::StatGroup statGroup;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/bitfield.hh"
 #include "base/intmath.hh"
 #include "base/logging.hh"
 #include "os/bad_frames.hh"
@@ -16,7 +17,7 @@ FrameAllocator::FrameAllocator(std::string name, AddrRange zone,
       kmem(kmem_arg),
       bitmapAddr(bitmap_addr),
       frameCount(zone.size() / pageSize),
-      used(frameCount, false),
+      usedWords(divCeil(zone.size() / pageSize, 64), 0),
       statGroup(_name, "zone frame allocator"),
       allocs(statGroup.addScalar("allocs", "frames allocated")),
       frees(statGroup.addScalar("frees", "frames freed")),
@@ -48,7 +49,7 @@ FrameAllocator::persistBit(std::uint64_t index)
     // Read-modify-write the containing bitmap word, durably.
     const Addr word_addr = bitmapAddr + (index / 64) * 8;
     std::uint64_t word = kmem.mem().readT<std::uint64_t>(word_addr);
-    if (used[index])
+    if (testUsed(index))
         word |= (std::uint64_t(1) << (index % 64));
     else
         word &= ~(std::uint64_t(1) << (index % 64));
@@ -98,8 +99,8 @@ FrameAllocator::tryAlloc()
         // floor, permanently.
         ++retiredOut;
     }
-    kindle_assert(!used[index], "{}: double allocation", _name);
-    used[index] = true;
+    kindle_assert(!testUsed(index), "{}: double allocation", _name);
+    setUsed(index);
     ++usedCount;
     ++allocs;
     framesInUse = static_cast<double>(usedCount);
@@ -111,9 +112,9 @@ void
 FrameAllocator::free(Addr frame)
 {
     const std::uint64_t index = frameIndex(frame);
-    kindle_assert(used[index], "{}: freeing unallocated frame {}", _name,
-                  frame);
-    used[index] = false;
+    kindle_assert(testUsed(index), "{}: freeing unallocated frame {}",
+                  _name, frame);
+    clearUsed(index);
     --usedCount;
     ++frees;
     framesInUse = static_cast<double>(usedCount);
@@ -131,7 +132,7 @@ FrameAllocator::free(Addr frame)
 bool
 FrameAllocator::isAllocated(Addr frame) const
 {
-    return used[frameIndex(frame)];
+    return testUsed(frameIndex(frame));
 }
 
 void
@@ -160,17 +161,60 @@ FrameAllocator::recoverFromBitmap()
     usedCount = 0;
     retiredOut = 0;
     freeStack.clear();
-    bumpNext = frameCount;  // everything below is governed by the bitmap
     const std::uint64_t words = divCeil(frameCount, 64);
     std::vector<std::uint64_t> image(words, 0);
     kmem.readDurableBuf(bitmapAddr, image.data(), words * 8);
+    // Bits past frameCount in the tail word are outside the zone.
+    if (frameCount % 64 != 0) {
+        image[words - 1] &=
+            (std::uint64_t(1) << (frameCount % 64)) - 1;
+    }
+    if (!badFrames || badFrames->retiredCount() == 0) {
+        // Common case: no retired frames.  Adopt the image wholesale
+        // and only enumerate the *holes* below the allocation high
+        // mark; everything above it stays with the bump pointer.  A
+        // mostly-full or mostly-empty multi-GiB zone recovers in
+        // O(frames/64) instead of O(frames), and the allocation order
+        // (lowest free index first) is identical to the full scan's
+        // reversed stack.
+        usedWords = image;
+        std::uint64_t high = 0;  // one past the highest set bit
+        for (std::uint64_t w = words; w-- > 0;) {
+            if (usedWords[w] != 0) {
+                high = w * 64 + 64 -
+                       countLeadingZeros(usedWords[w]);
+                break;
+            }
+        }
+        bumpNext = high;
+        for (std::uint64_t w = 0; w < divCeil(high, 64); ++w) {
+            std::uint64_t holes = ~usedWords[w];
+            if (w == (high - 1) / 64 && high % 64 != 0)
+                holes &= (std::uint64_t(1) << (high % 64)) - 1;
+            while (holes != 0) {
+                freeStack.push_back(w * 64 +
+                                    countTrailingZeros(holes));
+                holes &= holes - 1;
+            }
+            usedCount += std::uint64_t(popCount(usedWords[w]));
+        }
+        for (std::uint64_t w = divCeil(high, 64); w < words; ++w)
+            usedCount += std::uint64_t(popCount(usedWords[w]));
+        std::reverse(freeStack.begin(), freeStack.end());
+        framesInUse = static_cast<double>(usedCount);
+        return;
+    }
+    // Retired frames exist: fall back to the per-frame scan so the
+    // retired/free classification matches the allocation-time rules.
+    bumpNext = frameCount;  // everything below is governed by the bitmap
+    std::fill(usedWords.begin(), usedWords.end(), 0);
     for (std::uint64_t i = 0; i < frameCount; ++i) {
         const bool bit_set =
             (image[i / 64] >> (i % 64)) & 1;
-        used[i] = bit_set;
         if (bit_set) {
             // Retired-but-allocated frames count as used until the
             // post-recovery migration frees them.
+            setUsed(i);
             ++usedCount;
         } else if (isRetiredIndex(i)) {
             ++retiredOut;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "base/addr_range.hh"
+#include "base/intmath.hh"
 #include "base/stats.hh"
 #include "os/kernel_mem.hh"
 
@@ -96,14 +97,21 @@ class FrameAllocator
         return lowMark != 0 && freeFrames() <= lowMark;
     }
 
-    /** Visit the frame address of every allocated frame. */
+    /** Visit the frame address of every allocated frame.  Word-skips
+     *  empty bitmap words, so a sparsely-used many-GiB zone costs
+     *  O(frames/64), not O(frames). */
     template <typename Fn>
     void
     forEachAllocated(Fn &&fn) const
     {
-        for (std::uint64_t i = 0; i < frameCount; ++i) {
-            if (used[i])
+        for (std::uint64_t w = 0; w < usedWords.size(); ++w) {
+            std::uint64_t bits = usedWords[w];
+            while (bits != 0) {
+                const std::uint64_t i =
+                    w * 64 + countTrailingZeros(bits);
+                bits &= bits - 1;
                 fn(_zone.start() + (i << pageShift));
+            }
         }
     }
 
@@ -116,6 +124,27 @@ class FrameAllocator
     /** True iff frame @p index must never be handed out again. */
     bool isRetiredIndex(std::uint64_t index) const;
 
+    /** @name Host-side allocation bitmap (word-granular). */
+    /// @{
+    bool
+    testUsed(std::uint64_t i) const
+    {
+        return (usedWords[i / 64] >> (i % 64)) & 1;
+    }
+
+    void
+    setUsed(std::uint64_t i)
+    {
+        usedWords[i / 64] |= (std::uint64_t(1) << (i % 64));
+    }
+
+    void
+    clearUsed(std::uint64_t i)
+    {
+        usedWords[i / 64] &= ~(std::uint64_t(1) << (i % 64));
+    }
+    /// @}
+
     std::string _name;
     AddrRange _zone;
     KernelMem &kmem;
@@ -123,7 +152,7 @@ class FrameAllocator
     const BadFrameTable *badFrames = nullptr;
 
     std::uint64_t frameCount;
-    std::vector<bool> used;
+    std::vector<std::uint64_t> usedWords;
     std::vector<std::uint64_t> freeStack;  ///< recycled frames
     std::uint64_t bumpNext = 0;            ///< next never-used frame
     std::uint64_t usedCount = 0;

@@ -39,7 +39,8 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
       caches(caches_arg),
       cores_(std::move(cores)),
       kernelMem(sim_arg, memory_arg, caches_arg),
-      layout(NvmLayout::standard(memory_arg.nvmRange())),
+      layout(NvmLayout::standard(memory_arg.nvmRange(),
+                                 params.nvmLayout)),
       plainPtWrite(kernelMem),
       policyProxy(&plainPtWrite),
       statGroup("kernel", "gemOS-like kernel"),
@@ -59,6 +60,8 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
           "MAP_NVM allocations degraded to DRAM (zone low/exhausted)"))
 {
     kindle_assert(!cores_.empty(), "kernel needs at least one core");
+
+    slotWords.resize(divCeil(layout.procSlots, 64), 0);
 
     const fault::PressurePlan &pp = _params.pressure;
     allocRng = Random(pp.seed);
@@ -153,7 +156,8 @@ Kernel::Kernel(const KernelParams &params, sim::Simulation &sim_arg,
 
         reclaim_ = std::make_unique<ReclaimEngine>(
             *this,
-            ReclaimParams{pp.reclaimInterval, pp.reclaimBatchPages});
+            ReclaimParams{pp.reclaimInterval, pp.reclaimBatchPages,
+                          pp.reclaimCheckpointMinGap});
         statGroup.addChild(reclaim_->stats());
         reclaim_->start();
 
@@ -207,13 +211,42 @@ Kernel::setPtWritePolicy(PtWritePolicy *policy)
 unsigned
 Kernel::allocSlot()
 {
-    for (unsigned i = 0; i < maxProcs; ++i) {
-        if (!(slotsUsed & (1u << i))) {
-            slotsUsed |= (1u << i);
-            return i;
-        }
+    // Lowest free bit, exactly as the historical 32-bit mask scan
+    // chose it — but word-granular, so a thousand live tenants cost a
+    // handful of word probes instead of a per-slot loop.
+    const unsigned words = static_cast<unsigned>(slotWords.size());
+    for (unsigned w = slotSearchHint; w < words; ++w) {
+        const std::uint64_t free_bits = ~slotWords[w];
+        if (free_bits == 0)
+            continue;
+        const unsigned bit =
+            static_cast<unsigned>(countTrailingZeros(free_bits));
+        const unsigned slot = w * 64 + bit;
+        if (slot >= layout.procSlots)
+            break;
+        slotWords[w] |= (std::uint64_t(1) << bit);
+        slotSearchHint = w;
+        return slot;
     }
-    kindle_fatal("out of saved-state slots ({} processes)", maxProcs);
+    kindle_fatal("out of saved-state slots ({} processes)",
+                 layout.procSlots);
+}
+
+void
+Kernel::markSlotUsed(unsigned slot)
+{
+    kindle_assert(slot < layout.procSlots, "slot {} out of range",
+                  slot);
+    slotWords[slot / 64] |= (std::uint64_t(1) << (slot % 64));
+}
+
+void
+Kernel::markSlotFree(unsigned slot)
+{
+    kindle_assert(slot < layout.procSlots, "slot {} out of range",
+                  slot);
+    slotWords[slot / 64] &= ~(std::uint64_t(1) << (slot % 64));
+    slotSearchHint = std::min(slotSearchHint, slot / 64);
 }
 
 Pid
@@ -229,12 +262,13 @@ Kernel::spawnShell(std::string name, unsigned slot, bool create_pt)
 {
     auto proc =
         std::make_unique<Process>(nextPid++, std::move(name), slot);
-    slotsUsed |= (1u << slot);
+    markSlotUsed(slot);
     if (create_pt)
         proc->ptRoot = ptMgr->newRoot();
     proc->state = ProcState::ready;
     Process &ref = *proc;
     procs.push_back(std::move(proc));
+    pidIndex.emplace(ref.pid, &ref);
     enqueue(ref, placementFor(ref));
     for (auto *l : listeners)
         l->onProcessCreated(ref);
@@ -244,10 +278,8 @@ Kernel::spawnShell(std::string name, unsigned slot, bool create_pt)
 Process *
 Kernel::findProcess(Pid pid)
 {
-    for (auto &p : procs)
-        if (p->pid == pid)
-            return p.get();
-    return nullptr;
+    const auto it = pidIndex.find(pid);
+    return it == pidIndex.end() ? nullptr : it->second;
 }
 
 const cpu::CpuState &
@@ -463,6 +495,8 @@ Kernel::runUntil(Tick deadline)
         KINDLE_PROF_SCOPE(sched);
         if (coreFaultArmed_)
             watchdogPass();
+        if (_params.reapZombies && zombieCount > 0)
+            reapExited();
         const Tick epoch_start = sim.now();
         Tick epoch_end = epoch_start;
         bool ran_any = false;
@@ -1396,14 +1430,35 @@ Kernel::exitProcess(Process &proc)
     ptMgr->teardown(proc.ptRoot);
     proc.ptRoot = invalidAddr;
     proc.state = ProcState::zombie;
-    slotsUsed &= ~(1u << proc.slot);
+    markSlotFree(proc.slot);
     for (CpuSlot &slot : cpus)
         if (slot.running == &proc)
             slot.running = nullptr;
     // Stale runqueue entries are skipped at pick (state == zombie).
     proc.queued = false;
+    ++zombieCount;
     for (auto *l : listeners)
         l->onProcessExit(proc);
+}
+
+void
+Kernel::reapExited()
+{
+    // Epoch-boundary only: callers up the stack may hold no Process
+    // reference.  Scrub the stale runqueue pointers first — they are
+    // the one place a zombie PCB is still reachable from.
+    for (CpuSlot &slot : cpus) {
+        std::erase_if(slot.runq, [](const Process *p) {
+            return p->state == ProcState::zombie;
+        });
+    }
+    std::erase_if(procs, [this](const std::unique_ptr<Process> &p) {
+        if (p->state != ProcState::zombie)
+            return false;
+        pidIndex.erase(p->pid);
+        return true;
+    });
+    zombieCount = 0;
 }
 
 } // namespace kindle::os

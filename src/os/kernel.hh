@@ -24,6 +24,7 @@
 
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "base/random.hh"
@@ -63,6 +64,25 @@ struct KernelParams
                            ///  scheme) instead of DRAM (rebuild)
     /** DRAM reserved below this for the kernel image. */
     std::uint64_t kernelReserveBytes = 16 * oneMiB;
+
+    /**
+     * NVM metadata-carving sizes (process-slot capacity, redo-log and
+     * per-process mapping-list reservations).  The defaults reproduce
+     * the historical 16-slot layout byte for byte; fleet workloads
+     * raise procSlots into the thousands.
+     */
+    NvmLayoutParams nvmLayout{};
+
+    /**
+     * Erase zombie PCBs at scheduling-epoch boundaries instead of
+     * letting `procs` grow for the life of the machine.  Off by
+     * default (zombies stay visible to findProcess() and the stat
+     * ordering of long-lived tests is preserved); fleet churn turns
+     * it on — thousands of exited tenants would otherwise put an
+     * O(all processes ever) scan inside every checkpoint, OOM-victim
+     * search and reclaim pass.
+     */
+    bool reapZombies = false;
     /**
      * Keep this many NVM frames in reserve for retirement migrations;
      * MAP_NVM demand faults degrade to DRAM once the free pool dips
@@ -273,6 +293,20 @@ class Kernel : public cpu::FaultHandler
         return n;
     }
 
+    /** Live (non-zombie) processes right now — the telemetry
+     *  sampler's tenant-population channel and the fleet driver's
+     *  respawn trigger. */
+    unsigned
+    liveProcessCount() const
+    {
+        unsigned n = 0;
+        for (const auto &proc : procs) {
+            if (proc->state != ProcState::zombie)
+                ++n;
+        }
+        return n;
+    }
+
     /** User pages resident across all live processes right now. */
     std::uint64_t
     residentPagesTotal() const
@@ -404,7 +438,18 @@ class Kernel : public cpu::FaultHandler
      */
     void offlineCore(CpuId cpu);
     /// @}
+
+    /** Lowest free persistent process slot; fatal when all
+     *  layout.procSlots are live.  O(slots/64) bitmap-word scan. */
     unsigned allocSlot();
+
+    /** Mark slot @p slot used / free in the slot bitmap. */
+    void markSlotUsed(unsigned slot);
+    void markSlotFree(unsigned slot);
+
+    /** Drop zombie PCBs (reapZombies mode; epoch-boundary only —
+     *  no live Process reference may be held across this). */
+    void reapExited();
 
     /**
      * Allocate one DRAM user frame with the pressure machinery in the
@@ -448,7 +493,19 @@ class Kernel : public cpu::FaultHandler
     /** Faults not yet fired (entries are consumed as they fire). */
     std::vector<fault::CoreFault> pendingCoreFaults;
     Pid nextPid = 1;
-    std::uint32_t slotsUsed = 0;
+
+    /** Saved-state slot occupancy, one bit per slot.  Word-granular
+     *  so allocSlot() skips fully-used words: lowest-free-bit order
+     *  (identical to the historical 32-bit mask) at O(slots/64). */
+    std::vector<std::uint64_t> slotWords;
+    /** Lowest word that may contain a free slot bit. */
+    unsigned slotSearchHint = 0;
+
+    /** pid → PCB for O(1) findProcess at fleet scale; zombies stay
+     *  indexed until reaped, matching the linear scan's behaviour. */
+    std::unordered_map<Pid, Process *> pidIndex;
+    /** Zombies awaiting an epoch-boundary reap (reapZombies mode). */
+    unsigned zombieCount = 0;
 
     std::vector<OsEventListener *> listeners;
 

@@ -14,16 +14,38 @@
 
 #include "base/addr_range.hh"
 #include "base/intmath.hh"
+#include "base/logging.hh"
 #include "base/types.hh"
 
 namespace kindle::os
 {
 
-/** Maximum simultaneously-live processes tracked persistently. */
+/** Default persistent process-slot count (see NvmLayoutParams). */
 constexpr unsigned maxProcs = 16;
 
 /** Bytes reserved per process in the saved-state directory. */
 constexpr std::uint64_t savedStateSlotBytes = 16 * oneKiB;
+
+/**
+ * Sizing knobs for the carved layout.  The defaults reproduce the
+ * historical fixed carving byte for byte; fleet-scale configurations
+ * raise procSlots into the thousands and trade the per-process
+ * mapping-list reservation down to match their small tenant heaps.
+ */
+struct NvmLayoutParams
+{
+    /** Simultaneously-live processes tracked persistently. */
+    unsigned procSlots = maxProcs;
+
+    /** Redo-log ring reservation (halved between the metadata log
+     *  and the persistent scheme's PT undo log). */
+    std::uint64_t redoLogBytes = 16 * oneMiB;
+
+    /** Per-process virtual→NVM-physical mapping-list reservation.
+     *  16 bytes per resident NVM page; the default covers 256k pages
+     *  (1 GiB) per process. */
+    std::uint64_t mappingListBytesPerProc = 4 * oneMiB;
+};
 
 /** The carved regions. */
 struct NvmLayout
@@ -39,8 +61,11 @@ struct NvmLayout
     Addr badFrameBitmap = 0;
     std::uint64_t badFrameBitmapBytes = 0;
 
-    Addr savedStateDir = 0;         ///< maxProcs fixed-size slots
+    Addr savedStateDir = 0;         ///< procSlots fixed-size slots
     std::uint64_t savedStateBytes = 0;
+
+    /** Process-slot capacity this layout was carved for. */
+    unsigned procSlots = maxProcs;
 
     Addr redoLog = 0;               ///< OS metadata redo-log ring
     std::uint64_t redoLogBytes = 0;
@@ -61,22 +86,27 @@ struct NvmLayout
     Addr
     slotAddr(unsigned idx) const
     {
-        return savedStateDir + idx * savedStateSlotBytes;
+        return savedStateDir +
+               static_cast<std::uint64_t>(idx) * savedStateSlotBytes;
     }
 
     /** Mapping-list region base for process slot @p idx. */
     Addr
     mappingListAddr(unsigned idx) const
     {
-        return mappingLists + idx * mappingListBytesPerProc;
+        return mappingLists +
+               static_cast<std::uint64_t>(idx) * mappingListBytesPerProc;
     }
 
-    /** Carve the standard layout from @p nvm_range. */
+    /** Carve the layout from @p nvm_range per @p params.  The default
+     *  params reproduce the historical carving byte for byte. */
     static NvmLayout
-    standard(AddrRange nvm_range)
+    standard(AddrRange nvm_range, const NvmLayoutParams &params = {})
     {
+        kindle_assert(params.procSlots > 0, "layout with zero slots");
         NvmLayout l;
         l.nvm = nvm_range;
+        l.procSlots = params.procSlots;
         Addr cursor = nvm_range.start();
 
         const std::uint64_t frames = nvm_range.size() / pageSize;
@@ -89,16 +119,16 @@ struct NvmLayout
         cursor += l.badFrameBitmapBytes;
 
         l.savedStateDir = cursor;
-        l.savedStateBytes = maxProcs * savedStateSlotBytes;
+        l.savedStateBytes = l.procSlots * savedStateSlotBytes;
         cursor += l.savedStateBytes;
 
         l.redoLog = cursor;
-        l.redoLogBytes = 16 * oneMiB;
+        l.redoLogBytes = params.redoLogBytes;
         cursor += l.redoLogBytes;
 
         l.mappingLists = cursor;
-        l.mappingListBytesPerProc = 4 * oneMiB;
-        cursor += maxProcs * l.mappingListBytesPerProc;
+        l.mappingListBytesPerProc = params.mappingListBytesPerProc;
+        cursor += l.procSlots * l.mappingListBytesPerProc;
 
         l.sspCache = cursor;
         l.sspCacheBytes = 32 * oneMiB;
@@ -109,6 +139,10 @@ struct NvmLayout
         cursor += l.hsccTableBytes;
 
         cursor = roundUp(cursor, pageSize);
+        kindle_assert(cursor < nvm_range.end(),
+                      "NVM too small for the metadata carving "
+                      "({} slots over {} bytes)", l.procSlots,
+                      nvm_range.size());
         l.userPool = cursor;
         l.userPoolBytes = nvm_range.end() - cursor;
         return l;

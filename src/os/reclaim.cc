@@ -72,10 +72,8 @@ ReclaimEngine::patrol()
     ++passes;
     if (kernel.dramAllocator().belowLow())
         demoteBatch(_params.batchPages);
-    if (kernel.nvmAllocator().belowLow() && checkpointHook) {
-        ++checkpointsRequested;
-        checkpointHook();
-    }
+    if (kernel.nvmAllocator().belowLow())
+        maybeRequestCheckpoint();
 }
 
 void
@@ -90,10 +88,24 @@ ReclaimEngine::emergencyPass()
     // log and compacting slots) rather than waiting for the next
     // patrol to notice — NVM saturation windows can be far shorter
     // than the patrol interval.
-    if (kernel.nvmAllocator().belowLow() && checkpointHook) {
-        ++checkpointsRequested;
-        checkpointHook();
+    if (kernel.nvmAllocator().belowLow())
+        maybeRequestCheckpoint();
+}
+
+void
+ReclaimEngine::maybeRequestCheckpoint()
+{
+    if (!checkpointHook)
+        return;
+    const Tick now = kernel.simulation().now();
+    if (checkpointEverRequested &&
+        now - lastCheckpointRequest < _params.checkpointMinGap) {
+        return;
     }
+    checkpointEverRequested = true;
+    lastCheckpointRequest = now;
+    ++checkpointsRequested;
+    checkpointHook();
 }
 
 unsigned

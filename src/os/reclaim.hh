@@ -45,6 +45,15 @@ struct ReclaimParams
     Tick interval = oneMs / 4;
     /** Max pages demoted DRAM→NVM per pass. */
     unsigned batchPages = 8;
+    /**
+     * Minimum gap between NVM-pressure checkpoint requests.  A zone
+     * pinned at its cap (every frame held by live mappings) sits below
+     * its low watermark indefinitely; without a throttle every patrol
+     * pass converts into a whole-population early checkpoint, which at
+     * fleet scale costs more than the patrol interval and livelocks
+     * the machine.  0 = request on every qualifying pass.
+     */
+    Tick checkpointMinGap = 0;
 };
 
 /** The background reclaim engine; owned by the kernel. */
@@ -101,6 +110,9 @@ class ReclaimEngine
     void patrol();
     void scheduleNext();
 
+    /** Fire the early-checkpoint hook, honoring checkpointMinGap. */
+    void maybeRequestCheckpoint();
+
     /** Demote up to @p budget cold DRAM pages; returns pages moved. */
     unsigned demoteBatch(unsigned budget);
 
@@ -112,6 +124,9 @@ class ReclaimEngine
     bool started = false;
     /** Round-robin fairness cursor over victim pids. */
     Pid cursor = 0;
+    /** Tick of the last honored checkpoint request. */
+    Tick lastCheckpointRequest = 0;
+    bool checkpointEverRequested = false;
 
     statistics::StatGroup statGroup;
     statistics::Scalar &passes;

@@ -10,6 +10,31 @@
 namespace kindle::persist
 {
 
+namespace
+{
+
+/** Field-wise equality (SavedContext has padding; memcmp would read
+ *  indeterminate bytes).  Only the populated VMA prefix matters. */
+bool
+sameContext(const SavedContext &a, const SavedContext &b)
+{
+    if (!(a.regs == b.regs) || a.vmaCount != b.vmaCount ||
+        a.faseActive != b.faseActive) {
+        return false;
+    }
+    for (std::uint32_t i = 0; i < a.vmaCount; ++i) {
+        const SerializedVma &x = a.vmas[i];
+        const SerializedVma &y = b.vmas[i];
+        if (x.start != y.start || x.end != y.end || x.prot != y.prot ||
+            x.nvm != y.nvm || x.areaId != y.areaId) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
 PersistDomain::PersistDomain(const PersistParams &params,
                              os::Kernel &kernel_arg)
     : _params(params),
@@ -29,6 +54,8 @@ PersistDomain::PersistDomain(const PersistParams &params,
                                       "metadata redo records"))
 {
     const os::NvmLayout &layout = kernel.nvmLayout();
+    slots.resize(layout.procSlots);
+    incState.resize(layout.procSlots);
     const std::uint64_t half = layout.redoLogBytes / 2;
     metaLog = std::make_unique<RedoLog>(kernel.kmem(), layout.redoLog,
                                         half, "redoLog");
@@ -44,6 +71,11 @@ PersistDomain::PersistDomain(const PersistParams &params,
                       "rebuild scheme hosts page tables in DRAM");
     }
     statGroup.addChild(metaLog->stats());
+    if (_params.skipCleanProcesses) {
+        cleanSkips = &statGroup.addScalar(
+            "cleanSkips",
+            "checkpoint sweeps skipped for unchanged processes");
+    }
 }
 
 PersistDomain::~PersistDomain()
@@ -155,13 +187,13 @@ PersistDomain::compactSlots()
     // slot no live process owns: exited tenants leave stale working
     // and consistent copies behind, and under pressure those stale
     // regions are the cheapest durable state to retire.
-    std::uint32_t live = 0;
+    std::vector<bool> live(slots.size(), false);
     for (const auto &proc : kernel.processes()) {
         if (proc->state != os::ProcState::zombie)
-            live |= (1u << proc->slot);
+            live[proc->slot] = true;
     }
-    for (unsigned i = 0; i < os::maxProcs; ++i) {
-        if ((live & (1u << i)) || !slots[i])
+    for (unsigned i = 0; i < slots.size(); ++i) {
+        if (live[i] || !slots[i])
             continue;
         slots[i]->invalidate();
         slots[i].reset();
@@ -259,20 +291,16 @@ PersistDomain::onFaseEnd(os::Process &proc)
 }
 
 void
-PersistDomain::checkpointProcess(os::Process &proc)
+PersistDomain::checkpointProcess(os::Process &proc,
+                                 const SavedContext &ctx)
 {
     KINDLE_TRACE_SPAN_ARGS(checkpoint, ckpt, "ckpt.process", "pid={}",
                            proc.pid);
     SavedStateSlot &slot = slotFor(proc);
 
-    // CPU state: live registers while the process is resident on some
-    // core, the saved context otherwise.
-    const cpu::CpuState regs = kernel.contextOf(proc);
-
-    // Serialize and durably write the working copy.
+    // Durably write the working copy of the serialized context.
     {
         KINDLE_TRACE_SPAN(checkpoint, ckpt, "ckpt.workingWrite");
-        const SavedContext ctx = SavedStateSlot::snapshot(proc, regs);
         slot.writeWorkingContext(ctx);
     }
     KINDLE_CRASH_SITE("ckpt.after_working_write");
@@ -296,6 +324,13 @@ PersistDomain::checkpointProcess(os::Process &proc)
         slot.commit();
     }
     KINDLE_CRASH_SITE("ckpt.after_commit");
+
+    if (_params.skipCleanProcesses) {
+        IncState &st = incState[proc.slot];
+        st.lastCtx = ctx;
+        st.ctxValid = true;
+        st.mapDirty = false;
+    }
 }
 
 void
@@ -382,7 +417,13 @@ void
 PersistDomain::onFrameMapped(os::Process &proc, Addr vaddr, Addr frame,
                              bool nvm)
 {
-    if (!nvm || _params.scheme != PtScheme::rebuild ||
+    if (!nvm)
+        return;
+    // Clean-skip tracking is scheme-independent: reclaim can demote an
+    // idle process's pages without its context ever changing, and the
+    // next sweep must not skip it.
+    incState[proc.slot].mapDirty = true;
+    if (_params.scheme != PtScheme::rebuild ||
         !_params.incrementalMappingList) {
         return;
     }
@@ -395,7 +436,10 @@ PersistDomain::onFrameUnmapped(os::Process &proc, Addr vaddr,
                                Addr frame, bool nvm)
 {
     (void)frame;
-    if (!nvm || _params.scheme != PtScheme::rebuild ||
+    if (!nvm)
+        return;
+    incState[proc.slot].mapDirty = true;
+    if (_params.scheme != PtScheme::rebuild ||
         !_params.incrementalMappingList) {
         return;
     }
@@ -442,18 +486,48 @@ PersistDomain::checkpointNow()
     // agreeing.
     KINDLE_TRACE_SPAN(checkpoint, ckpt, "ckpt");
 
-    // Log the CPU state of every live process, then apply the full
+    // Snapshot every live context once (host-side; the simulated cost
+    // is charged when the slot is written).  The clean-skip decision,
+    // the CPU-state log and the per-process sweep all reuse it.  A
+    // process is clean when its serialized context is bit-identical to
+    // what its last sweep committed and no NVM mapping changed in the
+    // interval — nothing about its durable image can differ, so both
+    // the redo append and the slot sweep are pure media traffic.
+    struct SweepItem
+    {
+        os::Process *proc;
+        SavedContext ctx;
+        bool clean;
+    };
+    std::vector<SweepItem> sweep;
+    for (const auto &proc : kernel.processes()) {
+        if (proc->state == os::ProcState::zombie)
+            continue;
+        SweepItem item{proc.get(),
+                       SavedStateSlot::snapshot(
+                           *proc, kernel.contextOf(*proc)),
+                       false};
+        if (_params.skipCleanProcesses) {
+            const IncState &st = incState[proc->slot];
+            item.clean = st.ctxValid && !st.mapDirty &&
+                         st.pending.empty() &&
+                         sameContext(st.lastCtx, item.ctx);
+        }
+        sweep.push_back(std::move(item));
+    }
+
+    // Log the CPU state of every swept process, then apply the full
     // redo log once (the working copies absorb all interval changes).
     KINDLE_CRASH_SITE("ckpt.before_cpu_log");
     {
         KINDLE_TRACE_SPAN(checkpoint, ckpt, "ckpt.cpuLog");
-        for (const auto &proc : kernel.processes()) {
-            if (proc->state == os::ProcState::zombie)
+        for (const SweepItem &item : sweep) {
+            if (item.clean)
                 continue;
             RedoRecord rec;
             rec.type = RedoType::cpuState;
-            rec.pid = proc->pid;
-            rec.a = proc->context.rip;
+            rec.pid = item.proc->pid;
+            rec.a = item.proc->context.rip;
             metaLog->append(rec);
             ++redoRecords;
         }
@@ -465,10 +539,12 @@ PersistDomain::checkpointNow()
     }
     KINDLE_CRASH_SITE("ckpt.after_replay");
 
-    for (const auto &proc : kernel.processes()) {
-        if (proc->state == os::ProcState::zombie)
+    for (const SweepItem &item : sweep) {
+        if (item.clean) {
+            ++*cleanSkips;
             continue;
-        checkpointProcess(*proc);
+        }
+        checkpointProcess(*item.proc, item.ctx);
     }
 
     if (backpressure || compactNext) {

@@ -22,7 +22,6 @@
 #ifndef KINDLE_PERSIST_CHECKPOINT_HH
 #define KINDLE_PERSIST_CHECKPOINT_HH
 
-#include <array>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -52,6 +51,20 @@ struct PersistParams
      * bench/ablation_incremental_ckpt).
      */
     bool incrementalMappingList = false;
+
+    /**
+     * Skip the per-process slot sweep (and the CPU-state redo append)
+     * for processes whose durable image cannot have changed since
+     * their last committed checkpoint: serialized context
+     * bit-identical and no NVM mapping mutations in the interval.  At
+     * fleet scale (1k+ mostly-idle tenants time-shared on a few
+     * cores) the unconditional sweep writes O(population) NVM lines
+     * per checkpoint and saturates the media with flush traffic; with
+     * the skip the sweep cost tracks the set of processes that
+     * actually ran.  Off by default so default-config output stays
+     * byte-identical.
+     */
+    bool skipCleanProcesses = false;
 };
 
 /** The domain. */
@@ -160,6 +173,15 @@ class PersistDomain : public os::OsEventListener
         /** Mapping mutations since the last checkpoint, in order. */
         std::vector<std::pair<bool, MappingEntry>> pending;
 
+        /** Clean-skip bookkeeping (skipCleanProcesses): the context
+         *  committed by this process's last sweep, and whether any NVM
+         *  mapping changed since — tracked for every scheme, because
+         *  reclaim can demote an idle process's pages without its
+         *  context ever changing. */
+        bool ctxValid = false;
+        bool mapDirty = false;
+        SavedContext lastCtx{};
+
         void
         reset()
         {
@@ -167,6 +189,8 @@ class PersistDomain : public os::OsEventListener
             list.clear();
             posOf.clear();
             pending.clear();
+            ctxValid = false;
+            mapDirty = false;
         }
     };
 
@@ -174,7 +198,7 @@ class PersistDomain : public os::OsEventListener
     void armPressureStats();
     void compactSlots();
     SavedStateSlot &slotFor(const os::Process &proc);
-    void checkpointProcess(os::Process &proc);
+    void checkpointProcess(os::Process &proc, const SavedContext &ctx);
     void updateMappingListFull(os::Process &proc,
                                SavedStateSlot &slot);
     void updateMappingListIncremental(os::Process &proc,
@@ -185,8 +209,10 @@ class PersistDomain : public os::OsEventListener
 
     std::unique_ptr<RedoLog> metaLog;
     std::unique_ptr<ConsistentPtWrite> ptPolicy;  ///< persistent only
-    std::array<std::optional<SavedStateSlot>, os::maxProcs> slots;
-    std::array<IncState, os::maxProcs> incState;
+    /** Sized to the kernel layout's procSlots at construction, so a
+     *  fleet-scale layout gets a fleet-scale slot table. */
+    std::vector<std::optional<SavedStateSlot>> slots;
+    std::vector<IncState> incState;
 
     CkptEvent event;
     bool started = false;
@@ -207,6 +233,8 @@ class PersistDomain : public os::OsEventListener
     /** Backpressure stats; registered only by enableBackpressure(). */
     statistics::Scalar *earlyCheckpoints = nullptr;
     statistics::Scalar *slotsCompacted = nullptr;
+    /** Registered only when skipCleanProcesses is configured. */
+    statistics::Scalar *cleanSkips = nullptr;
 };
 
 } // namespace kindle::persist

@@ -155,7 +155,7 @@ recover(os::Kernel &kernel, PtScheme scheme)
 
     // 2-3. Scan the directory in salvage mode: validate every durable
     // byte of a slot before acting on it; quarantine what fails.
-    for (unsigned idx = 0; idx < os::maxProcs; ++idx) {
+    for (unsigned idx = 0; idx < kernel.nvmLayout().procSlots; ++idx) {
         KINDLE_TRACE_SPAN_ARGS(recovery, recovery, "recover.slot",
                                "slot={}", idx);
         SavedStateSlot slot(kernel.kmem(), kernel.nvmLayout(), idx);

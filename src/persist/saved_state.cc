@@ -57,7 +57,8 @@ SavedStateSlot::SavedStateSlot(os::KernelMem &kmem_arg,
                                unsigned slot_idx)
     : kmem(kmem_arg), layout(layout_arg), slotIdx(slot_idx)
 {
-    kindle_assert(slot_idx < os::maxProcs, "slot index out of range");
+    kindle_assert(slot_idx < layout_arg.procSlots,
+                  "slot index out of range");
     static_assert(sizeof(SavedContext) <
                       contextOffset[1] - contextOffset[0],
                   "context serialization overflows its slot half");

@@ -1,0 +1,284 @@
+#include "runner/fleet_scenario.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "base/rand.hh"
+
+namespace kindle::runner
+{
+
+namespace
+{
+
+std::uint64_t
+fleetNumeric(const char *text, const char *origin)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        kindle_fatal("{}: bad number '{}'", origin, text);
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+fleetReal(const char *text, const char *origin)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        kindle_fatal("{}: bad value '{}'", origin, text);
+    return v;
+}
+
+fleet::Arrival
+parseArrival(const char *text, const char *origin)
+{
+    if (std::strcmp(text, "poisson") == 0)
+        return fleet::Arrival::poisson;
+    if (std::strcmp(text, "bursty") == 0)
+        return fleet::Arrival::bursty;
+    kindle_fatal("{}: bad arrival '{}' (want poisson|bursty)", origin,
+                 text);
+}
+
+unsigned
+checkedTenants(std::uint64_t v, const char *origin)
+{
+    if (v < 1 || v > 65536)
+        kindle_fatal("{}: bad tenant count {} (want 1..65536)", origin,
+                     v);
+    return static_cast<unsigned>(v);
+}
+
+double
+checkedZipf(double v, const char *origin)
+{
+    if (!(v > 0.0) || !(v < 1.0))
+        kindle_fatal("{}: bad zipf theta {} (want (0,1))", origin, v);
+    return v;
+}
+
+/** "--name V" / "--name=V" matcher (mirrors runner/options.cc). */
+const char *
+valueOf(const char *arg, const char *name, int argc, char **argv,
+        int &i)
+{
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0)
+        return nullptr;
+    if (arg[len] == '=')
+        return arg + len + 1;
+    if (arg[len] != '\0')
+        return nullptr;
+    if (i + 1 >= argc)
+        kindle_fatal("{} needs a value", name);
+    return argv[++i];
+}
+
+} // namespace
+
+FleetOptions
+parseFleetOptions(int argc, char **argv, std::vector<char *> &pass_argv)
+{
+    FleetOptions fo;
+    if (const char *env = std::getenv("KINDLE_FLEET_TENANTS")) {
+        if (*env) {
+            fo.params.tenants = checkedTenants(
+                fleetNumeric(env, "KINDLE_FLEET_TENANTS"),
+                "KINDLE_FLEET_TENANTS");
+        }
+    }
+    if (const char *env = std::getenv("KINDLE_FLEET_CHURN")) {
+        if (*env) {
+            fo.params.churnSpawns = static_cast<unsigned>(
+                fleetNumeric(env, "KINDLE_FLEET_CHURN"));
+        }
+    }
+    if (const char *env = std::getenv("KINDLE_FLEET_ZIPF")) {
+        if (*env) {
+            fo.params.zipfTheta = checkedZipf(
+                fleetReal(env, "KINDLE_FLEET_ZIPF"),
+                "KINDLE_FLEET_ZIPF");
+        }
+    }
+    if (const char *env = std::getenv("KINDLE_FLEET_ARRIVAL")) {
+        if (*env)
+            fo.params.arrival = parseArrival(env, "KINDLE_FLEET_ARRIVAL");
+    }
+    if (const char *env = std::getenv("KINDLE_FLEET_SEED")) {
+        if (*env)
+            fo.params.seed = fleetNumeric(env, "KINDLE_FLEET_SEED");
+    }
+    if (const char *env = std::getenv("KINDLE_FLEET_REQUESTS")) {
+        if (*env) {
+            fo.params.requestsPerTenant = static_cast<unsigned>(
+                fleetNumeric(env, "KINDLE_FLEET_REQUESTS"));
+        }
+    }
+
+    pass_argv.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (const char *v = valueOf(arg, "--tenants", argc, argv, i)) {
+            fo.params.tenants = checkedTenants(
+                fleetNumeric(v, "--tenants"), "--tenants");
+        } else if (const char *v =
+                       valueOf(arg, "--churn", argc, argv, i)) {
+            fo.params.churnSpawns = static_cast<unsigned>(
+                fleetNumeric(v, "--churn"));
+        } else if (const char *v =
+                       valueOf(arg, "--zipf", argc, argv, i)) {
+            fo.params.zipfTheta =
+                checkedZipf(fleetReal(v, "--zipf"), "--zipf");
+        } else if (const char *v =
+                       valueOf(arg, "--arrival", argc, argv, i)) {
+            fo.params.arrival = parseArrival(v, "--arrival");
+        } else if (const char *v =
+                       valueOf(arg, "--fleet-seed", argc, argv, i)) {
+            fo.params.seed = fleetNumeric(v, "--fleet-seed");
+        } else if (const char *v =
+                       valueOf(arg, "--requests", argc, argv, i)) {
+            fo.params.requestsPerTenant = static_cast<unsigned>(
+                fleetNumeric(v, "--requests"));
+        } else if (std::strcmp(arg, "--no-pressure") == 0) {
+            fo.pressure = false;
+        } else {
+            pass_argv.push_back(argv[i]);
+        }
+    }
+    return fo;
+}
+
+KindleConfig
+makeFleetConfig(const FleetOptions &opts, unsigned cores)
+{
+    const fleet::FleetParams &fp = opts.params;
+    KindleConfig cfg;
+    cfg.memory.dramBytes = 256 * oneMiB;
+    cfg.memory.nvmBytes = 1024 * oneMiB;
+    cfg.numCores = cores;
+
+    // Every concurrent tenant needs a saved-state slot; churn
+    // replacements recycle the slots their predecessors freed, so the
+    // fleet size (plus a little headroom) bounds occupancy.
+    cfg.kernel.nvmLayout.procSlots = fp.tenants + 8;
+    // Mapping lists sized to the largest tenant heap instead of the
+    // historical per-process 4 MiB — at 1k+ slots the default would
+    // swallow the whole device.
+    const std::uint64_t list_bytes =
+        std::max<std::uint64_t>(fp.largePages * 16 * 2, 16 * oneKiB);
+    cfg.kernel.nvmLayout.mappingListBytesPerProc =
+        roundUp(list_bytes, pageSize);
+    // Checkpoint storms over the whole population between truncations.
+    cfg.kernel.nvmLayout.redoLogBytes = 32 * oneMiB;
+    // Thousands of exited tenants must not leave an O(all processes
+    // ever) scan inside every checkpoint and reclaim pass.
+    cfg.kernel.reapZombies = true;
+    // Short quanta keep many tenants genuinely time-shared per
+    // checkpoint interval.
+    cfg.kernel.timeslice = 50 * oneUs;
+
+    if (opts.checkpointInterval > 0) {
+        cfg.persistence = persist::PersistParams{
+            persist::PtScheme::rebuild, opts.checkpointInterval};
+        cfg.persistence->incrementalMappingList = true;
+        // Sweep cost must track the set of tenants that ran, not the
+        // population: an unconditional sweep writes O(tenants) NVM
+        // lines per checkpoint and saturates the media.
+        cfg.persistence->skipCleanProcesses = true;
+    }
+
+    if (opts.pressure) {
+        fault::PressurePlan pp;
+        // The fleet's aggregate resident demand (tenants × hot set)
+        // must exceed both zones: MAP_NVM faults degrade to DRAM once
+        // NVM dips to the reserve, DRAM exhaustion drives reclaim
+        // demotions, and the worst offenders meet the OOM killer —
+        // whose kills the churn driver backfills.
+        pp.nvmZoneFrames = std::max<std::uint64_t>(
+            std::uint64_t(fp.tenants) * 6, 512);
+        pp.dramZoneFrames = std::max<std::uint64_t>(
+            std::uint64_t(fp.tenants) * 5, 1024);
+        pp.seed = rand::deriveSeed(fp.seed, 0x9e55);
+        pp.allocFailRate = 0.0;  // exhaustion pressure, not injection
+        // The NVM zone spends the whole run pinned at its cap, so
+        // unthrottled relief would convert every patrol pass into a
+        // whole-population early checkpoint; at most match the
+        // periodic cadence instead of multiplying it.
+        pp.reclaimCheckpointMinGap = opts.checkpointInterval;
+        cfg.pressure = pp;
+    }
+    return cfg;
+}
+
+Scenario
+makeFleetScenario(std::string name, Axes axes, const FleetOptions &opts,
+                  unsigned cores)
+{
+    Scenario sc;
+    sc.name = std::move(name);
+    sc.axes = std::move(axes);
+    sc.config = makeFleetConfig(opts, cores);
+    sc.drive = [params = opts.params](
+                   KindleSystem &sys,
+                   statistics::StatSnapshot &extra) -> Tick {
+        const Tick t0 = sys.now();
+        os::Kernel &kernel = sys.kernel();
+        auto counters = std::make_shared<fleet::FleetCounters>();
+
+        unsigned next_ordinal = 0;
+        const auto spawnOne = [&] {
+            kernel.spawn(
+                fleet::makeTenant(params, next_ordinal,
+                                  counters.get()),
+                fleet::tenantName(next_ordinal));
+            ++next_ordinal;
+        };
+        for (unsigned i = 0; i < params.tenants; ++i)
+            spawnOne();
+
+        unsigned churn_left = params.churnSpawns;
+        unsigned peak_live = kernel.liveProcessCount();
+        // Epoch slices between respawn sweeps: long enough to amortize
+        // the population scan, short against the checkpoint interval
+        // so churn lands inside storms.
+        const Tick slice = oneMs / 2;
+        for (;;) {
+            const unsigned live = kernel.liveProcessCount();
+            peak_live = std::max(peak_live, live);
+            if (live < params.tenants && churn_left > 0) {
+                const unsigned deficit = params.tenants - live;
+                const unsigned n = std::min(deficit, churn_left);
+                for (unsigned i = 0; i < n; ++i)
+                    spawnOne();
+                churn_left -= n;
+            } else if (live == 0) {
+                break;
+            }
+            kernel.runUntil(sys.now() + slice);
+        }
+
+        extra.set("fleet.tenants",
+                  static_cast<double>(params.tenants));
+        extra.set("fleet.spawned", static_cast<double>(next_ordinal));
+        extra.set("fleet.churnSpawns",
+                  static_cast<double>(next_ordinal - params.tenants));
+        extra.set("fleet.peakLive", static_cast<double>(peak_live));
+        extra.set("fleet.requests",
+                  static_cast<double>(counters->requests));
+        extra.set("fleet.reads",
+                  static_cast<double>(counters->reads));
+        extra.set("fleet.writes",
+                  static_cast<double>(counters->writes));
+        return sys.now() - t0;
+    };
+    return sc;
+}
+
+} // namespace kindle::runner

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Runner wiring for the multi-tenant fleet workload (src/fleet):
+ * option parsing (--tenants/--churn/--zipf/--arrival and their
+ * KINDLE_FLEET_* environment mirrors), the fleet system configuration
+ * (thousands of saved-state slots, right-sized mapping lists, zombie
+ * reaping, checkpoint storms, optional memory pressure), and the
+ * churn-driving Scenario whose drive loop respawns exited tenants
+ * through the crash-consistent spawn/exit paths.
+ */
+
+#ifndef KINDLE_RUNNER_FLEET_SCENARIO_HH
+#define KINDLE_RUNNER_FLEET_SCENARIO_HH
+
+#include <vector>
+
+#include "fleet/fleet.hh"
+#include "runner/scenario.hh"
+
+namespace kindle::runner
+{
+
+/** Fleet flags parsed on top of the common runner set. */
+struct FleetOptions
+{
+    fleet::FleetParams params;
+
+    /** Arm the memory-pressure machinery (reclaim + OOM) so the
+     *  fleet's demand genuinely exceeds the zones. */
+    bool pressure = true;
+
+    /** Checkpoint storm period (0 = persistence disabled). */
+    Tick checkpointInterval = 2 * oneMs;
+};
+
+/**
+ * Strip the fleet flags out of @p argv (unrecognized arguments are
+ * forwarded through @p pass_argv to runner::parseOptions):
+ *
+ *   --tenants N     fleet size             (KINDLE_FLEET_TENANTS)
+ *   --churn N       replacement spawns     (KINDLE_FLEET_CHURN)
+ *   --zipf THETA    key-popularity skew    (KINDLE_FLEET_ZIPF)
+ *   --arrival A     poisson | bursty       (KINDLE_FLEET_ARRIVAL)
+ *   --fleet-seed N  master fleet seed      (KINDLE_FLEET_SEED)
+ *   --requests N    requests per tenant    (KINDLE_FLEET_REQUESTS)
+ *   --no-pressure   run without the pressure plan
+ *
+ * Environment mirrors follow the runner convention: the command line
+ * wins over the environment over the default.
+ */
+FleetOptions parseFleetOptions(int argc, char **argv,
+                               std::vector<char *> &pass_argv);
+
+/**
+ * A KindleConfig sized for the fleet: saved-state slots for every
+ * concurrent tenant (plus headroom), mapping lists sized to the
+ * largest tenant heap instead of the historical per-process 4 MiB,
+ * zombie reaping on, short timeslices, periodic checkpoints, and —
+ * unless disabled — a pressure plan that reclaim and the OOM killer
+ * must work against at steady state.
+ */
+KindleConfig makeFleetConfig(const FleetOptions &opts, unsigned cores);
+
+/**
+ * The churning fleet scenario: spawn the initial fleet, then run in
+ * scheduler-epoch slices, replacing exited tenants with fresh-ordinal
+ * respawns until the churn budget drains and the fleet empties.
+ * Exports fleet.* stats (spawns, churn spawns, peak live population,
+ * request/read/write counts) through the extra snapshot.
+ */
+Scenario makeFleetScenario(std::string name, Axes axes,
+                           const FleetOptions &opts, unsigned cores);
+
+} // namespace kindle::runner
+
+#endif // KINDLE_RUNNER_FLEET_SCENARIO_HH

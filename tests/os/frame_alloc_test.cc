@@ -124,6 +124,73 @@ TEST(FrameAllocTest, BitmapSurvivesCrashAndRecovers)
     EXPECT_FALSE(std::count(kept.begin(), kept.end(), next));
 }
 
+TEST(FrameAllocTest, RecoveryAllocationOrderMatchesFullScan)
+{
+    // The word-scan fast path must hand out frames in exactly the
+    // order of the legacy per-frame scan: holes below the high mark in
+    // ascending address order, then the untouched tail.  Build a
+    // bitmap with holes scattered across word boundaries, recover it
+    // through both regimes, and drain each to exhaustion.
+    // Two independent machines (draining one allocator persists its
+    // bits, so the regimes cannot share a bitmap), identical history.
+    const std::vector<std::uint64_t> holes = {3,  17, 40,  63, 64,
+                                              65, 88, 127, 128, 149};
+    const auto setup = [&](Rig &rig) {
+        const AddrRange zone =
+            AddrRange::withSize(rig.layout.userPool, 200 * pageSize);
+        FrameAllocator alloc("t", zone, rig.kmem,
+                             rig.layout.allocBitmap);
+        for (int i = 0; i < 150; ++i)
+            alloc.alloc();
+        for (const std::uint64_t h : holes)
+            alloc.free(zone.start() + h * pageSize);
+        rig.memory.crash();
+        return zone;
+    };
+    const auto drain = [](FrameAllocator &alloc) {
+        std::vector<Addr> order;
+        for (Addr f = alloc.tryAlloc(); f != invalidAddr;
+             f = alloc.tryAlloc()) {
+            order.push_back(f);
+        }
+        return order;
+    };
+
+    // Fast path: no retirements anywhere.
+    Rig rig_fast;
+    const AddrRange zone = setup(rig_fast);
+    FrameAllocator fast("t", zone, rig_fast.kmem,
+                        rig_fast.layout.allocBitmap);
+    fast.recoverFromBitmap();
+    EXPECT_EQ(fast.allocatedFrames(), 150u - holes.size());
+    const std::vector<Addr> fast_order = drain(fast);
+
+    // Legacy per-frame path: a retirement *outside* the zone forces
+    // the fallback without perturbing this zone's pool.
+    Rig rig_slow;
+    const AddrRange zone2 = setup(rig_slow);
+    ASSERT_EQ(zone2.start(), zone.start());
+    BadFrameTable bad(rig_slow.memory.nvmRange(), rig_slow.kmem,
+                      rig_slow.layout.badFrameBitmap);
+    ASSERT_TRUE(bad.retire(zone.end()));
+    FrameAllocator slow("t", zone, rig_slow.kmem,
+                        rig_slow.layout.allocBitmap);
+    slow.setBadFrames(&bad);
+    slow.recoverFromBitmap();
+    EXPECT_EQ(slow.allocatedFrames(), 150u - holes.size());
+    const std::vector<Addr> slow_order = drain(slow);
+
+    EXPECT_EQ(fast_order, slow_order);
+    // And both equal the documented contract: holes ascending, then
+    // the bump tail.
+    std::vector<Addr> expect;
+    for (const std::uint64_t h : holes)
+        expect.push_back(zone.start() + h * pageSize);
+    for (std::uint64_t i = 150; i < 200; ++i)
+        expect.push_back(zone.start() + i * pageSize);
+    EXPECT_EQ(fast_order, expect);
+}
+
 TEST(FrameAllocTest, ForEachAllocatedVisitsExactly)
 {
     Rig rig;
